@@ -1,0 +1,56 @@
+"""Section II-B: analytical cost model vs measured training time.
+
+Regenerates the computational-cost argument: the predicted FLOP count of the
+BCPNN training step grows linearly with network capacity, and the measured
+wall-clock time of the real implementation tracks the prediction (within a
+generous factor, since BLAS efficiency differs across shapes — the paper's
+"Jiggs" footnote).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import BCPNNHyperParameters, InputSpec, StructuralPlasticityLayer
+from repro.instrumentation import BCPNNCostModel
+
+
+def _train_epoch_seconds(n_minicolumns: int, x: np.ndarray) -> float:
+    layer = StructuralPlasticityLayer(
+        1, n_minicolumns, hyperparams=BCPNNHyperParameters(taupdt=0.02, density=0.4), seed=0
+    )
+    layer.build(InputSpec.uniform(28, 10))
+    start = time.perf_counter()
+    for lo in range(0, x.shape[0], 256):
+        layer.train_batch(x[lo : lo + 256])
+    layer.end_epoch(0)
+    return time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="cost-model")
+def test_bench_cost_model_tracks_measurement(benchmark, bench_higgs_data):
+    x = bench_higgs_data.x_train[:2048]
+
+    def run():
+        measured = {}
+        for mcus in (50, 200):
+            measured[mcus] = _train_epoch_seconds(mcus, x)
+        return measured
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    predicted = {
+        mcus: BCPNNCostModel(280, 1, mcus, 256).epoch_cost(x.shape[0]).total_flops
+        for mcus in measured
+    }
+    measured_ratio = measured[200] / max(measured[50], 1e-9)
+    predicted_ratio = predicted[200] / predicted[50]
+    print()
+    print(f"measured epoch time:   50 MCUs {measured[50]*1e3:.1f} ms, 200 MCUs {measured[200]*1e3:.1f} ms "
+          f"(ratio {measured_ratio:.2f})")
+    print(f"predicted FLOPs ratio: {predicted_ratio:.2f}")
+
+    # Capacity scaling: more minicolumns must cost more time, and the measured
+    # ratio should be within a factor ~3 of the FLOP-count prediction.
+    assert measured[200] > measured[50]
+    assert measured_ratio < 3.0 * predicted_ratio

@@ -1,0 +1,37 @@
+"""E9: data-parallel (simulated MPI) trace-reduction benchmark.
+
+Checks the paper's scaling argument quantitatively: the per-batch
+communication volume of data-parallel BCPNN depends on the trace size (model
+capacity), not on the shard size, and the reduced traces are numerically
+identical to serial training.
+"""
+
+import pytest
+
+from repro.experiments import run_distributed_equivalence
+
+
+@pytest.mark.benchmark(group="distributed")
+def test_bench_distributed_equivalence(benchmark, bench_scale, bench_higgs_data):
+    result = benchmark.pedantic(
+        lambda: run_distributed_equivalence(
+            rank_counts=(1, 2, 4, 8),
+            scale=bench_scale,
+            n_minicolumns=30,
+            epochs=1,
+            batch_size=256,
+            data=bench_higgs_data,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result["table"])
+
+    assert result["all_equivalent"], "rank-sharded training diverged from the serial reference"
+    rows = {row["ranks"]: row for row in result["rows"]}
+    # Communication volume grows with the number of ranks (more contributions
+    # to each allreduce) but the number of allreduce calls per batch is fixed.
+    assert rows[8]["mbytes_communicated"] > rows[2]["mbytes_communicated"]
+    assert rows[2]["allreduce_calls"] == rows[8]["allreduce_calls"]

@@ -1,0 +1,51 @@
+"""Figure 5 reproduction: receptive-field masks across densities.
+
+The paper's Fig. 5 shows the trained mask at each receptive-field setting:
+the active area grows with density, and the connections chosen at a small
+density are not necessarily a subset of those chosen at a larger one.  This
+benchmark regenerates the panel (as ASCII art over the 28 Higgs features)
+and checks those two properties.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_receptive_field_sweep
+from repro.visualization import ascii_render, mask_to_square_image
+
+
+@pytest.mark.benchmark(group="fig5-mask-evolution")
+def test_fig5_mask_evolution(benchmark, bench_scale, bench_higgs_data):
+    densities = (0.1, 0.25, 0.4, 0.7)
+    result = benchmark.pedantic(
+        lambda: run_receptive_field_sweep(
+            scale=bench_scale,
+            density_values=densities,
+            n_minicolumns=min(50, max(bench_scale.mcu_values)),
+            repeats=1,
+            data=bench_higgs_data,
+            seed=0,
+            collect_masks=True,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    masks = result["masks"]
+    print()
+    for density in densities:
+        mask_image = mask_to_square_image(masks[density], image_shape=(4, 7))
+        print(f"--- receptive field at density {density:.0%} "
+              f"({int(masks[density].sum())}/28 features active) ---")
+        print(ascii_render(mask_image, width=28))
+
+    # Active-connection count grows with density.
+    counts = [masks[d].sum() for d in densities]
+    assert all(b >= a for a, b in zip(counts, counts[1:]))
+    assert counts[0] == pytest.approx(round(0.1 * 28), abs=1)
+    assert counts[-1] == pytest.approx(round(0.7 * 28), abs=1)
+
+    # The mask at a small density need not be a subset of a larger one, but
+    # they should share at least part of the informative features.
+    small = set(np.nonzero(masks[densities[0]])[1])
+    large = set(np.nonzero(masks[densities[-1]])[1])
+    assert len(small & large) >= 1

@@ -1,0 +1,62 @@
+"""E8: hyper-parameter search benchmark (the Ax / Nevergrad role).
+
+Runs a small quasi-random search over (taupdt, density, #MCUs) on a reduced
+Higgs subset — the same workflow the paper used to pick its configurations —
+and checks that the search finds a configuration no worse than an
+untuned default.
+"""
+
+import pytest
+
+from repro.experiments import HiggsExperimentConfig, train_and_evaluate
+from repro.hyperopt import FloatParameter, HaltonSearch, IntParameter, LogFloatParameter, SearchSpace
+
+
+@pytest.mark.benchmark(group="hyperopt")
+def test_bench_halton_search(benchmark, bench_scale, bench_higgs_data):
+    space = SearchSpace(
+        {
+            "taupdt": LogFloatParameter(0.005, 0.1),
+            "density": FloatParameter(0.15, 0.9),
+            "n_minicolumns": IntParameter(20, max(bench_scale.mcu_values)),
+        }
+    )
+
+    def objective(config):
+        experiment = HiggsExperimentConfig(
+            n_hypercolumns=1,
+            n_minicolumns=int(config["n_minicolumns"]),
+            density=float(config["density"]),
+            taupdt=float(config["taupdt"]),
+            head="sgd",
+            n_events=bench_scale.n_events,
+            hidden_epochs=max(2, bench_scale.hidden_epochs - 1),
+            classifier_epochs=bench_scale.classifier_epochs,
+            batch_size=bench_scale.batch_size,
+            seed=0,
+        )
+        return train_and_evaluate(experiment, data=bench_higgs_data)["accuracy"]
+
+    def run_search():
+        return HaltonSearch(space, seed=0).optimize(objective, n_trials=5)
+
+    result = benchmark.pedantic(run_search, rounds=1, iterations=1)
+    print()
+    print(f"best of {len(result)} trials: accuracy={result.best_score:.4f} "
+          f"config={result.best_config}")
+
+    default = train_and_evaluate(
+        HiggsExperimentConfig(
+            n_hypercolumns=1,
+            n_minicolumns=20,
+            density=0.3,
+            n_events=bench_scale.n_events,
+            hidden_epochs=max(2, bench_scale.hidden_epochs - 1),
+            classifier_epochs=bench_scale.classifier_epochs,
+            batch_size=bench_scale.batch_size,
+            seed=0,
+        ),
+        data=bench_higgs_data,
+    )["accuracy"]
+    print(f"untuned default accuracy: {default:.4f}")
+    assert result.best_score >= default - 0.02

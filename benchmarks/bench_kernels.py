@@ -1,0 +1,87 @@
+"""Microbenchmarks of the BCPNN kernels (Section II-B cost discussion).
+
+These time the individual primitives the paper maps onto GEMMs — the masked
+support product, the co-activation statistics, the trace-to-weight
+conversion and the mutual-information reduction — at a Higgs-sized
+configuration (280 input units, 1x300 hidden units, batch 256).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import kernels
+
+N_INPUT = 280
+N_HIDDEN = 300
+BATCH = 256
+HIDDEN_SIZES = [N_HIDDEN]
+INPUT_SIZES = [10] * 28
+
+
+@pytest.fixture(scope="module")
+def kernel_data():
+    rng = np.random.default_rng(0)
+    x = np.zeros((BATCH, N_INPUT))
+    winners = rng.integers(0, 10, size=(BATCH, 28))
+    x[np.repeat(np.arange(BATCH), 28), (winners + np.arange(28) * 10).ravel()] = 1.0
+    weights = rng.normal(size=(N_INPUT, N_HIDDEN))
+    bias = rng.normal(size=N_HIDDEN)
+    mask = kernels.expand_mask(
+        (rng.random((28, 1)) > 0.6).astype(float), INPUT_SIZES, HIDDEN_SIZES
+    )
+    activations = kernels.hidden_activations(
+        kernels.compute_support(x, weights, bias, mask), HIDDEN_SIZES
+    )
+    p_i = x.mean(axis=0) + 1e-3
+    p_j = activations.mean(axis=0) + 1e-3
+    p_ij = (x.T @ activations) / BATCH + 1e-6
+    return {
+        "x": x, "weights": weights, "bias": bias, "mask": mask,
+        "activations": activations, "p_i": p_i, "p_j": p_j, "p_ij": p_ij,
+    }
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_support_gemm(benchmark, kernel_data):
+    d = kernel_data
+    result = benchmark(
+        lambda: kernels.compute_support(d["x"], d["weights"], d["bias"], d["mask"])
+    )
+    assert result.shape == (BATCH, N_HIDDEN)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_hidden_softmax(benchmark, kernel_data):
+    d = kernel_data
+    support = kernels.compute_support(d["x"], d["weights"], d["bias"], d["mask"])
+    result = benchmark(lambda: kernels.hidden_activations(support, HIDDEN_SIZES))
+    assert np.allclose(result.sum(axis=1), 1.0)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_batch_statistics(benchmark, kernel_data):
+    d = kernel_data
+    mean_x, mean_a, mean_outer = benchmark(
+        lambda: kernels.batch_outer_product(d["x"], d["activations"])
+    )
+    assert mean_outer.shape == (N_INPUT, N_HIDDEN)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_traces_to_weights(benchmark, kernel_data):
+    d = kernel_data
+    weights, bias = benchmark(
+        lambda: kernels.traces_to_weights(d["p_i"], d["p_j"], d["p_ij"])
+    )
+    assert weights.shape == (N_INPUT, N_HIDDEN)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_mutual_information(benchmark, kernel_data):
+    d = kernel_data
+    scores = benchmark(
+        lambda: kernels.mutual_information_scores(
+            d["p_i"], d["p_j"], d["p_ij"], INPUT_SIZES, HIDDEN_SIZES
+        )
+    )
+    assert scores.shape == (28, 1)

@@ -1,0 +1,35 @@
+"""E10: numerical-precision ablation (FPGA / posit exploration stand-in).
+
+Trains the same Higgs configuration under float64, float32, float16 and the
+posit16 model and checks that the BCPNN learning rule tolerates reduced
+precision — the premise of StreamBrain's FPGA backend.
+"""
+
+import pytest
+
+from repro.experiments import run_precision_ablation
+
+
+@pytest.mark.benchmark(group="precision")
+def test_bench_precision_ablation(benchmark, bench_scale, bench_higgs_data):
+    result = benchmark.pedantic(
+        lambda: run_precision_ablation(
+            precisions=("numpy", "float32", "float16", "posit16"),
+            scale=bench_scale,
+            data=bench_higgs_data,
+            n_minicolumns=50,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result["table"])
+
+    rows = {row["backend"]: row for row in result["rows"]}
+    reference = rows["numpy"]["accuracy"]
+    assert reference > 0.55
+    # Single precision is essentially free; half/posit cost at most a few points.
+    assert abs(rows["float32"]["accuracy"] - reference) < 0.03
+    assert abs(rows["float16"]["accuracy"] - reference) < 0.08
+    assert abs(rows["posit16"]["accuracy"] - reference) < 0.08

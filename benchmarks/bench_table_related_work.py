@@ -1,0 +1,46 @@
+"""Section VI reproduction: related-work comparison table.
+
+The paper quotes literature AUC values on the real HIGGS dataset (shallow NN
+~81.6%, DNN ~88%) against BCPNN's 75.5-76.4%.  Here every method is trained
+on the same (synthetic, unless a real HIGGS.csv is provided) split, so the
+check is the *ordering*: deep/boosted baselines >= BCPNN >= chance, and the
+BCPNN+SGD hybrid >= pure BCPNN (the paper's 76.4% vs 75.5%).
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import run_related_work_comparison
+
+
+@pytest.mark.benchmark(group="table-related-work")
+def test_related_work_comparison(benchmark, bench_scale, bench_higgs_data):
+    result = benchmark.pedantic(
+        lambda: run_related_work_comparison(
+            scale=bench_scale, data=bench_higgs_data, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result["table"])
+    print("paper reference AUC (real 11M-event dataset):", result["paper_reference_auc"])
+
+    metrics = result["results"]
+    auc = {name: values["auc"] for name, values in metrics.items()}
+
+    # Everything learned something.
+    for name, value in auc.items():
+        assert not math.isnan(value), f"{name} produced no AUC"
+        assert value > 0.55, f"{name} did not beat chance (AUC={value:.3f})"
+
+    # Ordering reported by the paper: the strongest conventional baseline
+    # (deep NN or boosted trees) beats BCPNN on this dataset.
+    best_baseline = max(auc["deep-nn"], auc["boosted-trees"], auc["shallow-nn"])
+    best_bcpnn = max(auc["bcpnn"], auc["bcpnn+sgd"])
+    assert best_baseline >= best_bcpnn - 0.02
+
+    # The hybrid head is at least as good as the pure BCPNN head (69.15% vs
+    # 68.5% accuracy in the paper); allow a small tolerance for run noise.
+    assert metrics["bcpnn+sgd"]["accuracy"] >= metrics["bcpnn"]["accuracy"] - 0.03

@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (see the
+experiment index in DESIGN.md).  The default configuration is the ``small``
+experiment scale so the whole suite runs on a laptop-class CPU in minutes;
+set ``REPRO_FULL=1`` to run the paper-sized sweeps.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark prints the regenerated table (visible with ``-s`` or in the
+captured output of the run) and asserts the qualitative shape the paper
+reports (who wins, where the peak is), not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentScale, get_scale, prepare_higgs_data
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    """Experiment scale used by all benchmarks (small unless REPRO_FULL=1)."""
+    scale = get_scale()
+    if scale.name == "full":
+        return scale
+    # A benchmark-friendly small scale: same sweep structure, modest sizes.
+    return ExperimentScale(
+        name="small",
+        n_events=6000,
+        hidden_epochs=3,
+        classifier_epochs=6,
+        batch_size=128,
+        repeats=1,
+        hcu_values=(1, 2, 4),
+        mcu_values=(10, 50, 150),
+        density_values=(0.05, 0.1, 0.2, 0.3, 0.4, 0.6, 0.8, 1.0),
+        baseline_epochs=12,
+        boosting_rounds=60,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_higgs_data(bench_scale):
+    """One shared HIGGS dataset (balanced, quantile one-hot encoded)."""
+    return prepare_higgs_data(n_events=bench_scale.n_events, seed=1)

@@ -1,0 +1,26 @@
+#!/usr/bin/env python3
+"""Data-parallel BCPNN training with the simulated MPI communicator.
+
+Demonstrates the property that makes BCPNN attractive on HPC systems
+(Section II-B): learning is local, so data-parallel training only has to
+allreduce the probability-trace statistics.  The example trains the same
+hidden layer serially and with 2 and 4 simulated ranks, verifies the learned
+traces are equivalent, and reports the communication volume per rank count.
+
+Run:  python examples/distributed_training.py
+"""
+
+from repro.experiments import run_distributed_equivalence
+
+
+def main() -> None:
+    result = run_distributed_equivalence(rank_counts=(1, 2, 4), epochs=2, batch_size=256, seed=5)
+    print(result["table"])
+    if result["all_equivalent"]:
+        print("\nAll rank counts reproduce the serial traces: data-parallel BCPNN is exact.")
+    else:
+        print("\nWARNING: trace deviation exceeded tolerance — investigate before scaling out.")
+
+
+if __name__ == "__main__":
+    main()

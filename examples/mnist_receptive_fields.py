@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Figure 1 demo: receptive fields migrate onto informative pixels.
+
+Trains a three-HCU BCPNN on procedurally generated digit images (per-pixel
+complementary-coded hypercolumns) and shows, as ASCII art, how structural
+plasticity moves each HCU's receptive field from a random scatter onto the
+image centre where the digit strokes carry the information — the behaviour
+illustrated in the paper's Figure 1.
+
+Run:  python examples/mnist_receptive_fields.py
+"""
+
+import numpy as np
+
+from repro.experiments import run_mnist_receptive_fields
+from repro.visualization import ascii_render
+
+
+def main() -> None:
+    result = run_mnist_receptive_fields(
+        n_hypercolumns=3,
+        n_minicolumns=20,
+        density=0.15,
+        n_samples=1500,
+        epochs=6,
+        digits=(3, 5, 8),
+        seed=0,
+    )
+    size = result["image_size"]
+    print("Receptive fields after training (one panel per HCU; '@' = active connection):\n")
+    for h, mask in enumerate(result["final_masks"]):
+        image = np.asarray(mask).reshape(size, size)
+        print(f"--- HCU {h} "
+              f"(central mass {result['initial_central_mass'][h]:.2f} -> {result['final_central_mass'][h]:.2f}) ---")
+        print(ascii_render(image, width=56))
+        print()
+    print(f"mean central-mass gain: {result['central_mass_gain']:+.3f} "
+          "(positive = fields concentrated on the informative centre)")
+    print(f"digit classification accuracy: {result['accuracy']:.3f}")
+
+
+if __name__ == "__main__":
+    main()

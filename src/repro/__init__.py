@@ -1,0 +1,55 @@
+"""repro: a StreamBrain-style BCPNN framework and Higgs-classification reproduction.
+
+This package reproduces *"Higgs Boson Classification: Brain-inspired BCPNN
+Learning with StreamBrain"* (Svedin, Podobas, Chien & Markidis, CLUSTER
+2021): the BCPNN learning rule with structural plasticity, a Keras-like
+network front end, multiple compute backends, the Higgs preprocessing
+pipeline, in-situ receptive-field visualization, hyper-parameter search and
+the full evaluation harness.
+
+Quick start::
+
+    from repro.datasets import make_higgs_splits, QuantileOneHotEncoder
+    from repro.core import Network, StructuralPlasticityLayer, SGDClassifier, InputSpec
+
+    splits = make_higgs_splits(n_samples=10000, seed=0)
+    encoder = QuantileOneHotEncoder(n_bins=10).fit(splits.train.features)
+    net = Network(seed=0)
+    net.add(StructuralPlasticityLayer(n_hypercolumns=1, n_minicolumns=200, density=0.4))
+    net.add(SGDClassifier(n_classes=2))
+    net.fit(encoder.transform(splits.train.features), splits.train.labels,
+            input_spec=InputSpec.from_encoder(encoder))
+    print(net.evaluate(encoder.transform(splits.test.features), splits.test.labels))
+"""
+
+from repro.version import __version__
+from repro import backend, baselines, core, datasets, experiments, hyperopt, instrumentation, metrics, visualization
+from repro.core import (
+    BCPNNClassifier,
+    BCPNNHyperParameters,
+    InputSpec,
+    Network,
+    SGDClassifier,
+    StructuralPlasticityLayer,
+    TrainingSchedule,
+)
+
+__all__ = [
+    "__version__",
+    "backend",
+    "baselines",
+    "core",
+    "datasets",
+    "experiments",
+    "hyperopt",
+    "instrumentation",
+    "metrics",
+    "visualization",
+    "BCPNNClassifier",
+    "BCPNNHyperParameters",
+    "InputSpec",
+    "Network",
+    "SGDClassifier",
+    "StructuralPlasticityLayer",
+    "TrainingSchedule",
+]

@@ -1,0 +1,117 @@
+"""Backend interface.
+
+A backend supplies the numerical primitives of the BCPNN training loop.  The
+split mirrors StreamBrain: layers own state (traces, masks, weights) and the
+backend owns *how* the arithmetic is executed.  Every backend must be
+numerically equivalent to :class:`repro.backend.numpy_backend.NumpyBackend`
+up to its declared precision — a property the test-suite enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import BackendError
+
+__all__ = ["Backend", "KernelStatistics"]
+
+
+@dataclass
+class KernelStatistics:
+    """Operation counters maintained by backends (used by cost reports)."""
+
+    forward_calls: int = 0
+    statistics_calls: int = 0
+    weight_updates: int = 0
+    elements_processed: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def merge(self, other: "KernelStatistics") -> "KernelStatistics":
+        merged = KernelStatistics(
+            forward_calls=self.forward_calls + other.forward_calls,
+            statistics_calls=self.statistics_calls + other.statistics_calls,
+            weight_updates=self.weight_updates + other.weight_updates,
+            elements_processed=self.elements_processed + other.elements_processed,
+            extra=dict(self.extra),
+        )
+        for key, value in other.extra.items():
+            merged.extra[key] = merged.extra.get(key, 0.0) + value
+        return merged
+
+
+class Backend:
+    """Abstract compute backend.
+
+    Subclasses must implement :meth:`forward`, :meth:`batch_statistics` and
+    :meth:`traces_to_weights`.  ``supports_parallel``/``precision`` are
+    advisory metadata used by reports and tests.
+    """
+
+    #: Human-readable backend name (used by the registry and reports).
+    name: str = "abstract"
+    #: Working precision of the backend ("float64", "float32", "float16", "posit16").
+    precision: str = "float64"
+    #: Whether the backend distributes work over multiple workers.
+    supports_parallel: bool = False
+
+    def __init__(self) -> None:
+        self.stats = KernelStatistics()
+
+    # ------------------------------------------------------------ kernels
+    def forward(
+        self,
+        x: np.ndarray,
+        weights: np.ndarray,
+        bias: np.ndarray,
+        mask_expanded: np.ndarray,
+        hidden_sizes: Sequence[int],
+        bias_gain: float = 1.0,
+    ) -> np.ndarray:
+        """Masked support GEMM followed by per-hypercolumn softmax."""
+        raise NotImplementedError
+
+    def batch_statistics(
+        self, x: np.ndarray, a: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batch-mean marginals and co-activation matrix for the trace update."""
+        raise NotImplementedError
+
+    def traces_to_weights(
+        self,
+        p_i: np.ndarray,
+        p_j: np.ndarray,
+        p_ij: np.ndarray,
+        trace_floor: float = 1e-12,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Convert probability traces into weights and biases."""
+        raise NotImplementedError
+
+    # --------------------------------------------------------------- misc
+    def prepare_array(self, array: np.ndarray) -> np.ndarray:
+        """Hook for backends that require a particular dtype/layout."""
+        return np.ascontiguousarray(array)
+
+    def synchronize(self) -> None:
+        """Wait for asynchronous work (no-op for synchronous backends)."""
+
+    def close(self) -> None:
+        """Release worker pools or device handles."""
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r}, precision={self.precision!r})"
+
+    # ------------------------------------------------------------- helpers
+    def _require_2d(self, array: np.ndarray, name: str) -> np.ndarray:
+        array = np.asarray(array)
+        if array.ndim != 2:
+            raise BackendError(f"{self.name} backend: {name} must be 2-D, got {array.shape}")
+        return array

@@ -1,0 +1,245 @@
+"""Simulated-MPI data-parallel training.
+
+StreamBrain's MPI backend exploits the fact that BCPNN learning is *local*:
+each rank accumulates probability statistics on its own shard of the batch
+and the shards are combined with a single allreduce — there is no gradient
+to backpropagate across ranks (Section II-B).  mpi4py is not available in
+this environment, so this module provides:
+
+* :class:`LocalComm` — an in-process communicator implementing the handful
+  of collectives data-parallel BCPNN needs (``allreduce``, ``allgather``,
+  ``bcast``, ``barrier``) over per-rank NumPy arrays.  It is deterministic
+  and runs everywhere, which also makes the reduction algebra unit-testable.
+* :class:`DistributedTrainer` — shards every global batch over the ranks,
+  reduces the per-rank sufficient statistics exactly, and applies a single
+  trace update.  Because the reduction is exact, training with ``R`` ranks
+  produces bit-for-bit (up to floating point summation order) the same
+  traces as the serial run — the invariance test in
+  ``tests/backend/test_distributed.py`` checks precisely this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import BackendError, DataError
+from repro.utils.arrays import split_into_chunks
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+__all__ = ["LocalComm", "DistributedTrainer", "split_ranks", "ShardStatistics"]
+
+_REDUCTIONS = {
+    "sum": lambda arrays: np.sum(arrays, axis=0),
+    "mean": lambda arrays: np.mean(arrays, axis=0),
+    "max": lambda arrays: np.max(arrays, axis=0),
+    "min": lambda arrays: np.min(arrays, axis=0),
+}
+
+
+def split_ranks(n_samples: int, n_ranks: int) -> List[Tuple[int, int]]:
+    """Static block partitioning of ``n_samples`` rows over ``n_ranks``."""
+    if n_ranks <= 0:
+        raise BackendError("n_ranks must be positive")
+    return split_into_chunks(n_samples, n_ranks)
+
+
+class LocalComm:
+    """In-process stand-in for an MPI communicator.
+
+    The collectives operate on *lists of per-rank arrays* (index = rank).
+    They return what every rank would observe after the MPI call, so code
+    written against this interface maps one-to-one onto mpi4py calls.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise BackendError("communicator size must be positive")
+        self.size = int(size)
+        self.collective_calls: Dict[str, int] = {"allreduce": 0, "allgather": 0, "bcast": 0, "barrier": 0}
+        self.bytes_communicated = 0
+
+    # ----------------------------------------------------------- validation
+    def _check_contributions(self, contributions: Sequence[np.ndarray], op_name: str) -> List[np.ndarray]:
+        if len(contributions) != self.size:
+            raise BackendError(
+                f"{op_name} expected {self.size} per-rank contributions, got {len(contributions)}"
+            )
+        arrays = [np.asarray(c, dtype=np.float64) for c in contributions]
+        shapes = {a.shape for a in arrays}
+        if len(shapes) != 1:
+            raise BackendError(f"{op_name} contributions have mismatched shapes: {shapes}")
+        return arrays
+
+    # ----------------------------------------------------------- collectives
+    def allreduce(self, contributions: Sequence[np.ndarray], op: str = "sum") -> np.ndarray:
+        """Combine per-rank arrays; every rank receives the same result."""
+        if op not in _REDUCTIONS:
+            raise BackendError(f"unknown reduction '{op}'; available: {sorted(_REDUCTIONS)}")
+        arrays = self._check_contributions(contributions, "allreduce")
+        self.collective_calls["allreduce"] += 1
+        self.bytes_communicated += sum(a.nbytes for a in arrays)
+        return _REDUCTIONS[op](arrays)
+
+    def allgather(self, contributions: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Every rank receives the list of all contributions."""
+        arrays = self._check_contributions(contributions, "allgather")
+        self.collective_calls["allgather"] += 1
+        self.bytes_communicated += sum(a.nbytes for a in arrays) * self.size
+        return [a.copy() for a in arrays]
+
+    def bcast(self, value: np.ndarray, root: int = 0) -> List[np.ndarray]:
+        """Broadcast the root's array to all ranks (returned as a per-rank list)."""
+        if not 0 <= root < self.size:
+            raise BackendError(f"root {root} out of range for size {self.size}")
+        arr = np.asarray(value, dtype=np.float64)
+        self.collective_calls["bcast"] += 1
+        self.bytes_communicated += arr.nbytes * (self.size - 1)
+        return [arr.copy() for _ in range(self.size)]
+
+    def barrier(self) -> None:
+        """No-op synchronisation point (kept for call-site parity with MPI)."""
+        self.collective_calls["barrier"] += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"LocalComm(size={self.size})"
+
+
+@dataclass
+class ShardStatistics:
+    """Per-rank sufficient statistics of one global batch shard."""
+
+    sum_x: np.ndarray
+    sum_a: np.ndarray
+    sum_outer: np.ndarray
+    count: int
+
+    @classmethod
+    def empty(cls, n_input: int, n_hidden: int) -> "ShardStatistics":
+        return cls(
+            sum_x=np.zeros(n_input),
+            sum_a=np.zeros(n_hidden),
+            sum_outer=np.zeros((n_input, n_hidden)),
+            count=0,
+        )
+
+
+@dataclass
+class DistributedEpochReport:
+    """Bookkeeping returned by :meth:`DistributedTrainer.train_layer`."""
+
+    epochs: int
+    global_batches: int
+    ranks: int
+    samples: int
+    allreduce_calls: int
+    bytes_communicated: int
+    swaps: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+class DistributedTrainer:
+    """Data-parallel trainer for the unsupervised BCPNN hidden layer.
+
+    The trainer is duck-typed against :class:`repro.core.layers.StructuralPlasticityLayer`:
+    it requires ``layer.forward_raw``, ``layer.traces``, ``layer.refresh_weights``,
+    ``layer.end_epoch`` and ``layer.hyperparams``.
+
+    Parameters
+    ----------
+    comm:
+        A :class:`LocalComm` (or API-compatible communicator wrapper).
+    """
+
+    def __init__(self, comm: LocalComm) -> None:
+        if not isinstance(comm, LocalComm):
+            raise BackendError("DistributedTrainer requires a LocalComm instance")
+        self.comm = comm
+
+    # ------------------------------------------------------------ training
+    def train_layer(
+        self,
+        layer,
+        x: np.ndarray,
+        epochs: int,
+        batch_size: int,
+        rng: np.random.Generator,
+        shuffle: bool = True,
+        on_epoch_end: Optional[Callable[[int, Dict[str, float]], None]] = None,
+    ) -> DistributedEpochReport:
+        """Train ``layer`` on ``x`` with rank-sharded batches.
+
+        Every global batch is partitioned into ``comm.size`` shards; each
+        rank computes its shard's sufficient statistics with the layer's own
+        backend; the statistics are allreduce-summed and applied as one trace
+        update — numerically identical to serial training over the same
+        global batches.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise DataError("x must be a 2-D activation matrix")
+        if epochs < 0:
+            raise DataError("epochs must be non-negative")
+        if batch_size <= 0:
+            raise DataError("batch_size must be positive")
+        n = x.shape[0]
+        taupdt = layer.hyperparams.taupdt
+        total_batches = 0
+        total_swaps = 0
+        for epoch in range(epochs):
+            order = rng.permutation(n) if shuffle else np.arange(n)
+            for start in range(0, n, batch_size):
+                batch_idx = order[start : start + batch_size]
+                batch = x[batch_idx]
+                stats = self._sharded_statistics(layer, batch)
+                layer.traces.apply_statistics(stats[0], stats[1], stats[2], taupdt)
+                layer.refresh_weights()
+                total_batches += 1
+            swaps = layer.end_epoch(epoch)
+            total_swaps += swaps
+            if on_epoch_end is not None:
+                on_epoch_end(epoch, {"swaps": float(swaps), "batches": float(total_batches)})
+        return DistributedEpochReport(
+            epochs=epochs,
+            global_batches=total_batches,
+            ranks=self.comm.size,
+            samples=n,
+            allreduce_calls=self.comm.collective_calls["allreduce"],
+            bytes_communicated=self.comm.bytes_communicated,
+            swaps=total_swaps,
+        )
+
+    # ------------------------------------------------------------ internals
+    def _sharded_statistics(self, layer, batch: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Compute global batch statistics by reducing per-rank shard sums."""
+        shards = split_ranks(batch.shape[0], self.comm.size)
+        sum_x_parts: List[np.ndarray] = []
+        sum_a_parts: List[np.ndarray] = []
+        sum_outer_parts: List[np.ndarray] = []
+        counts: List[np.ndarray] = []
+        n_input = layer.traces.n_input
+        n_hidden = layer.traces.n_hidden
+        for lo, hi in shards:
+            if hi <= lo:
+                sum_x_parts.append(np.zeros(n_input))
+                sum_a_parts.append(np.zeros(n_hidden))
+                sum_outer_parts.append(np.zeros((n_input, n_hidden)))
+                counts.append(np.zeros(1))
+                continue
+            shard = batch[lo:hi]
+            activations = layer.forward_raw(shard)
+            sum_x_parts.append(shard.sum(axis=0))
+            sum_a_parts.append(activations.sum(axis=0))
+            sum_outer_parts.append(shard.T @ activations)
+            counts.append(np.asarray([float(hi - lo)]))
+        total = float(self.comm.allreduce(counts, op="sum")[0])
+        if total <= 0:
+            raise DataError("cannot train on an empty batch")
+        mean_x = self.comm.allreduce(sum_x_parts, op="sum") / total
+        mean_a = self.comm.allreduce(sum_a_parts, op="sum") / total
+        mean_outer = self.comm.allreduce(sum_outer_parts, op="sum") / total
+        return mean_x, mean_a, mean_outer

@@ -1,0 +1,168 @@
+"""Shared-memory batch-parallel backend.
+
+Stands in for StreamBrain's hand-coded OpenMP/SIMD CPU backend.  The batch
+dimension is split into chunks that are processed concurrently by a thread
+pool: NumPy releases the GIL inside BLAS matmuls and large ufunc loops, so
+the chunks genuinely execute in parallel on multicore machines while sharing
+the weight/trace arrays with zero copies (the same shared-memory model the
+OpenMP backend uses).
+
+The backend is *numerically identical* to the NumPy reference: chunked
+softmax is independent per row, and the co-activation statistics are
+combined as exact weighted sums of per-chunk sums.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backend.base import Backend
+from repro.core import kernels
+from repro.exceptions import BackendError
+from repro.utils.arrays import split_into_chunks
+
+__all__ = ["ParallelBackend", "default_worker_count"]
+
+
+def default_worker_count() -> int:
+    """Worker count default: all cores, overridable via ``REPRO_NUM_WORKERS``."""
+    env = os.environ.get("REPRO_NUM_WORKERS")
+    if env:
+        try:
+            value = int(env)
+        except ValueError as exc:
+            raise BackendError(f"REPRO_NUM_WORKERS must be an integer, got {env!r}") from exc
+        if value <= 0:
+            raise BackendError("REPRO_NUM_WORKERS must be positive")
+        return value
+    return max(1, os.cpu_count() or 1)
+
+
+class ParallelBackend(Backend):
+    """Thread-parallel backend chunking work over the batch dimension.
+
+    Parameters
+    ----------
+    n_workers:
+        Number of worker threads (default: CPU count or ``REPRO_NUM_WORKERS``).
+    min_chunk:
+        Minimum rows per chunk; small batches fall back to single-threaded
+        execution to avoid pool overhead.
+    """
+
+    name = "parallel"
+    precision = "float64"
+    supports_parallel = True
+
+    def __init__(self, n_workers: Optional[int] = None, min_chunk: int = 64) -> None:
+        super().__init__()
+        self.n_workers = int(n_workers) if n_workers is not None else default_worker_count()
+        if self.n_workers <= 0:
+            raise BackendError("n_workers must be positive")
+        if min_chunk <= 0:
+            raise BackendError("min_chunk must be positive")
+        self.min_chunk = int(min_chunk)
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    # ----------------------------------------------------------- pool mgmt
+    @property
+    def pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.n_workers, thread_name_prefix="repro-backend"
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _chunks(self, n_rows: int) -> List[Tuple[int, int]]:
+        if n_rows < 2 * self.min_chunk or self.n_workers == 1:
+            return [(0, n_rows)]
+        n_chunks = min(self.n_workers, max(1, n_rows // self.min_chunk))
+        return [c for c in split_into_chunks(n_rows, n_chunks) if c[1] > c[0]]
+
+    # ------------------------------------------------------------- kernels
+    def forward(
+        self,
+        x: np.ndarray,
+        weights: np.ndarray,
+        bias: np.ndarray,
+        mask_expanded: np.ndarray,
+        hidden_sizes: Sequence[int],
+        bias_gain: float = 1.0,
+    ) -> np.ndarray:
+        x = self._require_2d(x, "x")
+        chunks = self._chunks(x.shape[0])
+        self.stats.forward_calls += 1
+        self.stats.elements_processed += int(x.shape[0]) * int(weights.shape[1])
+        if len(chunks) == 1:
+            support = kernels.compute_support(x, weights, bias, mask_expanded, bias_gain)
+            return kernels.hidden_activations(support, hidden_sizes)
+        # Pre-mask once; workers share the read-only result.
+        effective = weights * mask_expanded if mask_expanded is not None else weights
+        out = np.empty((x.shape[0], weights.shape[1]), dtype=np.float64)
+
+        def run(chunk: Tuple[int, int]) -> None:
+            lo, hi = chunk
+            support = bias_gain * bias[None, :] + x[lo:hi] @ effective
+            out[lo:hi] = kernels.hidden_activations(support, hidden_sizes)
+
+        list(self.pool.map(run, chunks))
+        return out
+
+    def batch_statistics(
+        self, x: np.ndarray, a: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        x = self._require_2d(x, "x")
+        a = self._require_2d(a, "a")
+        if x.shape[0] != a.shape[0]:
+            raise BackendError("x and a must have the same number of rows")
+        chunks = self._chunks(x.shape[0])
+        self.stats.statistics_calls += 1
+        self.stats.elements_processed += int(x.shape[1]) * int(a.shape[1])
+        if len(chunks) == 1:
+            return kernels.batch_outer_product(x, a)
+
+        def run(chunk: Tuple[int, int]):
+            lo, hi = chunk
+            xs = x[lo:hi]
+            as_ = a[lo:hi]
+            return xs.sum(axis=0), as_.sum(axis=0), xs.T @ as_, hi - lo
+
+        partials = list(self.pool.map(run, chunks))
+        total = float(sum(p[3] for p in partials))
+        sum_x = np.sum([p[0] for p in partials], axis=0)
+        sum_a = np.sum([p[1] for p in partials], axis=0)
+        sum_outer = np.sum([p[2] for p in partials], axis=0)
+        return sum_x / total, sum_a / total, sum_outer / total
+
+    def traces_to_weights(
+        self,
+        p_i: np.ndarray,
+        p_j: np.ndarray,
+        p_ij: np.ndarray,
+        trace_floor: float = 1e-12,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        self.stats.weight_updates += 1
+        chunks = self._chunks(p_ij.shape[0])
+        if len(chunks) == 1:
+            return kernels.traces_to_weights(p_i, p_j, p_ij, trace_floor)
+        weights = np.empty_like(np.asarray(p_ij, dtype=np.float64))
+        log_pj = np.log(np.maximum(np.asarray(p_j, dtype=np.float64), trace_floor))
+
+        def run(chunk: Tuple[int, int]) -> None:
+            lo, hi = chunk
+            w_chunk, _ = kernels.traces_to_weights(
+                np.asarray(p_i[lo:hi]), p_j, np.asarray(p_ij[lo:hi]), trace_floor
+            )
+            weights[lo:hi] = w_chunk
+
+        list(self.pool.map(run, chunks))
+        return weights, log_pj

@@ -1,0 +1,70 @@
+"""Backend registry: obtain compute backends by name.
+
+Mirrors StreamBrain's backend selection (``numpy``, ``openmp``, ``mpi``,
+``cuda``, ``fpga``); the names here map to the simulated equivalents
+available in this environment (see the package docstring).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Union
+
+from repro.backend.base import Backend
+from repro.backend.lowprec import LowPrecisionBackend
+from repro.backend.numpy_backend import NumpyBackend
+from repro.backend.parallel import ParallelBackend
+from repro.exceptions import BackendError
+
+__all__ = ["register_backend", "get_backend", "list_backends"]
+
+BackendFactory = Callable[..., Backend]
+
+_REGISTRY: Dict[str, BackendFactory] = {
+    "numpy": NumpyBackend,
+    "parallel": ParallelBackend,
+    # Aliases matching the StreamBrain backend names they stand in for.
+    "openmp": ParallelBackend,
+    "float32": lambda **kw: LowPrecisionBackend("float32"),
+    "float16": lambda **kw: LowPrecisionBackend("float16"),
+    "posit16": lambda **kw: LowPrecisionBackend("posit16"),
+    "fpga": lambda **kw: LowPrecisionBackend("posit16"),
+}
+
+
+def register_backend(name: str, factory: BackendFactory, overwrite: bool = False) -> None:
+    """Register a backend factory under ``name``."""
+    if not isinstance(name, str) or not name:
+        raise BackendError("backend name must be a non-empty string")
+    if not callable(factory):
+        raise BackendError("backend factory must be callable")
+    key = name.lower()
+    if key in _REGISTRY and not overwrite:
+        raise BackendError(f"backend '{name}' is already registered")
+    _REGISTRY[key] = factory
+
+
+def get_backend(backend: Union[str, Backend, None] = None, **kwargs) -> Backend:
+    """Resolve a backend instance from a name, an instance, or ``None``.
+
+    ``None`` returns the default :class:`NumpyBackend`.  Passing an existing
+    :class:`Backend` instance returns it unchanged (so layers can share one).
+    """
+    if backend is None:
+        return NumpyBackend()
+    if isinstance(backend, Backend):
+        return backend
+    if isinstance(backend, str):
+        key = backend.lower()
+        if key not in _REGISTRY:
+            raise BackendError(
+                f"unknown backend '{backend}'; available: {sorted(_REGISTRY)}"
+            )
+        return _REGISTRY[key](**kwargs)
+    raise BackendError(
+        f"backend must be a name, a Backend instance or None, got {type(backend).__name__}"
+    )
+
+
+def list_backends() -> List[str]:
+    """Names of all registered backends."""
+    return sorted(_REGISTRY)

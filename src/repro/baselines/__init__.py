@@ -1,0 +1,27 @@
+"""Baseline classifiers for the related-work comparison (Section VI).
+
+The paper situates BCPNN's 75.5-76.4% AUC against the methods evaluated on
+the same dataset by Baldi et al. (2014): boosted decision trees, shallow
+neural networks (~81.6% AUC) and deep neural networks (~88% AUC).  To
+regenerate that comparison on the same split, from-scratch NumPy
+implementations of those baselines live here.
+"""
+
+from repro.baselines.base import BaselineClassifier
+from repro.baselines.logistic import LogisticRegressionBaseline
+from repro.baselines.mlp import MLPBaseline, relu, relu_grad, tanh_act, tanh_grad
+from repro.baselines.trees import DecisionTreeBaseline, DecisionStump
+from repro.baselines.boosting import GradientBoostingBaseline
+
+__all__ = [
+    "BaselineClassifier",
+    "LogisticRegressionBaseline",
+    "MLPBaseline",
+    "DecisionTreeBaseline",
+    "DecisionStump",
+    "GradientBoostingBaseline",
+    "relu",
+    "relu_grad",
+    "tanh_act",
+    "tanh_grad",
+]

@@ -1,0 +1,82 @@
+"""Multinomial logistic regression trained by mini-batch SGD."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import BaselineClassifier
+from repro.exceptions import ConfigurationError
+from repro.utils.arrays import one_hot, row_softmax
+from repro.utils.rng import as_rng
+
+__all__ = ["LogisticRegressionBaseline"]
+
+
+class LogisticRegressionBaseline(BaselineClassifier):
+    """Linear softmax classifier (the weakest sensible baseline).
+
+    Parameters
+    ----------
+    epochs, batch_size, learning_rate, momentum, weight_decay:
+        Standard mini-batch SGD hyper-parameters.
+    seed:
+        RNG for weight initialisation and shuffling.
+    """
+
+    name = "logistic-regression"
+
+    def __init__(
+        self,
+        epochs: int = 30,
+        batch_size: int = 128,
+        learning_rate: float = 0.1,
+        momentum: float = 0.9,
+        weight_decay: float = 1e-4,
+        seed=None,
+    ) -> None:
+        super().__init__()
+        if epochs <= 0 or batch_size <= 0:
+            raise ConfigurationError("epochs and batch_size must be positive")
+        if learning_rate <= 0:
+            raise ConfigurationError("learning_rate must be positive")
+        if not 0 <= momentum < 1:
+            raise ConfigurationError("momentum must be in [0, 1)")
+        if weight_decay < 0:
+            raise ConfigurationError("weight_decay must be non-negative")
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self.learning_rate = float(learning_rate)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._rng = as_rng(seed)
+        self.weights_: Optional[np.ndarray] = None
+        self.bias_: Optional[np.ndarray] = None
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        n, d = X.shape
+        k = self.n_classes_
+        rng = self._rng
+        self.weights_ = rng.normal(0.0, 0.01, size=(d, k))
+        self.bias_ = np.zeros(k)
+        vel_w = np.zeros_like(self.weights_)
+        vel_b = np.zeros_like(self.bias_)
+        targets = one_hot(y, k)
+        for epoch in range(self.epochs):
+            order = rng.permutation(n)
+            lr = self.learning_rate / (1.0 + 0.05 * epoch)
+            for start in range(0, n, self.batch_size):
+                idx = order[start : start + self.batch_size]
+                xb, tb = X[idx], targets[idx]
+                probs = row_softmax(xb @ self.weights_ + self.bias_)
+                grad_logits = (probs - tb) / xb.shape[0]
+                grad_w = xb.T @ grad_logits + self.weight_decay * self.weights_
+                grad_b = grad_logits.sum(axis=0)
+                vel_w = self.momentum * vel_w - lr * grad_w
+                vel_b = self.momentum * vel_b - lr * grad_b
+                self.weights_ += vel_w
+                self.bias_ += vel_b
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return row_softmax(X @ self.weights_ + self.bias_)

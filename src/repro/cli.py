@@ -1,0 +1,203 @@
+"""Command-line interface.
+
+Three entry points are installed (see ``pyproject.toml``):
+
+* ``repro-train``      — train one Higgs classifier and print accuracy/AUC.
+* ``repro-sweep``      — run a paper experiment sweep (capacity, receptive
+                         field, related work, precision, distributed).
+* ``repro-benchmark``  — print the analytical BCPNN cost model and time the
+                         compute backends on a representative kernel.
+
+All commands accept ``--json PATH`` to additionally write the results as a
+JSON report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.backend import get_backend, list_backends
+from repro.core import kernels
+from repro.experiments import (
+    HiggsExperimentConfig,
+    get_scale,
+    prepare_higgs_data,
+    run_capacity_sweep,
+    run_distributed_equivalence,
+    run_precision_ablation,
+    run_receptive_field_sweep,
+    run_related_work_comparison,
+    train_and_evaluate,
+)
+from repro.instrumentation import BCPNNCostModel, RepeatTimer, format_table
+from repro.instrumentation.reports import dump_json_report
+from repro.utils.logging import enable_console_logging
+
+__all__ = ["main_train", "main_sweep", "main_benchmark"]
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--scale", choices=["small", "full"], default=None, help="experiment scale")
+    parser.add_argument("--json", type=str, default=None, help="write results to this JSON file")
+    parser.add_argument("--quiet", action="store_true", help="suppress progress logging")
+
+
+def _finish(result: Dict[str, object], args: argparse.Namespace) -> int:
+    if args.json:
+        sanitised = {k: v for k, v in result.items() if k not in ("network", "masks", "mask_evolution")}
+        dump_json_report(sanitised, args.json)
+    return 0
+
+
+# ----------------------------------------------------------------- training
+def main_train(argv: Optional[List[str]] = None) -> int:
+    """Train a single Higgs classifier from the command line."""
+    parser = argparse.ArgumentParser(
+        prog="repro-train", description="Train a BCPNN Higgs classifier and report accuracy/AUC."
+    )
+    parser.add_argument("--hcus", type=int, default=1, help="number of hidden hypercolumns")
+    parser.add_argument("--mcus", type=int, default=150, help="minicolumns per hypercolumn")
+    parser.add_argument("--density", type=float, default=0.4, help="receptive-field density")
+    parser.add_argument("--head", choices=["sgd", "bcpnn"], default="sgd", help="classification head")
+    parser.add_argument("--events", type=int, default=None, help="number of events (default: scale)")
+    parser.add_argument("--epochs", type=int, default=None, help="hidden-layer epochs")
+    parser.add_argument("--backend", type=str, default="numpy", help=f"backend ({', '.join(list_backends())})")
+    parser.add_argument("--higgs-path", type=str, default=None, help="path to a real HIGGS.csv[.gz]")
+    _add_common(parser)
+    args = parser.parse_args(argv)
+    if not args.quiet:
+        enable_console_logging()
+
+    scale = get_scale(args.scale)
+    config = HiggsExperimentConfig(
+        n_hypercolumns=args.hcus,
+        n_minicolumns=args.mcus,
+        density=args.density,
+        head=args.head,
+        n_events=args.events or scale.n_events,
+        hidden_epochs=args.epochs or scale.hidden_epochs,
+        classifier_epochs=scale.classifier_epochs,
+        batch_size=scale.batch_size,
+        backend=args.backend,
+        seed=args.seed,
+    )
+    data = prepare_higgs_data(
+        n_events=config.n_events, n_bins=config.n_bins, seed=args.seed, path=args.higgs_path
+    )
+    result = train_and_evaluate(config, data=data)
+    print(
+        f"accuracy={result['accuracy']:.4f}  auc={result['auc']:.4f}  "
+        f"log_loss={result['log_loss']:.4f}  train_time={result['train_seconds']:.1f}s"
+    )
+    return _finish(result, args)
+
+
+# -------------------------------------------------------------------- sweeps
+_SWEEPS = {
+    "capacity": run_capacity_sweep,
+    "receptive-field": run_receptive_field_sweep,
+    "related-work": run_related_work_comparison,
+    "precision": run_precision_ablation,
+    "distributed": run_distributed_equivalence,
+}
+
+
+def main_sweep(argv: Optional[List[str]] = None) -> int:
+    """Run one of the paper's experiment sweeps."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sweep", description="Run a paper experiment sweep and print its table."
+    )
+    parser.add_argument("experiment", choices=sorted(_SWEEPS), help="which experiment to run")
+    _add_common(parser)
+    args = parser.parse_args(argv)
+    if not args.quiet:
+        enable_console_logging()
+    scale = get_scale(args.scale)
+    runner = _SWEEPS[args.experiment]
+    if args.experiment == "distributed":
+        result = runner(scale=scale, seed=args.seed)
+    else:
+        result = runner(scale=scale, seed=args.seed)
+    print(result["table"])
+    return _finish(result, args)
+
+
+# ---------------------------------------------------------------- benchmark
+def main_benchmark(argv: Optional[List[str]] = None) -> int:
+    """Print the analytical cost model and time the available backends."""
+    parser = argparse.ArgumentParser(
+        prog="repro-benchmark",
+        description="Analytical BCPNN cost model plus backend kernel timings.",
+    )
+    parser.add_argument("--batch", type=int, default=256, help="batch size")
+    parser.add_argument("--inputs", type=int, default=280, help="input units (28 features x 10 bins)")
+    parser.add_argument("--mcus", type=int, default=300, help="minicolumns per hypercolumn")
+    parser.add_argument("--hcus", type=int, default=4, help="hidden hypercolumns")
+    parser.add_argument("--repeats", type=int, default=5, help="timing repetitions")
+    _add_common(parser)
+    args = parser.parse_args(argv)
+    if not args.quiet:
+        enable_console_logging()
+
+    model = BCPNNCostModel(
+        n_input_units=args.inputs,
+        n_hypercolumns=args.hcus,
+        n_minicolumns=args.mcus,
+        batch_size=args.batch,
+    )
+    cost = model.batch_cost()
+    print("Analytical per-batch cost (Section II-B):")
+    print(format_table([cost.as_dict()], precision=1))
+
+    rng = np.random.default_rng(args.seed)
+    n_hidden = args.hcus * args.mcus
+    x = rng.random((args.batch, args.inputs))
+    weights = rng.normal(size=(args.inputs, n_hidden))
+    bias = rng.normal(size=n_hidden)
+    mask = np.ones((args.inputs, n_hidden))
+    hidden_sizes = [args.mcus] * args.hcus
+
+    rows = []
+    for name in ("numpy", "parallel", "float32", "float16"):
+        backend = get_backend(name)
+        timer = RepeatTimer(repeats=args.repeats, warmup=1)
+        stats = timer.measure(lambda b=backend: b.forward(x, weights, bias, mask, hidden_sizes))
+        rows.append(
+            {
+                "backend": name,
+                "mean_seconds": stats.mean,
+                "std_seconds": stats.std,
+                "gflops_per_s": cost.support_gemm_flops / max(stats.mean, 1e-12) / 1e9,
+            }
+        )
+        backend.close()
+    table = format_table(rows, precision=5, title="Forward-kernel timing by backend")
+    print(table)
+    result = {"cost_model": cost.as_dict(), "backend_timings": rows, "table": table}
+    return _finish(result, args)
+
+
+def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover - convenience dispatcher
+    """Dispatch ``python -m repro.cli <train|sweep|benchmark> ...``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        print("usage: python -m repro.cli {train,sweep,benchmark} ...", file=sys.stderr)
+        return 2
+    command, rest = argv[0], argv[1:]
+    if command == "train":
+        return main_train(rest)
+    if command == "sweep":
+        return main_sweep(rest)
+    if command == "benchmark":
+        return main_benchmark(rest)
+    print(f"unknown command {command!r}", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,318 @@
+"""The Keras-like ``Network`` front end.
+
+StreamBrain's interface "is heavily inspired by Keras, where the user
+constructs the network layer-by-layer after finally calling the training
+function" (Section III-A).  The :class:`Network` here follows the same
+shape: ``add`` hidden layers and one classification head, then ``fit``.
+
+Training proceeds exactly as the paper describes: the hidden layer(s) learn
+*unsupervised* with the local BCPNN rule (including structural plasticity at
+epoch boundaries), the classification head is then trained *supervised* on
+the frozen hidden representation — either with the BCPNN rule or with SGD
+(the hybrid configuration).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.heads import BCPNNClassifier, SGDClassifier
+from repro.core.hyperparams import TrainingSchedule
+from repro.core.layers import InputSpec, StructuralPlasticityLayer
+from repro.core.training import CallbackList, EpochResult, History, TrainingCallback
+from repro.exceptions import ConfigurationError, DataError, NotFittedError
+from repro.metrics.classification import accuracy as accuracy_metric
+from repro.metrics.classification import log_loss as log_loss_metric
+from repro.metrics.roc import roc_auc
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_labels
+
+__all__ = ["Network"]
+
+HeadLayer = Union[BCPNNClassifier, SGDClassifier]
+
+
+class Network:
+    """A feed-forward stack of BCPNN layers with a classification head.
+
+    Parameters
+    ----------
+    seed:
+        Seed for batch shuffling (layer seeds are set on the layers).
+    name:
+        Identifier used in logs and serialised files.
+    """
+
+    def __init__(self, seed=None, name: str = "bcpnn-network") -> None:
+        self._rng = as_rng(seed)
+        self.name = name
+        self.hidden_layers: List[StructuralPlasticityLayer] = []
+        self.head: Optional[HeadLayer] = None
+        self.input_spec: Optional[InputSpec] = None
+        self.history = History()
+        self._fitted = False
+
+    # ------------------------------------------------------------ assembly
+    def add(self, layer) -> "Network":
+        """Append a hidden layer or set the classification head."""
+        if isinstance(layer, StructuralPlasticityLayer):
+            if self.head is not None:
+                raise ConfigurationError("cannot add hidden layers after the classification head")
+            self.hidden_layers.append(layer)
+        elif isinstance(layer, (BCPNNClassifier, SGDClassifier)):
+            if self.head is not None:
+                raise ConfigurationError("the network already has a classification head")
+            self.head = layer
+        else:
+            raise ConfigurationError(
+                f"unsupported layer type {type(layer).__name__}; expected "
+                "StructuralPlasticityLayer, BCPNNClassifier or SGDClassifier"
+            )
+        return self
+
+    @property
+    def layers(self) -> List[object]:
+        stack: List[object] = list(self.hidden_layers)
+        if self.head is not None:
+            stack.append(self.head)
+        return stack
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    # ------------------------------------------------------------ building
+    def build(self, input_spec: InputSpec) -> "Network":
+        """Build every layer for the given input layout."""
+        if self.head is None:
+            raise ConfigurationError("the network needs a classification head before building")
+        self.input_spec = input_spec
+        spec = input_spec
+        for layer in self.hidden_layers:
+            layer.build(spec)
+            spec = layer.output_spec
+        self.head.build(spec)
+        return self
+
+    def _resolve_input_spec(self, x: np.ndarray, input_spec) -> InputSpec:
+        if input_spec is not None:
+            if isinstance(input_spec, InputSpec):
+                return input_spec
+            return InputSpec(list(input_spec))
+        if self.input_spec is not None:
+            return self.input_spec
+        raise ConfigurationError(
+            "an InputSpec (hypercolumn layout of the input) is required; pass "
+            "input_spec=InputSpec.from_encoder(encoder) or a list of block sizes"
+        )
+
+    # ------------------------------------------------------------- training
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        input_spec: Union[InputSpec, Sequence[int], None] = None,
+        schedule: Optional[TrainingSchedule] = None,
+        callbacks: Optional[List[TrainingCallback]] = None,
+        verbose: bool = False,
+    ) -> History:
+        """Train the network; returns the training :class:`History`."""
+        schedule = schedule or TrainingSchedule()
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise DataError("x must be a 2-D matrix")
+        y = check_labels(y, name="y")
+        if y.shape[0] != x.shape[0]:
+            raise DataError("x and y are misaligned")
+        if self.head is None:
+            raise ConfigurationError("add a classification head before calling fit()")
+        spec = self._resolve_input_spec(x, input_spec)
+        self.build(spec)
+
+        callback_list = CallbackList(callbacks)
+        self.history = History()
+        self.history.start()
+        callback_list.on_train_begin(self)
+
+        # ------------------------------------------- phase 1: hidden layers
+        representation = x
+        for layer in self.hidden_layers:
+            self._train_hidden_layer(layer, representation, schedule, callback_list, verbose)
+            representation = layer.forward(representation)
+
+        # -------------------------------------------- phase 2: classification
+        self._train_head(representation, y, schedule, callback_list, verbose)
+
+        self.history.finish()
+        callback_list.on_train_end(self)
+        self._fitted = True
+        return self.history
+
+    def _iter_batches(self, n: int, batch_size: int, shuffle: bool):
+        order = self._rng.permutation(n) if shuffle else np.arange(n)
+        for start in range(0, n, batch_size):
+            yield order[start : start + batch_size]
+
+    def _train_hidden_layer(
+        self,
+        layer: StructuralPlasticityLayer,
+        x: np.ndarray,
+        schedule: TrainingSchedule,
+        callbacks: CallbackList,
+        verbose: bool,
+    ) -> None:
+        for epoch in range(schedule.hidden_epochs):
+            start = time.perf_counter()
+            batch_entropy = []
+            for batch_idx in self._iter_batches(x.shape[0], schedule.batch_size, schedule.shuffle):
+                activations = layer.train_batch(x[batch_idx])
+                # Mean per-HCU entropy of the activations: a cheap progress proxy
+                # for unsupervised training (lower = more specialised MCUs).
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    ent = -np.sum(activations * np.log(np.clip(activations, 1e-12, 1.0)), axis=1)
+                batch_entropy.append(float(np.mean(ent)))
+            swaps = layer.end_epoch(epoch)
+            duration = time.perf_counter() - start
+            metrics = {
+                "mean_activation_entropy": float(np.mean(batch_entropy)) if batch_entropy else 0.0,
+                "mask_swaps": float(swaps),
+                "density": float(layer.hyperparams.density),
+            }
+            record = EpochResult("hidden", layer.name, epoch, duration, metrics)
+            self.history.append(record)
+            callbacks.on_epoch_end(
+                {
+                    "phase": "hidden",
+                    "layer": layer,
+                    "layer_name": layer.name,
+                    "epoch": epoch,
+                    "network": self,
+                    "metrics": metrics,
+                }
+            )
+            if verbose:  # pragma: no cover - console convenience
+                print(
+                    f"[hidden:{layer.name}] epoch {epoch + 1}/{schedule.hidden_epochs} "
+                    f"entropy={metrics['mean_activation_entropy']:.3f} swaps={swaps} "
+                    f"({duration:.2f}s)"
+                )
+
+    def _train_head(
+        self,
+        representation: np.ndarray,
+        y: np.ndarray,
+        schedule: TrainingSchedule,
+        callbacks: CallbackList,
+        verbose: bool,
+    ) -> None:
+        head = self.head
+        epochs = schedule.classifier_epochs
+        extra_sgd = schedule.sgd_epochs if isinstance(head, SGDClassifier) else 0
+        total_epochs = epochs + extra_sgd
+        for epoch in range(total_epochs):
+            start = time.perf_counter()
+            losses = []
+            fine_tuning = epoch >= epochs
+            for batch_idx in self._iter_batches(
+                representation.shape[0], schedule.batch_size, schedule.shuffle
+            ):
+                batch_h = representation[batch_idx]
+                batch_y = y[batch_idx]
+                if isinstance(head, SGDClassifier):
+                    lr = schedule.sgd_learning_rate * (0.1 if fine_tuning else 1.0)
+                    losses.append(head.train_batch(batch_h, batch_y, learning_rate=lr))
+                else:
+                    head.train_batch(batch_h, batch_y)
+            duration = time.perf_counter() - start
+            train_pred = head.predict(representation)
+            metrics: Dict[str, float] = {
+                "train_accuracy": accuracy_metric(y, train_pred),
+            }
+            if losses:
+                metrics["train_loss"] = float(np.mean(losses))
+            record = EpochResult("classifier", head.name, epoch, duration, metrics)
+            self.history.append(record)
+            callbacks.on_epoch_end(
+                {
+                    "phase": "classifier",
+                    "layer": head,
+                    "layer_name": head.name,
+                    "epoch": epoch,
+                    "network": self,
+                    "metrics": metrics,
+                }
+            )
+            if verbose:  # pragma: no cover
+                print(
+                    f"[head:{head.name}] epoch {epoch + 1}/{total_epochs} "
+                    f"train_acc={metrics['train_accuracy']:.4f} ({duration:.2f}s)"
+                )
+
+    # ------------------------------------------------------------ inference
+    def _require_fitted(self) -> None:
+        if self.head is None or not self.head.is_built:
+            raise NotFittedError("the network has not been trained; call fit() first")
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Hidden representation of ``x`` (output of the last hidden layer)."""
+        self._require_fitted()
+        representation = np.asarray(x, dtype=np.float64)
+        for layer in self.hidden_layers:
+            representation = layer.forward(representation)
+        return representation
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class-probability matrix ``(n_samples, n_classes)``."""
+        self._require_fitted()
+        return self.head.predict_proba(self.transform(x))
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        return self.head.decision_function(self.transform(x))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard class predictions."""
+        self._require_fitted()
+        return self.head.predict(self.transform(x))
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> Dict[str, float]:
+        """Accuracy / AUC (binary) / log-loss on a labelled set."""
+        self._require_fitted()
+        y = check_labels(y, name="y")
+        proba = self.predict_proba(x)
+        predictions = np.argmax(proba, axis=1)
+        results = {
+            "accuracy": accuracy_metric(y, predictions),
+            "log_loss": log_loss_metric(y, proba),
+            "n_samples": float(y.shape[0]),
+        }
+        if proba.shape[1] == 2 and len(np.unique(y)) == 2:
+            results["auc"] = roc_auc(y, proba[:, 1])
+        return results
+
+    # ----------------------------------------------------------------- misc
+    def receptive_field_masks(self) -> List[np.ndarray]:
+        """Mask matrices of every hidden layer (for visualisation)."""
+        return [layer.receptive_field_masks() for layer in self.hidden_layers if layer.is_built]
+
+    def summary(self) -> str:
+        """A human-readable architecture summary (Keras-style)."""
+        lines = [f"Network '{self.name}'", "=" * 60]
+        for layer in self.hidden_layers:
+            built = "built" if layer.is_built else "unbuilt"
+            lines.append(
+                f"  {layer.name}: {layer.n_hypercolumns} HCUs x {layer.n_minicolumns} MCUs, "
+                f"density={layer.hyperparams.density:.0%} [{built}]"
+            )
+        if self.head is not None:
+            lines.append(f"  {self.head.name}: {type(self.head).__name__} ({self.head.n_classes} classes)")
+        else:
+            lines.append("  <no classification head>")
+        lines.append("=" * 60)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Network(name={self.name!r}, hidden={len(self.hidden_layers)}, fitted={self._fitted})"

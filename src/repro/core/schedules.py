@@ -1,0 +1,136 @@
+"""Parameter schedules (learning rates, trace time constants, bias gain ramps).
+
+BCPNN training benefits from annealing two quantities over the course of
+training: the trace update rate ``taupdt`` (start plastic, end stable) and
+the bias gain (ramp up the prior term as the marginal estimates become
+trustworthy).  The SGD hybrid head uses conventional learning-rate decay.
+All schedules share a tiny callable interface: ``schedule(step, total) -> value``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "Schedule",
+    "ConstantSchedule",
+    "LinearSchedule",
+    "ExponentialSchedule",
+    "CosineSchedule",
+    "StepSchedule",
+    "WarmupSchedule",
+    "make_schedule",
+]
+
+
+class Schedule:
+    """Base class: maps a (step, total_steps) pair to a scalar value."""
+
+    def __call__(self, step: int, total_steps: int) -> float:
+        raise NotImplementedError
+
+    def _progress(self, step: int, total_steps: int) -> float:
+        if total_steps <= 0:
+            raise ConfigurationError("total_steps must be positive")
+        return min(max(step, 0), total_steps) / total_steps
+
+
+class ConstantSchedule(Schedule):
+    """Always returns ``value``."""
+
+    def __init__(self, value: float) -> None:
+        self.value = float(value)
+
+    def __call__(self, step: int, total_steps: int) -> float:
+        return self.value
+
+
+class LinearSchedule(Schedule):
+    """Linear interpolation from ``start`` to ``stop`` over the run."""
+
+    def __init__(self, start: float, stop: float) -> None:
+        self.start = float(start)
+        self.stop = float(stop)
+
+    def __call__(self, step: int, total_steps: int) -> float:
+        t = self._progress(step, total_steps)
+        return self.start + (self.stop - self.start) * t
+
+
+class ExponentialSchedule(Schedule):
+    """Geometric decay from ``start`` to ``stop`` (both must be positive)."""
+
+    def __init__(self, start: float, stop: float) -> None:
+        if start <= 0 or stop <= 0:
+            raise ConfigurationError("ExponentialSchedule requires positive endpoints")
+        self.start = float(start)
+        self.stop = float(stop)
+
+    def __call__(self, step: int, total_steps: int) -> float:
+        t = self._progress(step, total_steps)
+        return self.start * (self.stop / self.start) ** t
+
+
+class CosineSchedule(Schedule):
+    """Cosine annealing from ``start`` to ``stop``."""
+
+    def __init__(self, start: float, stop: float) -> None:
+        self.start = float(start)
+        self.stop = float(stop)
+
+    def __call__(self, step: int, total_steps: int) -> float:
+        t = self._progress(step, total_steps)
+        return self.stop + 0.5 * (self.start - self.stop) * (1.0 + math.cos(math.pi * t))
+
+
+class StepSchedule(Schedule):
+    """Piecewise-constant decay: multiply by ``factor`` every ``period`` steps."""
+
+    def __init__(self, start: float, factor: float = 0.5, period: int = 1) -> None:
+        if period <= 0:
+            raise ConfigurationError("period must be positive")
+        if factor <= 0:
+            raise ConfigurationError("factor must be positive")
+        self.start = float(start)
+        self.factor = float(factor)
+        self.period = int(period)
+
+    def __call__(self, step: int, total_steps: int) -> float:
+        return self.start * self.factor ** (max(step, 0) // self.period)
+
+
+class WarmupSchedule(Schedule):
+    """Linear warm-up to ``base`` over ``warmup_steps``, then delegate."""
+
+    def __init__(self, base: Schedule, warmup_steps: int) -> None:
+        if warmup_steps < 0:
+            raise ConfigurationError("warmup_steps must be non-negative")
+        self.base = base
+        self.warmup_steps = int(warmup_steps)
+
+    def __call__(self, step: int, total_steps: int) -> float:
+        target = self.base(step, total_steps)
+        if self.warmup_steps == 0 or step >= self.warmup_steps:
+            return target
+        return target * (step + 1) / (self.warmup_steps + 1)
+
+
+_FACTORIES: Dict[str, Callable[..., Schedule]] = {
+    "constant": ConstantSchedule,
+    "linear": LinearSchedule,
+    "exponential": ExponentialSchedule,
+    "cosine": CosineSchedule,
+    "step": StepSchedule,
+}
+
+
+def make_schedule(kind: str, **kwargs) -> Schedule:
+    """Factory for schedules by name (used by CLI / config files)."""
+    if kind not in _FACTORIES:
+        raise ConfigurationError(
+            f"unknown schedule '{kind}'; available: {sorted(_FACTORIES)}"
+        )
+    return _FACTORIES[kind](**kwargs)

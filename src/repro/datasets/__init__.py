@@ -1,0 +1,48 @@
+"""Dataset loaders, generators and preprocessing.
+
+The paper uses the UCI HIGGS dataset (11M simulated collision events, 28
+features).  That file cannot be downloaded in this environment, so the
+package provides a physics-inspired synthetic generator with the identical
+schema and a loader that transparently prefers the real ``HIGGS.csv.gz`` if
+it is present (see DESIGN.md, substitution table).  A procedural MNIST-like
+digit generator backs the receptive-field illustration experiments.
+"""
+
+from repro.datasets.base import Dataset, DatasetSplits
+from repro.datasets.higgs import (
+    HIGGS_FEATURE_NAMES,
+    HIGGS_LOW_LEVEL,
+    HIGGS_HIGH_LEVEL,
+    SyntheticHiggsGenerator,
+    load_higgs,
+    make_higgs_splits,
+)
+from repro.datasets.mnist import SyntheticDigits, load_digits
+from repro.datasets.preprocessing import (
+    QuantileOneHotEncoder,
+    balanced_subsample,
+    standardize,
+)
+from repro.datasets.splits import train_test_split, stratified_kfold
+from repro.datasets.registry import register_dataset, get_dataset, list_datasets
+
+__all__ = [
+    "Dataset",
+    "DatasetSplits",
+    "HIGGS_FEATURE_NAMES",
+    "HIGGS_LOW_LEVEL",
+    "HIGGS_HIGH_LEVEL",
+    "SyntheticHiggsGenerator",
+    "load_higgs",
+    "make_higgs_splits",
+    "SyntheticDigits",
+    "load_digits",
+    "QuantileOneHotEncoder",
+    "balanced_subsample",
+    "standardize",
+    "train_test_split",
+    "stratified_kfold",
+    "register_dataset",
+    "get_dataset",
+    "list_datasets",
+]

@@ -1,0 +1,443 @@
+"""HIGGS dataset: real-file loader plus a physics-inspired synthetic generator.
+
+The UCI HIGGS dataset (Baldi, Sadowski & Whiteson, 2014) contains 11 million
+simulated collision events with 28 features: 21 low-level reconstructed
+kinematic quantities (lepton, missing energy, four jets) and 7 high-level
+invariant-mass features derived from them.  The signal process is a heavy
+Higgs cascade ``gg -> H0 -> W H+- -> W W h0 -> l nu q q b b``; the background
+is top-pair production with the same observable final state.
+
+This module provides:
+
+* :data:`HIGGS_FEATURE_NAMES` — the canonical 28-column schema.
+* :class:`SyntheticHiggsGenerator` — a generator that simulates both
+  processes with real four-vector kinematics (resonance production, two-body
+  decays, detector smearing, pT-ordered jets) and *derives* the 7 high-level
+  features from the generated low-level ones.  This is the substitution for
+  the 2.8 GB download (see DESIGN.md) and exercises exactly the same
+  downstream pipeline.
+* :func:`load_higgs` — returns the real dataset when a ``HIGGS.csv[.gz]``
+  file is available (path argument or ``REPRO_HIGGS_PATH`` environment
+  variable), otherwise a synthetic dataset of the requested size.
+* :func:`make_higgs_splits` — the balanced-subset + train/test split used by
+  the paper's experiments.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.datasets import kinematics as kin
+from repro.datasets.base import Dataset, DatasetSplits
+from repro.datasets.csvio import read_numeric_csv
+from repro.datasets.preprocessing import balanced_subsample
+from repro.datasets.splits import train_test_split
+from repro.exceptions import DataError
+from repro.utils.rng import as_rng
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+__all__ = [
+    "HIGGS_FEATURE_NAMES",
+    "HIGGS_LOW_LEVEL",
+    "HIGGS_HIGH_LEVEL",
+    "SyntheticHiggsGenerator",
+    "load_higgs",
+    "make_higgs_splits",
+]
+
+#: Low-level feature names in UCI column order.
+HIGGS_LOW_LEVEL = [
+    "lepton_pt",
+    "lepton_eta",
+    "lepton_phi",
+    "missing_energy_magnitude",
+    "missing_energy_phi",
+    "jet1_pt",
+    "jet1_eta",
+    "jet1_phi",
+    "jet1_btag",
+    "jet2_pt",
+    "jet2_eta",
+    "jet2_phi",
+    "jet2_btag",
+    "jet3_pt",
+    "jet3_eta",
+    "jet3_phi",
+    "jet3_btag",
+    "jet4_pt",
+    "jet4_eta",
+    "jet4_phi",
+    "jet4_btag",
+]
+
+#: High-level (derived) feature names in UCI column order.
+HIGGS_HIGH_LEVEL = ["m_jj", "m_jjj", "m_lv", "m_jlv", "m_bb", "m_wbb", "m_wwbb"]
+
+#: Full 28-feature schema.
+HIGGS_FEATURE_NAMES = HIGGS_LOW_LEVEL + HIGGS_HIGH_LEVEL
+
+# Particle masses in GeV used by the event generator.
+_M_TOP = 173.0
+_M_W = 80.4
+_M_HIGGS_LIGHT = 125.0
+_M_HIGGS_HEAVY = 425.0
+_M_HIGGS_CHARGED = 325.0
+_M_B = 4.7
+_M_LEPTON = 0.105  # muon mass, representative
+
+
+class SyntheticHiggsGenerator:
+    """Monte-Carlo style generator for HIGGS-schema events.
+
+    Parameters
+    ----------
+    jet_energy_resolution:
+        Fractional Gaussian smearing applied to jet transverse momenta
+        (the dominant knob controlling class separability).
+    lepton_energy_resolution:
+        Fractional smearing of the lepton pT.
+    met_noise:
+        Absolute (GeV) Gaussian noise added to each missing-energy component.
+    pileup_jet_fraction:
+        Probability that one of the four jets is replaced by an uncorrelated
+        "pileup" jet, diluting the resonance structure.
+    seed:
+        RNG seed (int / Generator / None).
+    """
+
+    def __init__(
+        self,
+        jet_energy_resolution: float = 0.14,
+        lepton_energy_resolution: float = 0.02,
+        met_noise: float = 12.0,
+        pileup_jet_fraction: float = 0.12,
+        seed=None,
+    ) -> None:
+        if not 0.0 <= jet_energy_resolution < 1.0:
+            raise DataError("jet_energy_resolution must be in [0, 1)")
+        if not 0.0 <= lepton_energy_resolution < 1.0:
+            raise DataError("lepton_energy_resolution must be in [0, 1)")
+        if met_noise < 0:
+            raise DataError("met_noise must be non-negative")
+        if not 0.0 <= pileup_jet_fraction <= 1.0:
+            raise DataError("pileup_jet_fraction must be in [0, 1]")
+        self.jet_energy_resolution = float(jet_energy_resolution)
+        self.lepton_energy_resolution = float(lepton_energy_resolution)
+        self.met_noise = float(met_noise)
+        self.pileup_jet_fraction = float(pileup_jet_fraction)
+        self._rng = as_rng(seed)
+
+    # ------------------------------------------------------------- sampling
+    def sample(self, n_events: int, signal_fraction: float = 0.5) -> Dataset:
+        """Generate ``n_events`` events with the requested signal fraction."""
+        if n_events <= 0:
+            raise DataError("n_events must be positive")
+        if not 0.0 <= signal_fraction <= 1.0:
+            raise DataError("signal_fraction must lie in [0, 1]")
+        labels = (self._rng.random(n_events) < signal_fraction).astype(np.int64)
+        n_sig = int(labels.sum())
+        n_bkg = n_events - n_sig
+        features = np.empty((n_events, len(HIGGS_FEATURE_NAMES)), dtype=np.float64)
+        if n_sig:
+            features[labels == 1] = self._generate_signal(n_sig)
+        if n_bkg:
+            features[labels == 0] = self._generate_background(n_bkg)
+        return Dataset(
+            features=features,
+            labels=labels,
+            feature_names=list(HIGGS_FEATURE_NAMES),
+            name="higgs-synthetic",
+            metadata={
+                "generator": "SyntheticHiggsGenerator",
+                "signal_fraction": signal_fraction,
+                "jet_energy_resolution": self.jet_energy_resolution,
+                "pileup_jet_fraction": self.pileup_jet_fraction,
+                "synthetic": True,
+            },
+        )
+
+    # ----------------------------------------------------------- signal MC
+    def _generate_signal(self, n: int) -> np.ndarray:
+        """Heavy-Higgs cascade: H0 -> W Hpm, Hpm -> W h0, h0 -> b bbar."""
+        rng = self._rng
+        parent = self._produce_resonance(n, _M_HIGGS_HEAVY, pt_scale=55.0, eta_sigma=1.1)
+        w1, h_charged = kin.two_body_decay(
+            parent, np.full(n, _M_W), np.full(n, _M_HIGGS_CHARGED), rng
+        )
+        w2, h_light = kin.two_body_decay(
+            h_charged, np.full(n, _M_W), np.full(n, _M_HIGGS_LIGHT), rng
+        )
+        b1, b2 = kin.two_body_decay(h_light, np.full(n, _M_B), np.full(n, _M_B), rng)
+        # One W decays leptonically, the other hadronically.  Randomise which.
+        lep_first = rng.random(n) < 0.5
+        w_lep = np.where(lep_first[:, None], w1, w2)
+        w_had = np.where(lep_first[:, None], w2, w1)
+        lepton, neutrino = kin.two_body_decay(
+            w_lep, np.full(n, _M_LEPTON), np.zeros(n), rng
+        )
+        q1, q2 = kin.two_body_decay(w_had, np.zeros(n), np.zeros(n), rng)
+        return self._reconstruct(lepton, neutrino, [b1, b2], [q1, q2])
+
+    # ------------------------------------------------------- background MC
+    def _generate_background(self, n: int) -> np.ndarray:
+        """Top-pair background: two independent tops, t -> W b."""
+        rng = self._rng
+        top1 = self._produce_resonance(n, _M_TOP, pt_scale=70.0, eta_sigma=1.6)
+        top2 = self._produce_resonance(n, _M_TOP, pt_scale=70.0, eta_sigma=1.6)
+        w1, b1 = kin.two_body_decay(top1, np.full(n, _M_W), np.full(n, _M_B), rng)
+        w2, b2 = kin.two_body_decay(top2, np.full(n, _M_W), np.full(n, _M_B), rng)
+        lep_first = rng.random(n) < 0.5
+        w_lep = np.where(lep_first[:, None], w1, w2)
+        w_had = np.where(lep_first[:, None], w2, w1)
+        lepton, neutrino = kin.two_body_decay(
+            w_lep, np.full(n, _M_LEPTON), np.zeros(n), rng
+        )
+        q1, q2 = kin.two_body_decay(w_had, np.zeros(n), np.zeros(n), rng)
+        return self._reconstruct(lepton, neutrino, [b1, b2], [q1, q2])
+
+    # --------------------------------------------------------------- common
+    def _produce_resonance(
+        self, n: int, mass_gev: float, pt_scale: float, eta_sigma: float
+    ) -> np.ndarray:
+        """Sample parent resonances with Breit-Wigner-ish mass and soft pT."""
+        rng = self._rng
+        width = 0.02 * mass_gev
+        masses = mass_gev + width * rng.standard_cauchy(n)
+        masses = np.clip(masses, 0.6 * mass_gev, 1.4 * mass_gev)
+        pt_ = rng.exponential(pt_scale, size=n)
+        eta_ = rng.normal(0.0, eta_sigma, size=n)
+        phi_ = rng.uniform(-np.pi, np.pi, size=n)
+        return kin.four_vector(pt_, eta_, phi_, masses)
+
+    def _smear_jet(self, p4: np.ndarray) -> np.ndarray:
+        rng = self._rng
+        n = p4.shape[0]
+        scale = np.maximum(rng.normal(1.0, self.jet_energy_resolution, size=n), 0.05)
+        smeared = kin.four_vector(
+            kin.pt(p4) * scale,
+            kin.eta(p4) + rng.normal(0.0, 0.03, size=n),
+            kin.phi(p4) + rng.normal(0.0, 0.03, size=n),
+            0.0,
+        )
+        return smeared
+
+    def _pileup_jet(self, n: int) -> np.ndarray:
+        rng = self._rng
+        return kin.four_vector(
+            rng.exponential(35.0, size=n) + 20.0,
+            rng.normal(0.0, 2.0, size=n),
+            rng.uniform(-np.pi, np.pi, size=n),
+            0.0,
+        )
+
+    def _btag_value(self, is_b: np.ndarray) -> np.ndarray:
+        """Continuous b-tag discriminant: higher for genuine b jets."""
+        rng = self._rng
+        n = is_b.shape[0]
+        b_like = np.clip(rng.normal(2.1, 0.5, size=n), 0.0, 3.5)
+        light_like = np.clip(rng.normal(0.6, 0.45, size=n), 0.0, 3.5)
+        # Imperfect tagging: 15% of b jets look light, 8% of light jets look b-like.
+        flip_b = rng.random(n) < 0.15
+        flip_l = rng.random(n) < 0.08
+        tagged = np.where(
+            is_b,
+            np.where(flip_b, light_like, b_like),
+            np.where(flip_l, b_like, light_like),
+        )
+        return tagged
+
+    def _reconstruct(self, lepton, neutrino, b_jets, light_jets) -> np.ndarray:
+        """Apply detector effects and flatten into the 28-feature schema."""
+        rng = self._rng
+        n = lepton.shape[0]
+
+        # Lepton smearing.
+        lepton_rec = kin.four_vector(
+            kin.pt(lepton) * np.maximum(rng.normal(1.0, self.lepton_energy_resolution, size=n), 0.2),
+            kin.eta(lepton),
+            kin.phi(lepton),
+            _M_LEPTON,
+        )
+
+        # Jet smearing + optional pileup replacement of one light jet.
+        jets = [self._smear_jet(j) for j in b_jets] + [self._smear_jet(j) for j in light_jets]
+        is_b = [np.ones(n, dtype=bool), np.ones(n, dtype=bool), np.zeros(n, dtype=bool), np.zeros(n, dtype=bool)]
+        replace = rng.random(n) < self.pileup_jet_fraction
+        if np.any(replace):
+            pileup = self._pileup_jet(n)
+            jets[3] = np.where(replace[:, None], pileup, jets[3])
+            is_b[3] = np.where(replace, False, is_b[3])
+
+        btags = [self._btag_value(flag) for flag in is_b]
+
+        # Missing transverse energy: negative vector sum of visible objects
+        # plus noise (the neutrino is what is genuinely missing).
+        met_x = neutrino[:, 1] + rng.normal(0.0, self.met_noise, size=n)
+        met_y = neutrino[:, 2] + rng.normal(0.0, self.met_noise, size=n)
+        met_mag = np.sqrt(met_x**2 + met_y**2)
+        met_phi = np.arctan2(met_y, met_x)
+
+        # pT-order the four jets (as the real dataset does), carrying b-tags.
+        jet_stack = np.stack(jets, axis=1)  # (n, 4, 4)
+        btag_stack = np.stack(btags, axis=1)  # (n, 4)
+        jet_pts = kin.pt(jet_stack)
+        order = np.argsort(-jet_pts, axis=1)
+        rows = np.arange(n)[:, None]
+        jet_stack = jet_stack[rows, order]
+        btag_stack = btag_stack[rows, order]
+
+        low = np.empty((n, len(HIGGS_LOW_LEVEL)), dtype=np.float64)
+        low[:, 0] = kin.pt(lepton_rec)
+        low[:, 1] = kin.eta(lepton_rec)
+        low[:, 2] = kin.phi(lepton_rec)
+        low[:, 3] = met_mag
+        low[:, 4] = met_phi
+        for j in range(4):
+            base = 5 + 4 * j
+            low[:, base + 0] = kin.pt(jet_stack[:, j])
+            low[:, base + 1] = kin.eta(jet_stack[:, j])
+            low[:, base + 2] = kin.phi(jet_stack[:, j])
+            low[:, base + 3] = btag_stack[:, j]
+
+        high = self.derive_high_level(low)
+        return np.concatenate([low, high], axis=1)
+
+    # ------------------------------------------------------------ features
+    @staticmethod
+    def derive_high_level(low_level: np.ndarray) -> np.ndarray:
+        """Compute the 7 high-level features from the 21 low-level columns.
+
+        The neutrino longitudinal momentum is unmeasurable, so — as in the
+        original dataset construction — the "lv" masses use a massless
+        neutrino with ``pz = 0`` built from the missing transverse energy.
+        """
+        low = np.asarray(low_level, dtype=np.float64)
+        if low.ndim != 2 or low.shape[1] != len(HIGGS_LOW_LEVEL):
+            raise DataError(
+                f"low_level must have {len(HIGGS_LOW_LEVEL)} columns, got shape {low.shape}"
+            )
+        lepton = kin.four_vector(low[:, 0], low[:, 1], low[:, 2], _M_LEPTON)
+        neutrino = kin.four_vector(low[:, 3], np.zeros(low.shape[0]), low[:, 4], 0.0)
+        jets = []
+        btags = []
+        for j in range(4):
+            base = 5 + 4 * j
+            jets.append(kin.four_vector(low[:, base], low[:, base + 1], low[:, base + 2], 0.0))
+            btags.append(low[:, base + 3])
+        jets_arr = np.stack(jets, axis=1)  # (n, 4, 4)
+        btag_arr = np.stack(btags, axis=1)  # (n, 4)
+
+        # The two most b-like jets form the Higgs candidate; the other two the W.
+        order_btag = np.argsort(-btag_arr, axis=1)
+        rows = np.arange(low.shape[0])[:, None]
+        b_cand = jets_arr[rows, order_btag[:, :2]]
+        w_cand = jets_arr[rows, order_btag[:, 2:]]
+
+        m_jj = kin.invariant_mass(w_cand[:, 0], w_cand[:, 1])
+        m_jjj = kin.invariant_mass(w_cand[:, 0], w_cand[:, 1], b_cand[:, 0])
+        m_lv = kin.invariant_mass(lepton, neutrino)
+        m_jlv = kin.invariant_mass(jets_arr[:, 0], lepton, neutrino)
+        m_bb = kin.invariant_mass(b_cand[:, 0], b_cand[:, 1])
+        m_wbb = kin.invariant_mass(lepton, neutrino, b_cand[:, 0], b_cand[:, 1])
+        m_wwbb = kin.invariant_mass(
+            lepton, neutrino, w_cand[:, 0], w_cand[:, 1], b_cand[:, 0], b_cand[:, 1]
+        )
+        return np.stack([m_jj, m_jjj, m_lv, m_jlv, m_bb, m_wbb, m_wwbb], axis=1)
+
+
+# ---------------------------------------------------------------- loaders
+def _find_real_higgs(path: Optional[Union[str, Path]]) -> Optional[Path]:
+    """Locate a real HIGGS csv file from an explicit path or the environment."""
+    candidates = []
+    if path is not None:
+        candidates.append(Path(path))
+    env = os.environ.get("REPRO_HIGGS_PATH")
+    if env:
+        candidates.append(Path(env))
+    candidates.extend(
+        [Path("data/HIGGS.csv.gz"), Path("data/HIGGS.csv"), Path("HIGGS.csv.gz"), Path("HIGGS.csv")]
+    )
+    for cand in candidates:
+        if cand.is_file():
+            return cand
+    if path is not None:
+        raise DataError(f"HIGGS file not found at {path}")
+    return None
+
+
+def load_higgs(
+    n_samples: int = 20000,
+    path: Optional[Union[str, Path]] = None,
+    signal_fraction: float = 0.5,
+    seed=None,
+    generator_kwargs: Optional[Dict[str, float]] = None,
+) -> Dataset:
+    """Load (real file if available) or generate a HIGGS-schema dataset.
+
+    Parameters
+    ----------
+    n_samples:
+        Number of events to return.
+    path:
+        Optional path to ``HIGGS.csv``/``HIGGS.csv.gz``; ``REPRO_HIGGS_PATH``
+        is also honoured.  When no file is found a synthetic dataset is
+        generated (and ``metadata['synthetic']`` is set).
+    signal_fraction:
+        Signal prior used by the synthetic generator.
+    seed:
+        RNG seed for synthetic generation.
+    generator_kwargs:
+        Extra keyword arguments forwarded to :class:`SyntheticHiggsGenerator`.
+    """
+    real = _find_real_higgs(path)
+    if real is not None:
+        logger.info("loading real HIGGS data from %s", real)
+        data = read_numeric_csv(real, max_rows=n_samples)
+        if data.shape[1] != len(HIGGS_FEATURE_NAMES) + 1:
+            raise DataError(
+                f"expected {len(HIGGS_FEATURE_NAMES) + 1} columns in {real}, got {data.shape[1]}"
+            )
+        labels = data[:, 0].astype(np.int64)
+        features = data[:, 1:]
+        return Dataset(
+            features=features,
+            labels=labels,
+            feature_names=list(HIGGS_FEATURE_NAMES),
+            name="higgs-uci",
+            metadata={"path": str(real), "synthetic": False},
+        )
+    generator = SyntheticHiggsGenerator(seed=seed, **(generator_kwargs or {}))
+    return generator.sample(n_samples, signal_fraction=signal_fraction)
+
+
+def make_higgs_splits(
+    n_samples: int = 20000,
+    test_fraction: float = 0.2,
+    validation_fraction: float = 0.0,
+    balanced: bool = True,
+    seed=None,
+    path: Optional[Union[str, Path]] = None,
+) -> DatasetSplits:
+    """Produce the balanced train/validation/test splits used by the paper.
+
+    The paper extracts a *balanced* subset of the training portion before
+    quantile encoding; ``balanced=True`` applies the same treatment to the
+    full dataset prior to splitting.
+    """
+    rng = as_rng(seed)
+    dataset = load_higgs(n_samples=n_samples, path=path, seed=rng)
+    if balanced:
+        dataset = balanced_subsample(dataset, rng=rng)
+    train, rest = train_test_split(dataset, test_fraction + validation_fraction, rng=rng, stratify=True)
+    if validation_fraction > 0:
+        rel = test_fraction / (test_fraction + validation_fraction)
+        validation, test = train_test_split(rest, rel, rng=rng, stratify=True)
+    else:
+        validation, test = None, rest
+    return DatasetSplits(train=train, validation=validation, test=test)

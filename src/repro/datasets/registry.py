@@ -1,0 +1,69 @@
+"""A small named-dataset registry, mirroring StreamBrain's built-in loaders.
+
+StreamBrain ships data-loaders for MNIST, STL-10, CIFAR-10/100 and HIGGS and
+lets users request them by name.  The registry here provides the same
+by-name access for the loaders available in this reproduction, and allows
+applications to register their own factories (e.g. a private detector
+simulation) without modifying the library.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.datasets.base import Dataset
+from repro.exceptions import ConfigurationError
+
+__all__ = ["register_dataset", "get_dataset", "list_datasets", "unregister_dataset"]
+
+DatasetFactory = Callable[..., Dataset]
+
+_REGISTRY: Dict[str, DatasetFactory] = {}
+
+
+def register_dataset(name: str, factory: DatasetFactory, overwrite: bool = False) -> None:
+    """Register ``factory`` under ``name`` (case-insensitive)."""
+    if not isinstance(name, str) or not name:
+        raise ConfigurationError("dataset name must be a non-empty string")
+    if not callable(factory):
+        raise ConfigurationError("dataset factory must be callable")
+    key = name.lower()
+    if key in _REGISTRY and not overwrite:
+        raise ConfigurationError(f"dataset '{name}' is already registered")
+    _REGISTRY[key] = factory
+
+
+def unregister_dataset(name: str) -> None:
+    """Remove a registration; unknown names are ignored."""
+    _REGISTRY.pop(name.lower(), None)
+
+
+def get_dataset(name: str, **kwargs) -> Dataset:
+    """Instantiate the dataset registered as ``name`` with ``kwargs``."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown dataset '{name}'; available: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[key](**kwargs)
+
+
+def list_datasets() -> List[str]:
+    """Names of all registered datasets."""
+    return sorted(_REGISTRY)
+
+
+def _register_builtin() -> None:
+    # Imported lazily to avoid a circular import at package load time.
+    from repro.datasets.higgs import load_higgs
+    from repro.datasets.mnist import load_digits
+
+    if "higgs" not in _REGISTRY:
+        register_dataset("higgs", load_higgs)
+    if "digits" not in _REGISTRY:
+        register_dataset("digits", load_digits)
+    if "mnist" not in _REGISTRY:
+        register_dataset("mnist", load_digits)
+
+
+_register_builtin()

@@ -1,0 +1,41 @@
+"""Exception hierarchy used across the :mod:`repro` package.
+
+Keeping a small, explicit hierarchy makes it possible for callers to
+distinguish configuration mistakes (``ConfigurationError``) from data
+problems (``DataError``) and from internal invariant violations
+(``BackendError``, ``SerializationError``) without string matching.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Raised when a user-supplied hyper-parameter or option is invalid."""
+
+
+class DataError(ReproError, ValueError):
+    """Raised when input data fails validation (shape, dtype, encoding)."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """Raised when prediction is requested from an untrained model."""
+
+
+class BackendError(ReproError, RuntimeError):
+    """Raised when a compute backend cannot execute the requested kernel."""
+
+
+class SerializationError(ReproError, RuntimeError):
+    """Raised when a model state file cannot be written or restored."""
+
+
+class SearchError(ReproError, RuntimeError):
+    """Raised by the hyper-parameter search drivers on invalid usage."""
+
+
+class VisualizationError(ReproError, RuntimeError):
+    """Raised by the in-situ visualization pipeline."""

@@ -1,0 +1,114 @@
+"""Experiment E1 (Fig. 1): receptive fields concentrating on informative pixels.
+
+Figure 1 of the paper shows three HCUs whose initially random receptive
+fields migrate, through structural plasticity, onto the central pixels of
+MNIST digits (where the information is) and away from the blank fringes.
+This experiment reproduces that behaviour with the procedural digit
+generator: it trains a small network with per-pixel (complementary coded)
+input hypercolumns and reports how the fraction of active connections inside
+the informative central region grows from the random initial mask to the
+trained mask.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core import (
+    BCPNNClassifier,
+    BCPNNHyperParameters,
+    InputSpec,
+    Network,
+    StructuralPlasticityLayer,
+    TrainingSchedule,
+)
+from repro.core.layers import complementary_encode
+from repro.datasets.mnist import IMAGE_SIZE, SyntheticDigits
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+__all__ = ["run_mnist_receptive_fields", "central_mass"]
+
+
+def central_mass(mask_row: np.ndarray, image_size: int = IMAGE_SIZE, margin: int = 7) -> float:
+    """Fraction of a mask's active connections that fall in the image centre.
+
+    ``margin`` pixels on every side are considered "fringe"; with the default
+    7-pixel margin the central region is the 14x14 block where the digit
+    strokes live.
+    """
+    mask_image = np.asarray(mask_row, dtype=np.float64).reshape(image_size, image_size)
+    total = mask_image.sum()
+    if total <= 0:
+        return 0.0
+    central = mask_image[margin : image_size - margin, margin : image_size - margin].sum()
+    return float(central / total)
+
+
+def run_mnist_receptive_fields(
+    n_hypercolumns: int = 3,
+    n_minicolumns: int = 20,
+    density: float = 0.15,
+    n_samples: int = 1500,
+    epochs: int = 6,
+    digits=(3, 5, 8),
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Train on synthetic digits and measure receptive-field migration.
+
+    Returns the initial and final masks (per HCU, reshaped to the pixel
+    grid), the central-mass statistic before/after training, and the trained
+    network's accuracy on held-out digits.
+    """
+    generator = SyntheticDigits(seed=seed)
+    train = generator.sample(n_samples, digits=digits)
+    test = generator.sample(max(200, n_samples // 5), digits=digits)
+
+    x_train = complementary_encode(train.features)
+    x_test = complementary_encode(test.features)
+    input_spec = InputSpec.uniform(IMAGE_SIZE * IMAGE_SIZE, 2)
+
+    hyperparams = BCPNNHyperParameters(
+        taupdt=0.03, density=density, swap_fraction=0.4, mask_update_period=1
+    )
+    layer = StructuralPlasticityLayer(
+        n_hypercolumns=n_hypercolumns,
+        n_minicolumns=n_minicolumns,
+        hyperparams=hyperparams,
+        seed=seed + 1,
+    )
+    network = Network(seed=seed, name="mnist-receptive-fields")
+    network.add(layer)
+    network.add(BCPNNClassifier(n_classes=len(digits)))
+
+    # Capture the random initial masks by building before fitting.
+    network.build(input_spec)
+    initial_masks = layer.receptive_field_masks().copy()
+    # ``fit`` rebuilds the layers; seed the same layer RNG state by rebuilding
+    # is acceptable because we only compare aggregate central-mass statistics.
+    schedule = TrainingSchedule(hidden_epochs=epochs, classifier_epochs=4, batch_size=64)
+    network.fit(x_train, train.labels, input_spec=input_spec, schedule=schedule)
+    final_masks = layer.receptive_field_masks().copy()
+
+    # Masks are over per-pixel hypercolumns: one entry per pixel.
+    initial_central = [central_mass(initial_masks[h]) for h in range(n_hypercolumns)]
+    final_central = [central_mass(final_masks[h]) for h in range(n_hypercolumns)]
+    evaluation = network.evaluate(x_test, test.labels)
+    logger.info(
+        "mnist receptive fields: central mass %.3f -> %.3f, accuracy %.3f",
+        float(np.mean(initial_central)), float(np.mean(final_central)), evaluation["accuracy"],
+    )
+    return {
+        "experiment": "fig1_mnist_fields",
+        "digits": list(digits),
+        "initial_masks": initial_masks,
+        "final_masks": final_masks,
+        "initial_central_mass": [float(v) for v in initial_central],
+        "final_central_mass": [float(v) for v in final_central],
+        "central_mass_gain": float(np.mean(final_central) - np.mean(initial_central)),
+        "accuracy": float(evaluation["accuracy"]),
+        "image_size": IMAGE_SIZE,
+    }

@@ -1,0 +1,79 @@
+"""Experiment E10: numerical-precision ablation (FPGA / posit stand-in).
+
+StreamBrain's FPGA backend exists to explore reduced and alternative number
+formats (posits).  This experiment trains the same Higgs configuration under
+float64, float32, float16 and the posit16 model and reports the accuracy /
+AUC degradation relative to the double-precision reference, quantifying how
+much numerical headroom the BCPNN learning rule actually needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.config import ExperimentScale, HiggsExperimentConfig, get_scale
+from repro.experiments.higgs_pipeline import HiggsData, prepare_higgs_data, train_and_evaluate
+from repro.instrumentation.reports import format_table
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+__all__ = ["run_precision_ablation"]
+
+
+def run_precision_ablation(
+    precisions: Sequence[str] = ("numpy", "float32", "float16", "posit16"),
+    scale: Optional[ExperimentScale] = None,
+    data: Optional[HiggsData] = None,
+    n_minicolumns: int = 60,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Train the same configuration under different numeric representations.
+
+    ``"numpy"`` is the float64 reference; the others are the quantising
+    backends registered in :mod:`repro.backend.registry`.
+    """
+    scale = scale or get_scale()
+    if data is None:
+        data = prepare_higgs_data(n_events=min(scale.n_events, 8000), seed=seed)
+
+    rows: List[Dict[str, object]] = []
+    reference_accuracy = None
+    for backend in precisions:
+        config = HiggsExperimentConfig(
+            n_hypercolumns=1,
+            n_minicolumns=n_minicolumns,
+            density=0.4,
+            head="sgd",
+            n_events=scale.n_events,
+            hidden_epochs=scale.hidden_epochs,
+            classifier_epochs=scale.classifier_epochs,
+            batch_size=scale.batch_size,
+            backend=backend,
+            seed=seed,
+        )
+        outcome = train_and_evaluate(config, data=data)
+        if reference_accuracy is None:
+            reference_accuracy = outcome["accuracy"]
+        rows.append(
+            {
+                "backend": backend,
+                "accuracy": outcome["accuracy"],
+                "auc": outcome["auc"],
+                "accuracy_drop_vs_fp64": float(reference_accuracy - outcome["accuracy"]),
+                "train_seconds": outcome["train_seconds"],
+            }
+        )
+        logger.info("precision %s: accuracy=%.4f", backend, outcome["accuracy"])
+
+    table = format_table(
+        rows,
+        columns=["backend", "accuracy", "auc", "accuracy_drop_vs_fp64", "train_seconds"],
+        title="E10: precision ablation (FPGA/posit stand-in)",
+    )
+    return {
+        "experiment": "precision_ablation",
+        "scale": scale.name,
+        "rows": rows,
+        "table": table,
+    }

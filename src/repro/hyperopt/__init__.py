@@ -1,0 +1,49 @@
+"""Hyper-parameter search drivers.
+
+The paper used Facebook's Adaptive Experimentation platform (Ax) together
+with Nevergrad to explore BCPNN's comparatively large hyper-parameter space
+(Section IV).  Neither package is available offline, so this package
+provides the same *roles* with self-contained implementations:
+
+* :class:`SearchSpace` — typed parameter-space specification,
+* :class:`RandomSearch` / :class:`HaltonSearch` — (quasi-)random sampling,
+* :class:`EvolutionarySearch` — a (mu + lambda) evolution strategy in the
+  spirit of Nevergrad's default optimisers,
+* :class:`SuccessiveHalving` — budget-aware racing of configurations,
+* :class:`ExperimentJournal` — persistent trial log (JSONL).
+"""
+
+from repro.hyperopt.space import (
+    SearchSpace,
+    FloatParameter,
+    LogFloatParameter,
+    IntParameter,
+    CategoricalParameter,
+)
+from repro.hyperopt.samplers import halton_sequence, scrambled_halton
+from repro.hyperopt.search import (
+    Trial,
+    SearchResult,
+    RandomSearch,
+    HaltonSearch,
+    EvolutionarySearch,
+    SuccessiveHalving,
+)
+from repro.hyperopt.journal import ExperimentJournal
+
+__all__ = [
+    "SearchSpace",
+    "FloatParameter",
+    "LogFloatParameter",
+    "IntParameter",
+    "CategoricalParameter",
+    "halton_sequence",
+    "scrambled_halton",
+    "Trial",
+    "SearchResult",
+    "RandomSearch",
+    "HaltonSearch",
+    "EvolutionarySearch",
+    "SuccessiveHalving",
+    "ExperimentJournal",
+]

@@ -1,0 +1,85 @@
+"""Persistent experiment journal (JSON-lines trial log).
+
+Keeps an append-only record of every evaluated configuration so that long
+hyper-parameter sweeps (or ones interrupted half-way) can be inspected and
+resumed.  This mirrors the experiment-tracking role Ax played in the paper's
+workflow.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.exceptions import SearchError
+
+__all__ = ["ExperimentJournal"]
+
+
+class ExperimentJournal:
+    """Append-only JSONL log of search trials.
+
+    Parameters
+    ----------
+    path:
+        File to write to.  Parent directories are created as needed.
+    experiment:
+        Free-form experiment name stored with every record.
+    """
+
+    def __init__(self, path: Union[str, Path], experiment: str = "search") -> None:
+        self.path = Path(path)
+        self.experiment = str(experiment)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    # --------------------------------------------------------------- write
+    def record(self, trial) -> None:
+        """Append one trial (anything exposing ``as_dict``) to the journal."""
+        if hasattr(trial, "as_dict"):
+            payload = trial.as_dict()
+        elif isinstance(trial, dict):
+            payload = dict(trial)
+        else:
+            raise SearchError("trial must be a Trial or a dict")
+        payload["experiment"] = self.experiment
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, default=_default) + "\n")
+
+    # ---------------------------------------------------------------- read
+    def load(self, experiment: Optional[str] = None) -> List[Dict[str, object]]:
+        """Read back all records (optionally filtered by experiment name)."""
+        if not self.path.exists():
+            return []
+        records: List[Dict[str, object]] = []
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise SearchError(
+                        f"corrupt journal line {line_number} in {self.path}: {exc}"
+                    ) from exc
+                if experiment is None or record.get("experiment") == experiment:
+                    records.append(record)
+        return records
+
+    def best(self, experiment: Optional[str] = None) -> Optional[Dict[str, object]]:
+        """The highest-scoring non-failed record, or ``None`` when empty."""
+        records = [r for r in self.load(experiment) if not r.get("failed", False)]
+        if not records:
+            return None
+        return max(records, key=lambda r: r.get("score", float("-inf")))
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+
+def _default(value):
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)

@@ -1,0 +1,66 @@
+"""Quasi-random sequences for space-filling hyper-parameter sampling."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import SearchError
+from repro.utils.rng import as_rng
+
+__all__ = ["halton_sequence", "scrambled_halton", "first_primes"]
+
+
+def first_primes(count: int) -> np.ndarray:
+    """Return the first ``count`` prime numbers (simple sieve)."""
+    if count <= 0:
+        raise SearchError("count must be positive")
+    primes = []
+    candidate = 2
+    while len(primes) < count:
+        is_prime = all(candidate % p for p in primes if p * p <= candidate)
+        if is_prime:
+            primes.append(candidate)
+        candidate += 1
+    return np.asarray(primes, dtype=np.int64)
+
+
+def _radical_inverse(indices: np.ndarray, base: int) -> np.ndarray:
+    """Van der Corput radical inverse of ``indices`` in the given base."""
+    result = np.zeros(indices.shape[0], dtype=np.float64)
+    factor = 1.0 / base
+    idx = indices.copy()
+    while np.any(idx > 0):
+        result += factor * (idx % base)
+        idx //= base
+        factor /= base
+    return result
+
+
+def halton_sequence(n_points: int, n_dims: int, skip: int = 20) -> np.ndarray:
+    """Deterministic Halton sequence in ``[0, 1)^n_dims``.
+
+    The first ``skip`` points are discarded (they are poorly distributed for
+    large prime bases).
+    """
+    if n_points <= 0 or n_dims <= 0:
+        raise SearchError("n_points and n_dims must be positive")
+    bases = first_primes(n_dims)
+    indices = np.arange(skip + 1, skip + n_points + 1, dtype=np.int64)
+    columns = [_radical_inverse(indices, int(base)) for base in bases]
+    return np.stack(columns, axis=1)
+
+
+def scrambled_halton(
+    n_points: int, n_dims: int, seed=None, skip: int = 20
+) -> np.ndarray:
+    """Halton sequence with a random Cranley-Patterson rotation per dimension.
+
+    The rotation keeps the low-discrepancy structure while decorrelating
+    repeated searches that use different seeds.
+    """
+    rng = as_rng(seed)
+    base = halton_sequence(n_points, n_dims, skip=skip)
+    shift = rng.random(n_dims)
+    return (base + shift[None, :]) % 1.0

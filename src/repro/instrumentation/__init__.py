@@ -1,0 +1,16 @@
+"""Instrumentation: timers, FLOP/byte cost model and report formatting."""
+
+from repro.instrumentation.timers import Timer, RepeatTimer, TimingStatistics
+from repro.instrumentation.flops import BCPNNCostModel, CostBreakdown
+from repro.instrumentation.reports import format_table, format_comparison, dump_json_report
+
+__all__ = [
+    "Timer",
+    "RepeatTimer",
+    "TimingStatistics",
+    "BCPNNCostModel",
+    "CostBreakdown",
+    "format_table",
+    "format_comparison",
+    "dump_json_report",
+]

@@ -1,0 +1,93 @@
+"""Plain-text and JSON report formatting for experiment results."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["format_table", "format_comparison", "dump_json_report"]
+
+
+def _format_value(value, precision: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 4,
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of dict rows as an aligned ASCII table."""
+    if not rows:
+        raise ConfigurationError("cannot format an empty table")
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    columns = list(columns)
+    rendered = [[_format_value(row.get(col, ""), precision) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_comparison(
+    results: Mapping[str, Mapping[str, float]],
+    metrics: Sequence[str],
+    precision: int = 4,
+    title: Optional[str] = None,
+) -> str:
+    """Render a {method: {metric: value}} mapping as a comparison table."""
+    if not results:
+        raise ConfigurationError("results must not be empty")
+    rows = []
+    for method, values in results.items():
+        row: Dict[str, object] = {"method": method}
+        for metric in metrics:
+            row[metric] = float(values.get(metric, float("nan")))
+        rows.append(row)
+    return format_table(rows, columns=["method", *metrics], precision=precision, title=title)
+
+
+def dump_json_report(data: Mapping[str, object], path: Union[str, Path]) -> Path:
+    """Write a result mapping as indented JSON (creating parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(dict(data), handle, indent=2, sort_keys=True, default=_json_default)
+        handle.write("\n")
+    return path
+
+
+def _json_default(value):
+    try:
+        import numpy as np
+
+        if isinstance(value, np.integer):
+            return int(value)
+        if isinstance(value, np.floating):
+            return float(value)
+        if isinstance(value, np.ndarray):
+            return value.tolist()
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        pass
+    return str(value)

@@ -1,0 +1,38 @@
+"""Evaluation metrics implemented from scratch (no scikit-learn dependency).
+
+The paper reports test accuracy and Area Under the ROC Curve (AUC); the
+related Kaggle challenge used the Approximate Median Significance (AMS).
+All three, plus the usual confusion-matrix derived scores and calibration
+diagnostics, live here.
+"""
+
+from repro.metrics.classification import (
+    accuracy,
+    balanced_accuracy,
+    confusion_matrix,
+    precision_recall_f1,
+    classification_report,
+    log_loss,
+)
+from repro.metrics.roc import roc_curve, roc_auc, rank_auc, precision_recall_curve, average_precision
+from repro.metrics.ams import ams_score, best_ams_threshold
+from repro.metrics.calibration import calibration_curve, expected_calibration_error, brier_score
+
+__all__ = [
+    "accuracy",
+    "balanced_accuracy",
+    "confusion_matrix",
+    "precision_recall_f1",
+    "classification_report",
+    "log_loss",
+    "roc_curve",
+    "roc_auc",
+    "rank_auc",
+    "precision_recall_curve",
+    "average_precision",
+    "ams_score",
+    "best_ams_threshold",
+    "calibration_curve",
+    "expected_calibration_error",
+    "brier_score",
+]

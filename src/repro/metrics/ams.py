@@ -1,0 +1,99 @@
+"""Approximate Median Significance (AMS), the Higgs-Kaggle challenge metric.
+
+The paper mentions (Section VI) that the Kaggle ATLAS challenge scored
+submissions by AMS rather than accuracy/AUC.  We include it so the related
+work comparison benchmark can report all three metrics on the same split.
+
+AMS is defined (Adam-Bourdarios et al., 2014) as::
+
+    AMS = sqrt( 2 * ( (s + b + b_reg) * ln(1 + s / (b + b_reg)) - s ) )
+
+where ``s`` and ``b`` are the weighted numbers of true-positive (signal) and
+false-positive (background) events selected by the classifier and ``b_reg``
+is a regularisation constant (10 in the challenge).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+__all__ = ["ams_score", "best_ams_threshold"]
+
+
+def ams_score(
+    y_true,
+    y_selected,
+    weights: Optional[np.ndarray] = None,
+    b_reg: float = 10.0,
+) -> float:
+    """Compute the AMS of a hard selection.
+
+    Parameters
+    ----------
+    y_true:
+        Binary ground-truth labels (1 = signal).
+    y_selected:
+        Binary selection decision (1 = event selected as signal).
+    weights:
+        Optional per-event weights; defaults to unit weights.
+    b_reg:
+        Background regularisation term.
+    """
+    y_true = np.asarray(y_true)
+    y_selected = np.asarray(y_selected)
+    if y_true.shape != y_selected.shape or y_true.ndim != 1:
+        raise DataError("y_true and y_selected must be 1-D arrays of equal length")
+    if weights is None:
+        weights = np.ones_like(y_true, dtype=np.float64)
+    else:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != y_true.shape:
+            raise DataError("weights must match y_true shape")
+        if np.any(weights < 0):
+            raise DataError("weights must be non-negative")
+    if b_reg < 0:
+        raise DataError("b_reg must be non-negative")
+
+    selected = y_selected.astype(bool)
+    s = float(np.sum(weights[selected & (y_true == 1)]))
+    b = float(np.sum(weights[selected & (y_true == 0)]))
+    radicand = 2.0 * ((s + b + b_reg) * np.log1p(s / (b + b_reg)) - s)
+    if radicand < 0:
+        # Only possible through floating point rounding; clamp.
+        radicand = 0.0
+    return float(np.sqrt(radicand))
+
+
+def best_ams_threshold(
+    y_true,
+    scores,
+    weights: Optional[np.ndarray] = None,
+    b_reg: float = 10.0,
+    n_thresholds: int = 200,
+) -> Tuple[float, float]:
+    """Scan score thresholds and return ``(best_threshold, best_ams)``.
+
+    The scan uses quantile-spaced thresholds of the score distribution so it
+    is insensitive to the score scale.
+    """
+    y_true = np.asarray(y_true)
+    scores = np.asarray(scores, dtype=np.float64)
+    if y_true.shape != scores.shape or y_true.ndim != 1:
+        raise DataError("y_true and scores must be 1-D arrays of equal length")
+    if n_thresholds < 2:
+        raise DataError("n_thresholds must be >= 2")
+    qs = np.linspace(0.0, 1.0, n_thresholds)
+    thresholds = np.unique(np.quantile(scores, qs))
+    best_thr = float(thresholds[0])
+    best_val = -np.inf
+    for thr in thresholds:
+        selected = (scores >= thr).astype(np.int64)
+        val = ams_score(y_true, selected, weights=weights, b_reg=b_reg)
+        if val > best_val:
+            best_val = val
+            best_thr = float(thr)
+    return best_thr, float(best_val)

@@ -1,0 +1,70 @@
+"""Probability calibration diagnostics.
+
+BCPNN produces genuinely probabilistic outputs (softmax of log-probability
+ratios), so beyond accuracy/AUC it is useful to check how well calibrated the
+signal probability is — especially when comparing the pure BCPNN head with
+the SGD hybrid head.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+__all__ = ["calibration_curve", "expected_calibration_error", "brier_score"]
+
+
+def _validate(y_true, probabilities) -> Tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    probs = np.asarray(probabilities, dtype=np.float64)
+    if y_true.ndim != 1 or probs.ndim != 1 or y_true.shape != probs.shape:
+        raise DataError("y_true and probabilities must be 1-D arrays of equal length")
+    if y_true.shape[0] == 0:
+        raise DataError("empty inputs")
+    if np.any((probs < 0) | (probs > 1)) or not np.all(np.isfinite(probs)):
+        raise DataError("probabilities must lie in [0, 1]")
+    uniques = np.unique(y_true)
+    if not np.all(np.isin(uniques, [0, 1])):
+        raise DataError("y_true must be binary 0/1")
+    return y_true.astype(np.float64), probs
+
+
+def calibration_curve(y_true, probabilities, n_bins: int = 10) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return ``(bin_centers, observed_frequency, bin_counts)``.
+
+    Bins with no samples get ``observed_frequency = nan`` and ``count = 0``.
+    """
+    if n_bins < 1:
+        raise DataError("n_bins must be >= 1")
+    y_true, probs = _validate(y_true, probabilities)
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    idx = np.clip(np.digitize(probs, edges[1:-1]), 0, n_bins - 1)
+    counts = np.bincount(idx, minlength=n_bins).astype(np.float64)
+    pos = np.bincount(idx, weights=y_true, minlength=n_bins)
+    observed = np.divide(pos, counts, out=np.full(n_bins, np.nan), where=counts > 0)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    return centers, observed, counts.astype(np.int64)
+
+
+def expected_calibration_error(y_true, probabilities, n_bins: int = 10) -> float:
+    """Weighted mean absolute gap between confidence and observed frequency."""
+    y_true, probs = _validate(y_true, probabilities)
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    idx = np.clip(np.digitize(probs, edges[1:-1]), 0, n_bins - 1)
+    counts = np.bincount(idx, minlength=n_bins).astype(np.float64)
+    pos = np.bincount(idx, weights=y_true, minlength=n_bins)
+    conf = np.bincount(idx, weights=probs, minlength=n_bins)
+    mask = counts > 0
+    observed = pos[mask] / counts[mask]
+    confidence = conf[mask] / counts[mask]
+    weights = counts[mask] / counts.sum()
+    return float(np.sum(weights * np.abs(observed - confidence)))
+
+
+def brier_score(y_true, probabilities) -> float:
+    """Mean squared error between predicted probability and binary outcome."""
+    y_true, probs = _validate(y_true, probabilities)
+    return float(np.mean((probs - y_true) ** 2))

@@ -1,0 +1,136 @@
+"""Lightweight configuration objects.
+
+The experiment harness and CLI pass around many hyper-parameters; this module
+provides a small immutable mapping (:class:`FrozenConfig`) with dotted-path
+access, dictionary round-tripping and JSON persistence, without pulling in a
+configuration framework.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, Mapping, Optional, Union
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["FrozenConfig", "asdict_shallow", "load_json_config", "dump_json_config"]
+
+
+def asdict_shallow(obj: Any) -> Dict[str, Any]:
+    """Return a shallow dict view of a dataclass, mapping or plain object."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: getattr(obj, f.name) for f in dataclasses.fields(obj)}
+    if isinstance(obj, Mapping):
+        return dict(obj)
+    if hasattr(obj, "__dict__"):
+        return {k: v for k, v in vars(obj).items() if not k.startswith("_")}
+    raise ConfigurationError(f"cannot convert {type(obj).__name__} to a dict")
+
+
+class FrozenConfig(Mapping[str, Any]):
+    """Immutable string-keyed configuration with dotted access.
+
+    Examples
+    --------
+    >>> cfg = FrozenConfig({"model": {"n_hcu": 4}, "seed": 1})
+    >>> cfg["model.n_hcu"]
+    4
+    >>> cfg.get("missing", 7)
+    7
+    """
+
+    def __init__(self, data: Optional[Mapping[str, Any]] = None, **kwargs: Any) -> None:
+        merged: Dict[str, Any] = {}
+        if data is not None:
+            merged.update(dict(data))
+        merged.update(kwargs)
+        self._data: Dict[str, Any] = {}
+        for key, value in merged.items():
+            if not isinstance(key, str):
+                raise ConfigurationError("configuration keys must be strings")
+            if isinstance(value, Mapping) and not isinstance(value, FrozenConfig):
+                value = FrozenConfig(value)
+            self._data[key] = value
+
+    # Mapping protocol -----------------------------------------------------
+    def __getitem__(self, key: str) -> Any:
+        if "." in key:
+            head, rest = key.split(".", 1)
+            child = self._data[head]
+            if not isinstance(child, FrozenConfig):
+                raise KeyError(key)
+            return child[rest]
+        return self._data[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: object) -> bool:
+        if not isinstance(key, str):
+            return False
+        try:
+            self[key]
+            return True
+        except KeyError:
+            return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FrozenConfig({self.to_dict()!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FrozenConfig):
+            return self.to_dict() == other.to_dict()
+        if isinstance(other, Mapping):
+            return self.to_dict() == dict(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(json.dumps(self.to_dict(), sort_keys=True, default=str))
+
+    # Convenience ----------------------------------------------------------
+    def get(self, key: str, default: Any = None) -> Any:
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+    def updated(self, **overrides: Any) -> "FrozenConfig":
+        """Return a new config with top-level keys overridden."""
+        data = self.to_dict()
+        data.update(overrides)
+        return FrozenConfig(data)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        for key, value in self._data.items():
+            out[key] = value.to_dict() if isinstance(value, FrozenConfig) else value
+        return out
+
+
+def load_json_config(path: Union[str, Path]) -> FrozenConfig:
+    """Load a JSON file into a :class:`FrozenConfig`."""
+    path = Path(path)
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"failed to load config from {path}: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ConfigurationError(f"config file {path} must contain a JSON object")
+    return FrozenConfig(data)
+
+
+def dump_json_config(config: Union[FrozenConfig, Mapping[str, Any]], path: Union[str, Path]) -> Path:
+    """Write a configuration mapping as pretty-printed JSON."""
+    path = Path(path)
+    data = config.to_dict() if isinstance(config, FrozenConfig) else dict(config)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+    return path

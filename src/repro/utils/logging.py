@@ -1,0 +1,48 @@
+"""Logging configuration helpers.
+
+The library never configures the root logger; it only attaches a
+``NullHandler`` to its own namespace so that importing :mod:`repro` is silent
+by default.  :func:`enable_console_logging` is what the CLI and examples call
+to get human-readable progress output.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+__all__ = ["get_logger", "enable_console_logging"]
+
+_ROOT_NAME = "repro"
+
+logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace."""
+    if name is None or name == _ROOT_NAME:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO, stream=None) -> logging.Handler:
+    """Attach a stream handler to the ``repro`` logger namespace.
+
+    Returns the handler so tests can detach it again.  Calling this twice
+    replaces the previous console handler instead of duplicating output.
+    """
+    logger = logging.getLogger(_ROOT_NAME)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_console", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("[%(asctime)s] %(levelname)s %(name)s: %(message)s", "%H:%M:%S")
+    )
+    handler._repro_console = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return handler

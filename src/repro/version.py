@@ -1,0 +1,6 @@
+"""Version information for the :mod:`repro` package."""
+
+__version__ = "1.0.0"
+
+#: Tuple form of the version, useful for programmatic comparisons.
+VERSION_INFO = tuple(int(part) for part in __version__.split("."))

@@ -1,0 +1,186 @@
+"""Catalyst-style in-situ co-processing of BCPNN training.
+
+The paper's new StreamBrain feature is a ParaView Catalyst adaptor that
+"triggers co-processing at end of each epoch and the Catalyst pipeline
+writes the receptive fields as VTI files" (Section III-B).  The classes here
+reproduce that architecture without ParaView:
+
+* :class:`CoProcessor` — owns a list of pipeline stages; ``coprocess`` is
+  called with a data description (epoch, fields) and runs every stage whose
+  trigger matches, exactly like ``vtkCPProcessor``.
+* :class:`CatalystAdaptor` — the simulation-side adaptor.  It is also a
+  :class:`repro.core.training.TrainingCallback`, so it plugs straight into
+  ``Network.fit(callbacks=[adaptor])``: on every epoch end it extracts the
+  hidden layers' receptive-field masks and hands them to the co-processor,
+  which writes ``.vti`` files (readable by an actual ParaView client) and
+  optionally ``.pgm`` snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.training import TrainingCallback
+from repro.exceptions import VisualizationError
+from repro.visualization.fields import mask_to_square_image, masks_to_image_grid
+from repro.visualization.images import array_to_pgm
+from repro.visualization.vti import ImageDataSpec, write_vti
+
+__all__ = ["DataDescription", "CoProcessor", "CatalystAdaptor"]
+
+
+@dataclass
+class DataDescription:
+    """What the simulation hands to the co-processor at each trigger point."""
+
+    step: int
+    time: float
+    fields: Dict[str, np.ndarray]
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+
+PipelineStage = Callable[[DataDescription], Optional[Path]]
+
+
+class CoProcessor:
+    """Runs registered pipeline stages whenever the trigger frequency fires."""
+
+    def __init__(self, frequency: int = 1) -> None:
+        if frequency < 1:
+            raise VisualizationError("frequency must be >= 1")
+        self.frequency = int(frequency)
+        self.pipelines: List[PipelineStage] = []
+        self.outputs: List[Path] = []
+        self.invocations = 0
+
+    def add_pipeline(self, stage: PipelineStage) -> None:
+        if not callable(stage):
+            raise VisualizationError("pipeline stage must be callable")
+        self.pipelines.append(stage)
+
+    def request_data_description(self, step: int) -> bool:
+        """Whether co-processing should run for this step (Catalyst-style poll)."""
+        return step % self.frequency == 0
+
+    def coprocess(self, description: DataDescription) -> List[Path]:
+        """Run all pipelines; returns the files written this invocation."""
+        if not self.request_data_description(description.step):
+            return []
+        written: List[Path] = []
+        for stage in self.pipelines:
+            result = stage(description)
+            if result is not None:
+                written.append(Path(result))
+        self.outputs.extend(written)
+        self.invocations += 1
+        return written
+
+
+class CatalystAdaptor(TrainingCallback):
+    """Training callback that co-processes receptive fields once per epoch.
+
+    Parameters
+    ----------
+    output_dir:
+        Directory for the generated ``.vti`` (and optional ``.pgm``) files.
+    image_shape:
+        Per-HCU layout of the mask image.  For MNIST-style inputs pass the
+        pixel grid (e.g. ``(28, 28)`` when each pixel is one hypercolumn);
+        for the 28-feature Higgs input the default near-square layout is a
+        7x4 panel as in Fig. 2.
+    frequency:
+        Co-process every ``frequency`` epochs.
+    write_pgm:
+        Additionally write a PGM montage of all HCU masks per invocation.
+    phase:
+        Which training phase to observe (default: the unsupervised hidden
+        phase, matching the paper).
+    """
+
+    def __init__(
+        self,
+        output_dir: Union[str, Path],
+        image_shape: Optional[Tuple[int, int]] = None,
+        frequency: int = 1,
+        write_pgm: bool = False,
+        phase: str = "hidden",
+    ) -> None:
+        self.output_dir = Path(output_dir)
+        self.output_dir.mkdir(parents=True, exist_ok=True)
+        self.image_shape = image_shape
+        self.write_pgm = bool(write_pgm)
+        self.phase = str(phase)
+        self.coprocessor = CoProcessor(frequency=frequency)
+        self.coprocessor.add_pipeline(self._write_fields_pipeline)
+        if self.write_pgm:
+            self.coprocessor.add_pipeline(self._write_pgm_pipeline)
+        self.snapshots: List[Dict[str, object]] = []
+
+    # ------------------------------------------------------------ callbacks
+    def on_epoch_end(self, context: Dict[str, object]) -> None:
+        if context.get("phase") != self.phase:
+            return
+        layer = context["layer"]
+        masks = getattr(layer, "receptive_field_masks", None)
+        if masks is None:
+            return
+        mask_matrix = layer.receptive_field_masks()
+        description = DataDescription(
+            step=int(context["epoch"]),
+            time=float(context["epoch"]),
+            fields={"mask": mask_matrix},
+            metadata={
+                "layer_name": context.get("layer_name", "hidden"),
+                "density": getattr(layer.hyperparams, "density", float("nan")),
+                "metrics": dict(context.get("metrics", {})),
+            },
+        )
+        written = self.coprocessor.coprocess(description)
+        self.snapshots.append(
+            {
+                "epoch": int(context["epoch"]),
+                "layer": context.get("layer_name", "hidden"),
+                "files": [str(p) for p in written],
+                "mask": mask_matrix.copy(),
+            }
+        )
+
+    # ------------------------------------------------------------ pipelines
+    def _vti_spec_for(self, mask_matrix: np.ndarray) -> Tuple[ImageDataSpec, np.ndarray]:
+        """Stack per-HCU mask images into a (z = HCU index) image volume."""
+        images = [
+            mask_to_square_image(mask_matrix[h], self.image_shape)
+            for h in range(mask_matrix.shape[0])
+        ]
+        volume = np.stack(images, axis=0)  # (H, rows, cols)
+        n_hcu, rows, cols = volume.shape
+        spec = ImageDataSpec(dimensions=(cols, rows, n_hcu))
+        # VTK point ordering is x-fastest, then y, then z: (z, y, x) ravel.
+        return spec, volume.reshape(-1)
+
+    def _write_fields_pipeline(self, description: DataDescription) -> Path:
+        mask_matrix = np.asarray(description.fields["mask"], dtype=np.float64)
+        spec, flat = self._vti_spec_for(mask_matrix)
+        layer_name = str(description.metadata.get("layer_name", "hidden"))
+        path = self.output_dir / f"receptive_fields_{layer_name}_epoch{description.step:04d}.vti"
+        return write_vti(path, {"receptive_field": flat}, spec)
+
+    def _write_pgm_pipeline(self, description: DataDescription) -> Path:
+        mask_matrix = np.asarray(description.fields["mask"], dtype=np.float64)
+        panel = masks_to_image_grid(mask_matrix, image_shape=self.image_shape)
+        layer_name = str(description.metadata.get("layer_name", "hidden"))
+        path = self.output_dir / f"receptive_fields_{layer_name}_epoch{description.step:04d}.pgm"
+        return array_to_pgm(panel, path)
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def written_files(self) -> List[Path]:
+        return list(self.coprocessor.outputs)
+
+    def mask_evolution(self) -> List[np.ndarray]:
+        """The sequence of mask matrices captured across epochs."""
+        return [np.asarray(s["mask"]) for s in self.snapshots]

@@ -1,0 +1,133 @@
+"""Receptive-field rendering helpers.
+
+These convert structural-plasticity masks (an ``(H, F)`` matrix of 0/1
+connections from each hidden HCU to each input hypercolumn / feature) into
+images and summaries:
+
+* for image datasets (MNIST), each HCU's mask reshapes directly onto the
+  pixel grid — the Fig. 1 visualisation;
+* for tabular datasets (HIGGS, 28 features), masks are laid out on a small
+  rectangular grid (e.g. 7x4) so the Fig. 2/5 style panels can be produced.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import VisualizationError
+
+__all__ = ["mask_to_square_image", "masks_to_image_grid", "receptive_field_summary"]
+
+
+def _grid_shape(n_items: int) -> Tuple[int, int]:
+    """Near-square (rows, cols) layout for ``n_items`` cells."""
+    cols = int(math.ceil(math.sqrt(n_items)))
+    rows = int(math.ceil(n_items / cols))
+    return rows, cols
+
+
+def mask_to_square_image(
+    mask_row: np.ndarray, image_shape: Optional[Tuple[int, int]] = None
+) -> np.ndarray:
+    """Reshape one HCU's mask over F input hypercolumns into a 2-D image.
+
+    If ``image_shape`` is omitted a near-square layout is chosen and padded
+    with zeros (padding cells are not connected to anything).
+    """
+    row = np.asarray(mask_row, dtype=np.float64).reshape(-1)
+    if row.size == 0:
+        raise VisualizationError("mask row must not be empty")
+    if image_shape is None:
+        image_shape = _grid_shape(row.size)
+    rows, cols = int(image_shape[0]), int(image_shape[1])
+    if rows * cols < row.size:
+        raise VisualizationError(
+            f"image shape {image_shape} too small for {row.size} mask entries"
+        )
+    padded = np.zeros(rows * cols, dtype=np.float64)
+    padded[: row.size] = row
+    return padded.reshape(rows, cols)
+
+
+def masks_to_image_grid(
+    masks: np.ndarray,
+    image_shape: Optional[Tuple[int, int]] = None,
+    padding: int = 1,
+) -> np.ndarray:
+    """Tile every HCU's mask image into one composite panel.
+
+    Parameters
+    ----------
+    masks:
+        ``(H, F)`` mask matrix (one row per HCU).
+    image_shape:
+        Per-HCU image shape; near-square when omitted.
+    padding:
+        Pixels of separation between tiles (rendered as value 0.5 so tile
+        boundaries are visible both against active=1 and silent=0 cells).
+    """
+    masks = np.asarray(masks, dtype=np.float64)
+    if masks.ndim != 2:
+        raise VisualizationError(f"masks must be 2-D (H, F), got shape {masks.shape}")
+    if padding < 0:
+        raise VisualizationError("padding must be non-negative")
+    images = [mask_to_square_image(masks[h], image_shape) for h in range(masks.shape[0])]
+    tile_rows, tile_cols = images[0].shape
+    grid_rows, grid_cols = _grid_shape(len(images))
+    height = grid_rows * tile_rows + (grid_rows + 1) * padding
+    width = grid_cols * tile_cols + (grid_cols + 1) * padding
+    panel = np.full((height, width), 0.5, dtype=np.float64)
+    for idx, image in enumerate(images):
+        r, c = divmod(idx, grid_cols)
+        top = padding + r * (tile_rows + padding)
+        left = padding + c * (tile_cols + padding)
+        panel[top : top + tile_rows, left : left + tile_cols] = image
+    return panel
+
+
+def receptive_field_summary(
+    masks: np.ndarray, feature_names: Optional[Sequence[str]] = None
+) -> Dict[str, object]:
+    """Quantitative summary of the receptive-field structure.
+
+    Returns per-HCU active counts, per-feature usage counts, the coverage
+    (fraction of features watched by at least one HCU), the mean pairwise
+    Jaccard overlap between HCUs, and the most/least attended features —
+    the kind of data-set insight the paper argues structural plasticity
+    provides.
+    """
+    masks = np.asarray(masks, dtype=np.float64)
+    if masks.ndim != 2:
+        raise VisualizationError("masks must be 2-D (H, F)")
+    n_hcu, n_features = masks.shape
+    active_per_hcu = masks.sum(axis=1).astype(int)
+    usage_per_feature = masks.sum(axis=0).astype(int)
+    coverage = float(np.mean(usage_per_feature > 0)) if n_features else 0.0
+
+    overlaps: List[float] = []
+    for a in range(n_hcu):
+        for b in range(a + 1, n_hcu):
+            union = np.sum((masks[a] + masks[b]) > 0)
+            inter = np.sum((masks[a] * masks[b]) > 0)
+            overlaps.append(float(inter / union) if union > 0 else 0.0)
+    mean_overlap = float(np.mean(overlaps)) if overlaps else 0.0
+
+    names = list(feature_names) if feature_names is not None else [f"feature_{i}" for i in range(n_features)]
+    if len(names) != n_features:
+        raise VisualizationError("feature_names length does not match the mask width")
+    order = np.argsort(-usage_per_feature)
+    most = [(names[i], int(usage_per_feature[i])) for i in order[: min(5, n_features)]]
+    least = [(names[i], int(usage_per_feature[i])) for i in order[::-1][: min(5, n_features)]]
+    return {
+        "n_hcus": int(n_hcu),
+        "n_features": int(n_features),
+        "active_per_hcu": active_per_hcu.tolist(),
+        "usage_per_feature": usage_per_feature.tolist(),
+        "coverage": coverage,
+        "mean_pairwise_jaccard": mean_overlap,
+        "most_attended": most,
+        "least_attended": least,
+    }

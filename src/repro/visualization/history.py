@@ -1,0 +1,76 @@
+"""Training-curve recording and export.
+
+A lightweight alternative to the per-epoch loss printouts the paper
+contrasts with in-situ visualization: records arbitrary named series during
+training (as a callback) and exports them to CSV for plotting elsewhere.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.core.training import TrainingCallback
+from repro.exceptions import VisualizationError
+
+__all__ = ["TrainingCurveRecorder"]
+
+
+class TrainingCurveRecorder(TrainingCallback):
+    """Collects per-epoch metrics from the training loop.
+
+    Parameters
+    ----------
+    phases:
+        Which training phases to record (``None`` records everything).
+    """
+
+    def __init__(self, phases: Optional[List[str]] = None) -> None:
+        self.phases = list(phases) if phases is not None else None
+        self.rows: List[Dict[str, object]] = []
+
+    def on_epoch_end(self, context: Dict[str, object]) -> None:
+        phase = str(context.get("phase", ""))
+        if self.phases is not None and phase not in self.phases:
+            return
+        row: Dict[str, object] = {
+            "phase": phase,
+            "layer": context.get("layer_name", ""),
+            "epoch": int(context.get("epoch", -1)),
+        }
+        for key, value in dict(context.get("metrics", {})).items():
+            row[key] = float(value)
+        self.rows.append(row)
+
+    # --------------------------------------------------------------- access
+    def series(self, metric: str, phase: Optional[str] = None) -> List[float]:
+        """The trajectory of one metric (rows lacking the metric are skipped)."""
+        values = []
+        for row in self.rows:
+            if phase is not None and row["phase"] != phase:
+                continue
+            if metric in row:
+                values.append(float(row[metric]))
+        return values
+
+    def to_csv(self, path: Union[str, Path]) -> Path:
+        """Write all recorded rows to a CSV file with a unified header."""
+        if not self.rows:
+            raise VisualizationError("nothing recorded yet")
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        columns: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        with path.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.DictWriter(handle, fieldnames=columns)
+            writer.writeheader()
+            for row in self.rows:
+                writer.writerow(row)
+        return path
+
+    def __len__(self) -> int:
+        return len(self.rows)

@@ -1,0 +1,75 @@
+"""Portable image output without external imaging libraries.
+
+PGM (portable greymap) files open in essentially every image viewer and in
+ParaView; ASCII rendering gives a quick terminal look at masks and receptive
+fields (handy over SSH on the HPC systems the paper targets).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import VisualizationError
+
+__all__ = ["normalize_to_unit", "array_to_pgm", "ascii_render"]
+
+_ASCII_RAMP = " .:-=+*#%@"
+
+
+def normalize_to_unit(values: np.ndarray) -> np.ndarray:
+    """Scale an array linearly into [0, 1] (constant arrays map to 0)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise VisualizationError("cannot normalise an empty array")
+    lo = float(arr.min())
+    hi = float(arr.max())
+    if not np.isfinite(lo) or not np.isfinite(hi):
+        raise VisualizationError("array contains non-finite values")
+    if hi - lo < 1e-300:
+        return np.zeros_like(arr)
+    return (arr - lo) / (hi - lo)
+
+
+def array_to_pgm(values: np.ndarray, path: Union[str, Path], max_value: int = 255) -> Path:
+    """Write a 2-D array as a binary PGM image (auto-normalised)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 2:
+        raise VisualizationError(f"PGM export needs a 2-D array, got shape {arr.shape}")
+    if not 1 <= max_value <= 255:
+        raise VisualizationError("max_value must be in [1, 255]")
+    path = Path(path)
+    if path.suffix.lower() != ".pgm":
+        path = path.with_suffix(".pgm")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    scaled = np.round(normalize_to_unit(arr) * max_value).astype(np.uint8)
+    header = f"P5\n{arr.shape[1]} {arr.shape[0]}\n{max_value}\n".encode("ascii")
+    try:
+        with open(path, "wb") as handle:
+            handle.write(header)
+            handle.write(scaled.tobytes())
+    except OSError as exc:
+        raise VisualizationError(f"failed to write {path}: {exc}") from exc
+    return path
+
+
+def ascii_render(values: np.ndarray, width: int = 60) -> str:
+    """Render a 2-D array as an ASCII-art string (downsampled to ``width``)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 2:
+        raise VisualizationError(f"ascii_render needs a 2-D array, got shape {arr.shape}")
+    if width < 2:
+        raise VisualizationError("width must be >= 2")
+    rows, cols = arr.shape
+    if cols > width:
+        # Nearest-neighbour downsample; keep the aspect ratio roughly 2:1
+        # because terminal cells are taller than they are wide.
+        col_idx = np.linspace(0, cols - 1, width).astype(int)
+        row_count = max(2, int(rows * width / cols / 2))
+        row_idx = np.linspace(0, rows - 1, row_count).astype(int)
+        arr = arr[np.ix_(row_idx, col_idx)]
+    unit = normalize_to_unit(arr)
+    indices = np.minimum((unit * len(_ASCII_RAMP)).astype(int), len(_ASCII_RAMP) - 1)
+    return "\n".join("".join(_ASCII_RAMP[i] for i in row) for row in indices)

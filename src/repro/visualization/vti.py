@@ -1,0 +1,124 @@
+"""Minimal VTK XML ImageData (``.vti``) writer.
+
+Produces ASCII-encoded ``.vti`` files that ParaView (and ``vtkXMLImageDataReader``)
+can open directly.  Only what the in-situ receptive-field pipeline needs is
+implemented: point data on a regular 2-D/3-D grid with one or more named
+float arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Tuple, Union
+from xml.etree import ElementTree
+
+import numpy as np
+
+from repro.exceptions import VisualizationError
+
+__all__ = ["ImageDataSpec", "write_vti", "read_vti_arrays"]
+
+
+@dataclass(frozen=True)
+class ImageDataSpec:
+    """Grid geometry of an ImageData file."""
+
+    dimensions: Tuple[int, int, int]
+    origin: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+    spacing: Tuple[float, float, float] = (1.0, 1.0, 1.0)
+
+    def __post_init__(self) -> None:
+        if len(self.dimensions) != 3 or any(int(d) <= 0 for d in self.dimensions):
+            raise VisualizationError("dimensions must be three positive integers")
+        if len(self.origin) != 3 or len(self.spacing) != 3:
+            raise VisualizationError("origin and spacing must have three components")
+        if any(s <= 0 for s in self.spacing):
+            raise VisualizationError("spacing components must be positive")
+
+    @property
+    def n_points(self) -> int:
+        return int(np.prod([int(d) for d in self.dimensions]))
+
+    @property
+    def whole_extent(self) -> str:
+        nx, ny, nz = (int(d) for d in self.dimensions)
+        return f"0 {nx - 1} 0 {ny - 1} 0 {nz - 1}"
+
+
+def _normalise_field(name: str, values: np.ndarray, spec: ImageDataSpec) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size != spec.n_points:
+        raise VisualizationError(
+            f"field '{name}' has {arr.size} values but the grid has {spec.n_points} points"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise VisualizationError(f"field '{name}' contains NaN or infinite values")
+    # VTK expects x-fastest ordering; we accept either a flat array (assumed
+    # already ordered) or an array shaped like the grid (z, y, x) and flatten.
+    return arr.reshape(-1)
+
+
+def write_vti(
+    path: Union[str, Path],
+    fields: Dict[str, np.ndarray],
+    spec: ImageDataSpec,
+) -> Path:
+    """Write named point-data arrays on a regular grid as an ASCII ``.vti`` file."""
+    if not fields:
+        raise VisualizationError("at least one field is required")
+    path = Path(path)
+    if path.suffix != ".vti":
+        path = path.with_suffix(".vti")
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    lines = []
+    lines.append('<?xml version="1.0"?>')
+    lines.append('<VTKFile type="ImageData" version="0.1" byte_order="LittleEndian">')
+    origin = " ".join(f"{v:g}" for v in spec.origin)
+    spacing = " ".join(f"{v:g}" for v in spec.spacing)
+    lines.append(
+        f'  <ImageData WholeExtent="{spec.whole_extent}" Origin="{origin}" Spacing="{spacing}">'
+    )
+    lines.append(f'    <Piece Extent="{spec.whole_extent}">')
+    first_name = next(iter(fields))
+    lines.append(f'      <PointData Scalars="{first_name}">')
+    for name, values in fields.items():
+        flat = _normalise_field(name, values, spec)
+        payload = " ".join(f"{v:.9g}" for v in flat)
+        lines.append(
+            f'        <DataArray type="Float64" Name="{name}" format="ascii" '
+            f'NumberOfComponents="1">'
+        )
+        lines.append(f"          {payload}")
+        lines.append("        </DataArray>")
+    lines.append("      </PointData>")
+    lines.append("      <CellData/>")
+    lines.append("    </Piece>")
+    lines.append("  </ImageData>")
+    lines.append("</VTKFile>")
+    try:
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    except OSError as exc:
+        raise VisualizationError(f"failed to write {path}: {exc}") from exc
+    return path
+
+
+def read_vti_arrays(path: Union[str, Path]) -> Dict[str, np.ndarray]:
+    """Parse the point-data arrays back from a ``.vti`` written by :func:`write_vti`.
+
+    Primarily used by tests and notebooks; not a general VTK reader.
+    """
+    path = Path(path)
+    try:
+        tree = ElementTree.parse(path)
+    except (OSError, ElementTree.ParseError) as exc:
+        raise VisualizationError(f"failed to read {path}: {exc}") from exc
+    arrays: Dict[str, np.ndarray] = {}
+    for data_array in tree.getroot().iter("DataArray"):
+        name = data_array.get("Name", "unnamed")
+        text = (data_array.text or "").split()
+        arrays[name] = np.asarray([float(v) for v in text], dtype=np.float64)
+    if not arrays:
+        raise VisualizationError(f"no DataArray elements found in {path}")
+    return arrays

@@ -1,0 +1,131 @@
+"""Tests for the simulated-MPI communicator and data-parallel trainer."""
+
+import numpy as np
+import pytest
+
+from repro.backend.distributed import DistributedTrainer, LocalComm, split_ranks
+from repro.core import BCPNNHyperParameters, InputSpec, StructuralPlasticityLayer
+from repro.exceptions import BackendError, DataError
+from repro.utils.rng import as_rng
+
+
+class TestLocalComm:
+    def test_allreduce_sum_and_mean(self):
+        comm = LocalComm(3)
+        parts = [np.full(4, float(r)) for r in range(3)]
+        assert np.allclose(comm.allreduce(parts, op="sum"), 3.0)
+        assert np.allclose(comm.allreduce(parts, op="mean"), 1.0)
+
+    def test_allreduce_max_min(self):
+        comm = LocalComm(2)
+        parts = [np.array([1.0, 5.0]), np.array([3.0, 2.0])]
+        assert np.allclose(comm.allreduce(parts, op="max"), [3.0, 5.0])
+        assert np.allclose(comm.allreduce(parts, op="min"), [1.0, 2.0])
+
+    def test_allgather_returns_copies(self):
+        comm = LocalComm(2)
+        parts = [np.zeros(2), np.ones(2)]
+        gathered = comm.allgather(parts)
+        gathered[0][:] = 99
+        assert parts[0][0] == 0.0
+
+    def test_bcast(self):
+        comm = LocalComm(3)
+        out = comm.bcast(np.array([1.0, 2.0]), root=0)
+        assert len(out) == 3
+        assert all(np.allclose(o, [1.0, 2.0]) for o in out)
+        with pytest.raises(BackendError):
+            comm.bcast(np.ones(2), root=9)
+
+    def test_contribution_validation(self):
+        comm = LocalComm(2)
+        with pytest.raises(BackendError):
+            comm.allreduce([np.ones(2)])
+        with pytest.raises(BackendError):
+            comm.allreduce([np.ones(2), np.ones(3)])
+        with pytest.raises(BackendError):
+            comm.allreduce([np.ones(2), np.ones(2)], op="median")
+
+    def test_counters(self):
+        comm = LocalComm(2)
+        comm.allreduce([np.ones(4), np.ones(4)])
+        comm.barrier()
+        assert comm.collective_calls["allreduce"] == 1
+        assert comm.collective_calls["barrier"] == 1
+        assert comm.bytes_communicated > 0
+
+    def test_invalid_size(self):
+        with pytest.raises(BackendError):
+            LocalComm(0)
+
+
+class TestSplitRanks:
+    def test_partition(self):
+        chunks = split_ranks(10, 3)
+        assert sum(hi - lo for lo, hi in chunks) == 10
+        assert len(chunks) == 3
+
+    def test_invalid(self):
+        with pytest.raises(BackendError):
+            split_ranks(10, 0)
+
+
+def _make_layer(spec, seed=0):
+    hyperparams = BCPNNHyperParameters(taupdt=0.05, density=0.5, competition="softmax")
+    layer = StructuralPlasticityLayer(2, 6, hyperparams=hyperparams, seed=seed)
+    layer.build(spec)
+    return layer
+
+
+class TestDistributedTrainer:
+    @pytest.fixture()
+    def data(self, small_one_hot_batch):
+        # Tile the batch into a larger dataset.
+        return np.tile(small_one_hot_batch, (4, 1))
+
+    def test_rank_invariance_of_traces(self, small_input_spec, data):
+        layers = {}
+        for ranks in (1, 3):
+            layer = _make_layer(small_input_spec, seed=7)
+            trainer = DistributedTrainer(LocalComm(ranks))
+            trainer.train_layer(layer, data, epochs=2, batch_size=64, rng=as_rng(5), shuffle=True)
+            layers[ranks] = layer
+        assert np.allclose(layers[1].traces.p_ij, layers[3].traces.p_ij, atol=1e-10)
+        assert np.allclose(layers[1].traces.p_i, layers[3].traces.p_i, atol=1e-10)
+
+    def test_more_ranks_than_batch_rows_is_safe(self, small_input_spec, small_one_hot_batch):
+        layer = _make_layer(small_input_spec, seed=1)
+        trainer = DistributedTrainer(LocalComm(128))
+        report = trainer.train_layer(
+            layer, small_one_hot_batch, epochs=1, batch_size=16, rng=as_rng(0)
+        )
+        assert report.global_batches == 4
+        assert layer.traces.check_consistency()
+
+    def test_report_contents(self, small_input_spec, data):
+        layer = _make_layer(small_input_spec, seed=2)
+        comm = LocalComm(2)
+        trainer = DistributedTrainer(comm)
+        epochs_seen = []
+        report = trainer.train_layer(
+            layer, data, epochs=3, batch_size=64, rng=as_rng(1),
+            on_epoch_end=lambda epoch, logs: epochs_seen.append(epoch),
+        )
+        assert report.ranks == 2
+        assert report.epochs == 3
+        assert report.allreduce_calls == comm.collective_calls["allreduce"]
+        assert epochs_seen == [0, 1, 2]
+
+    def test_invalid_arguments(self, small_input_spec, data):
+        layer = _make_layer(small_input_spec)
+        trainer = DistributedTrainer(LocalComm(2))
+        with pytest.raises(DataError):
+            trainer.train_layer(layer, data, epochs=-1, batch_size=16, rng=as_rng(0))
+        with pytest.raises(DataError):
+            trainer.train_layer(layer, data, epochs=1, batch_size=0, rng=as_rng(0))
+        with pytest.raises(DataError):
+            trainer.train_layer(layer, np.ones(5), epochs=1, batch_size=2, rng=as_rng(0))
+
+    def test_requires_local_comm(self):
+        with pytest.raises(BackendError):
+            DistributedTrainer("not-a-comm")

@@ -1,0 +1,91 @@
+"""Tests for the reduced-precision (FPGA/posit stand-in) backend."""
+
+import numpy as np
+import pytest
+
+from repro.backend import LowPrecisionBackend, NumpyBackend, posit_round
+from repro.exceptions import BackendError
+
+
+class TestPositRound:
+    def test_zero_and_sign_preserved(self):
+        values = np.array([0.0, -1.5, 2.5])
+        rounded = posit_round(values)
+        assert rounded[0] == 0.0
+        assert rounded[1] < 0 < rounded[2]
+
+    def test_values_near_one_have_high_accuracy(self):
+        values = np.linspace(0.5, 2.0, 101)
+        rounded = posit_round(values, nbits=16, es=1)
+        rel_err = np.abs(rounded - values) / values
+        assert rel_err.max() < 1e-3
+
+    def test_large_values_have_lower_accuracy_than_near_one(self):
+        near_one = np.array([1.2345678])
+        large = np.array([1.2345678e6])
+        err_near = abs(posit_round(near_one)[0] - near_one[0]) / near_one[0]
+        err_large = abs(posit_round(large)[0] - large[0]) / large[0]
+        assert err_large >= err_near
+
+    def test_non_finite_map_to_zero(self):
+        rounded = posit_round(np.array([np.nan, np.inf, -np.inf]))
+        assert np.allclose(rounded, 0.0)
+
+    def test_range_clamped(self):
+        huge = posit_round(np.array([1e300]))
+        assert np.isfinite(huge[0])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(BackendError):
+            posit_round(np.ones(1), nbits=2)
+        with pytest.raises(BackendError):
+            posit_round(np.ones(1), es=-1)
+
+
+class TestLowPrecisionBackend:
+    @pytest.fixture()
+    def problem(self):
+        rng = np.random.default_rng(4)
+        x = rng.random((64, 10))
+        weights = rng.normal(size=(10, 6))
+        bias = rng.normal(size=6)
+        mask = np.ones((10, 6))
+        return x, weights, bias, mask, [3, 3]
+
+    def test_unsupported_precision_rejected(self):
+        with pytest.raises(BackendError):
+            LowPrecisionBackend("float8")
+
+    def test_float64_is_exact_passthrough(self, problem):
+        x, weights, bias, mask, sizes = problem
+        reference = NumpyBackend().forward(x, weights, bias, mask, sizes)
+        lowprec = LowPrecisionBackend("float64").forward(x, weights, bias, mask, sizes)
+        assert np.allclose(lowprec, reference)
+
+    @pytest.mark.parametrize("precision,tol", [("float32", 1e-5), ("float16", 5e-2), ("posit16", 5e-2)])
+    def test_quantised_forward_close_to_reference(self, problem, precision, tol):
+        x, weights, bias, mask, sizes = problem
+        reference = NumpyBackend().forward(x, weights, bias, mask, sizes)
+        lowprec = LowPrecisionBackend(precision).forward(x, weights, bias, mask, sizes)
+        assert np.max(np.abs(lowprec - reference)) < tol
+        # Activations stay valid distributions after re-normalisation.
+        assert np.allclose(lowprec[:, :3].sum(axis=1), 1.0, atol=1e-6)
+        assert np.allclose(lowprec[:, 3:].sum(axis=1), 1.0, atol=1e-6)
+
+    def test_float16_weights_do_not_overflow(self):
+        backend = LowPrecisionBackend("float16")
+        quantised = backend.quantize(np.array([1e10, -1e10]))
+        assert np.all(np.isfinite(quantised))
+
+    def test_statistics_quantised_but_consistent(self, problem):
+        x, weights, bias, mask, sizes = problem
+        backend = LowPrecisionBackend("float16")
+        a = backend.forward(x, weights, bias, mask, sizes)
+        mean_x, mean_a, mean_outer = backend.batch_statistics(x, a)
+        assert mean_x.shape == (10,)
+        assert mean_outer.shape == (10, 6)
+        reference = NumpyBackend().batch_statistics(x, a)
+        assert np.max(np.abs(mean_outer - reference[2])) < 5e-3
+
+    def test_name_reflects_precision(self):
+        assert LowPrecisionBackend("posit16").name == "lowprec-posit16"

@@ -1,0 +1,90 @@
+"""Tests for the thread-parallel backend (numerical equivalence with reference)."""
+
+import numpy as np
+import pytest
+
+from repro.backend import NumpyBackend, ParallelBackend
+from repro.backend.parallel import default_worker_count
+from repro.exceptions import BackendError
+
+
+@pytest.fixture()
+def problem():
+    rng = np.random.default_rng(1)
+    x = rng.random((500, 20))
+    weights = rng.normal(size=(20, 12))
+    bias = rng.normal(size=12)
+    mask = (rng.random((20, 12)) > 0.5).astype(float)
+    return x, weights, bias, mask, [6, 6]
+
+
+class TestParallelBackend:
+    def test_forward_matches_reference(self, problem):
+        x, weights, bias, mask, sizes = problem
+        reference = NumpyBackend()
+        with ParallelBackend(n_workers=2, min_chunk=50) as parallel:
+            expected = reference.forward(x, weights, bias, mask, sizes)
+            got = parallel.forward(x, weights, bias, mask, sizes)
+        assert np.allclose(got, expected)
+
+    def test_statistics_match_reference(self, problem):
+        x, weights, bias, mask, sizes = problem
+        reference = NumpyBackend()
+        a = reference.forward(x, weights, bias, mask, sizes)
+        with ParallelBackend(n_workers=2, min_chunk=50) as parallel:
+            expected = reference.batch_statistics(x, a)
+            got = parallel.batch_statistics(x, a)
+        for g, e in zip(got, expected):
+            assert np.allclose(g, e)
+
+    def test_traces_to_weights_match_reference(self):
+        rng = np.random.default_rng(2)
+        p_i = rng.random(300) + 0.01
+        p_j = rng.random(40) + 0.01
+        p_ij = rng.random((300, 40)) + 0.001
+        reference = NumpyBackend().traces_to_weights(p_i, p_j, p_ij)
+        with ParallelBackend(n_workers=2, min_chunk=20) as parallel:
+            got = parallel.traces_to_weights(p_i, p_j, p_ij)
+        assert np.allclose(got[0], reference[0])
+        assert np.allclose(got[1], reference[1])
+
+    def test_small_batch_falls_back_to_single_chunk(self, problem):
+        _, weights, bias, mask, sizes = problem
+        x_small = np.random.default_rng(3).random((10, 20))
+        with ParallelBackend(n_workers=4, min_chunk=64) as parallel:
+            chunks = parallel._chunks(x_small.shape[0])
+            assert chunks == [(0, 10)]
+            out = parallel.forward(x_small, weights, bias, mask, sizes)
+        assert out.shape == (10, 12)
+
+    def test_row_mismatch_rejected(self, problem):
+        x, *_ = problem
+        with ParallelBackend(n_workers=2) as parallel:
+            with pytest.raises(BackendError):
+                parallel.batch_statistics(x, np.ones((3, 4)))
+
+    def test_invalid_configuration(self):
+        with pytest.raises(BackendError):
+            ParallelBackend(n_workers=0)
+        with pytest.raises(BackendError):
+            ParallelBackend(min_chunk=0)
+
+    def test_default_worker_count_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_WORKERS", "3")
+        assert default_worker_count() == 3
+        monkeypatch.setenv("REPRO_NUM_WORKERS", "bogus")
+        with pytest.raises(BackendError):
+            default_worker_count()
+        monkeypatch.setenv("REPRO_NUM_WORKERS", "-2")
+        with pytest.raises(BackendError):
+            default_worker_count()
+        monkeypatch.delenv("REPRO_NUM_WORKERS")
+        assert default_worker_count() >= 1
+
+    def test_pool_reused_and_closed(self):
+        backend = ParallelBackend(n_workers=2, min_chunk=1)
+        pool_a = backend.pool
+        pool_b = backend.pool
+        assert pool_a is pool_b
+        backend.close()
+        assert backend._pool is None

@@ -1,0 +1,56 @@
+"""Tests for the backend registry."""
+
+import pytest
+
+from repro.backend import Backend, NumpyBackend, get_backend, list_backends, register_backend
+from repro.exceptions import BackendError
+
+
+class TestRegistry:
+    def test_builtin_backends_listed(self):
+        names = list_backends()
+        for expected in ("numpy", "parallel", "openmp", "float16", "posit16", "fpga"):
+            assert expected in names
+
+    def test_none_gives_numpy(self):
+        assert isinstance(get_backend(None), NumpyBackend)
+
+    def test_instance_passthrough(self):
+        backend = NumpyBackend()
+        assert get_backend(backend) is backend
+
+    def test_by_name_case_insensitive(self):
+        assert get_backend("NumPy").name == "numpy"
+
+    def test_aliases_resolve(self):
+        assert get_backend("fpga").precision == "posit16"
+        assert get_backend("openmp").supports_parallel is True
+
+    def test_unknown_name(self):
+        with pytest.raises(BackendError):
+            get_backend("cuda-a100")
+
+    def test_invalid_type(self):
+        with pytest.raises(BackendError):
+            get_backend(42)
+
+    def test_register_custom_backend(self):
+        class Dummy(Backend):
+            name = "dummy-test"
+
+        register_backend("dummy-test", Dummy)
+        try:
+            assert isinstance(get_backend("dummy-test"), Dummy)
+            with pytest.raises(BackendError):
+                register_backend("dummy-test", Dummy)
+            register_backend("dummy-test", Dummy, overwrite=True)
+        finally:
+            from repro.backend import registry
+
+            registry._REGISTRY.pop("dummy-test", None)
+
+    def test_invalid_registration(self):
+        with pytest.raises(BackendError):
+            register_backend("", NumpyBackend)
+        with pytest.raises(BackendError):
+            register_backend("x-backend", "not-callable")

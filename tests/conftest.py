@@ -1,0 +1,93 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (synthetic HIGGS events, encoded matrices, a trained
+network) are session-scoped so the full suite stays fast; tests that mutate
+state build their own objects instead of using these fixtures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BCPNNHyperParameters,
+    InputSpec,
+    Network,
+    SGDClassifier,
+    StructuralPlasticityLayer,
+    TrainingSchedule,
+)
+from repro.datasets import QuantileOneHotEncoder, SyntheticHiggsGenerator, make_higgs_splits
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def higgs_dataset():
+    """A small synthetic HIGGS dataset (raw 28-feature table)."""
+    return SyntheticHiggsGenerator(seed=7).sample(1200, signal_fraction=0.5)
+
+
+@pytest.fixture(scope="session")
+def higgs_splits():
+    """Balanced, stratified train/test splits of a small synthetic set."""
+    return make_higgs_splits(n_samples=2400, test_fraction=0.25, seed=11)
+
+
+@pytest.fixture(scope="session")
+def encoded_higgs(higgs_splits):
+    """Quantile one-hot encoded train/test matrices plus encoder and spec."""
+    encoder = QuantileOneHotEncoder(n_bins=10).fit(higgs_splits.train.features)
+    x_train = encoder.transform(higgs_splits.train.features)
+    x_test = encoder.transform(higgs_splits.test.features)
+    return {
+        "encoder": encoder,
+        "spec": InputSpec.from_encoder(encoder),
+        "x_train": x_train,
+        "y_train": higgs_splits.train.labels,
+        "x_test": x_test,
+        "y_test": higgs_splits.test.labels,
+    }
+
+
+@pytest.fixture(scope="session")
+def trained_network(encoded_higgs):
+    """A small trained BCPNN network (hybrid SGD head) shared across tests."""
+    network = Network(seed=0, name="fixture-network")
+    network.add(
+        StructuralPlasticityLayer(
+            n_hypercolumns=2,
+            n_minicolumns=30,
+            hyperparams=BCPNNHyperParameters(taupdt=0.02, density=0.4),
+            seed=1,
+        )
+    )
+    network.add(SGDClassifier(n_classes=2, learning_rate=0.1, seed=2))
+    network.fit(
+        encoded_higgs["x_train"],
+        encoded_higgs["y_train"],
+        input_spec=encoded_higgs["spec"],
+        schedule=TrainingSchedule(hidden_epochs=3, classifier_epochs=5, batch_size=128),
+    )
+    return network
+
+
+@pytest.fixture()
+def small_input_spec():
+    """A toy input layout: 4 hypercolumns of 3 units."""
+    return InputSpec.uniform(4, 3)
+
+
+@pytest.fixture()
+def small_one_hot_batch(rng, small_input_spec):
+    """A random one-hot batch matching ``small_input_spec``."""
+    n, f, m = 64, 4, 3
+    x = np.zeros((n, f * m))
+    winners = np.random.default_rng(5).integers(0, m, size=(n, f))
+    for b in range(f):
+        x[np.arange(n), b * m + winners[:, b]] = 1.0
+    return x

@@ -1,0 +1,112 @@
+"""Tests for the classification heads."""
+
+import numpy as np
+import pytest
+
+from repro.core import BCPNNClassifier, InputSpec, SGDClassifier
+from repro.exceptions import ConfigurationError, DataError, NotFittedError
+from repro.utils.arrays import blockwise_softmax
+
+
+def _toy_problem(n=400, seed=0):
+    """Linearly separable two-hypercolumn activations."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 2, size=n)
+    # Hidden layout: 2 hypercolumns of 3 units; class k prefers unit k.
+    support = rng.normal(0, 0.3, size=(n, 6))
+    support[np.arange(n), labels] += 2.5
+    support[np.arange(n), 3 + labels] += 2.5
+    hidden = blockwise_softmax(support, [3, 3])
+    return hidden, labels, InputSpec.uniform(2, 3)
+
+
+class TestBCPNNClassifier:
+    def test_learns_separable_problem(self):
+        hidden, labels, spec = _toy_problem()
+        head = BCPNNClassifier(n_classes=2, taupdt=0.2)
+        head.build(spec)
+        for start in range(0, 400, 64):
+            head.train_batch(hidden[start : start + 64], labels[start : start + 64])
+        accuracy = float(np.mean(head.predict(hidden) == labels))
+        assert accuracy > 0.95
+
+    def test_predict_proba_rows_sum_to_one(self):
+        hidden, labels, spec = _toy_problem(seed=1)
+        head = BCPNNClassifier(n_classes=2).build(spec)
+        head.train_batch(hidden[:64], labels[:64])
+        proba = head.predict_proba(hidden[:10])
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_unbuilt_rejected(self):
+        with pytest.raises(NotFittedError):
+            BCPNNClassifier(n_classes=2).predict(np.ones((1, 6)))
+
+    def test_label_validation(self):
+        hidden, labels, spec = _toy_problem(seed=2)
+        head = BCPNNClassifier(n_classes=2).build(spec)
+        with pytest.raises(DataError):
+            head.train_batch(hidden[:4], np.array([0, 1, 2, 0]))
+        with pytest.raises(DataError):
+            head.train_batch(hidden[:4], labels[:3])
+
+    def test_invalid_constructor_arguments(self):
+        with pytest.raises(Exception):
+            BCPNNClassifier(n_classes=1)
+        with pytest.raises(ConfigurationError):
+            BCPNNClassifier(n_classes=2, taupdt=0.0)
+
+    def test_state_round_trip(self):
+        hidden, labels, spec = _toy_problem(seed=3)
+        head = BCPNNClassifier(n_classes=2).build(spec)
+        head.train_batch(hidden[:128], labels[:128])
+        restored = BCPNNClassifier(n_classes=2)
+        restored.load_state_dict(head.state_dict())
+        assert np.allclose(restored.predict_proba(hidden[:20]), head.predict_proba(hidden[:20]))
+
+
+class TestSGDClassifier:
+    def test_learns_separable_problem(self):
+        hidden, labels, spec = _toy_problem(seed=4)
+        head = SGDClassifier(n_classes=2, learning_rate=0.5, seed=0).build(spec)
+        for _ in range(5):
+            for start in range(0, 400, 64):
+                head.train_batch(hidden[start : start + 64], labels[start : start + 64])
+        accuracy = float(np.mean(head.predict(hidden) == labels))
+        assert accuracy > 0.95
+
+    def test_loss_decreases(self):
+        hidden, labels, spec = _toy_problem(seed=5)
+        head = SGDClassifier(n_classes=2, learning_rate=0.3, seed=1).build(spec)
+        first = head.train_batch(hidden, labels)
+        for _ in range(20):
+            last = head.train_batch(hidden, labels)
+        assert last < first
+
+    def test_weight_decay_shrinks_weights(self):
+        hidden, labels, spec = _toy_problem(seed=6)
+        strong = SGDClassifier(n_classes=2, weight_decay=0.5, seed=2).build(spec)
+        weak = SGDClassifier(n_classes=2, weight_decay=0.0, seed=2).build(spec)
+        for _ in range(30):
+            strong.train_batch(hidden, labels)
+            weak.train_batch(hidden, labels)
+        assert np.linalg.norm(strong.weights) < np.linalg.norm(weak.weights)
+
+    def test_invalid_constructor_arguments(self):
+        with pytest.raises(ConfigurationError):
+            SGDClassifier(n_classes=2, learning_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            SGDClassifier(n_classes=2, momentum=1.0)
+        with pytest.raises(ConfigurationError):
+            SGDClassifier(n_classes=2, weight_decay=-1.0)
+
+    def test_unbuilt_rejected(self):
+        with pytest.raises(NotFittedError):
+            SGDClassifier(n_classes=2).predict_proba(np.ones((1, 6)))
+
+    def test_state_round_trip(self):
+        hidden, labels, spec = _toy_problem(seed=7)
+        head = SGDClassifier(n_classes=2, seed=3).build(spec)
+        head.train_batch(hidden[:64], labels[:64])
+        restored = SGDClassifier(n_classes=2, seed=11)
+        restored.load_state_dict(head.state_dict())
+        assert np.allclose(restored.decision_function(hidden[:10]), head.decision_function(hidden[:10]))

@@ -1,0 +1,79 @@
+"""Tests for parameter schedules."""
+
+import pytest
+
+from repro.core.schedules import (
+    ConstantSchedule,
+    CosineSchedule,
+    ExponentialSchedule,
+    LinearSchedule,
+    StepSchedule,
+    WarmupSchedule,
+    make_schedule,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestSchedules:
+    def test_constant(self):
+        schedule = ConstantSchedule(0.3)
+        assert schedule(0, 10) == 0.3
+        assert schedule(10, 10) == 0.3
+
+    def test_linear_endpoints(self):
+        schedule = LinearSchedule(1.0, 0.0)
+        assert schedule(0, 10) == pytest.approx(1.0)
+        assert schedule(5, 10) == pytest.approx(0.5)
+        assert schedule(10, 10) == pytest.approx(0.0)
+
+    def test_linear_clamps_out_of_range_steps(self):
+        schedule = LinearSchedule(1.0, 0.0)
+        assert schedule(-5, 10) == pytest.approx(1.0)
+        assert schedule(50, 10) == pytest.approx(0.0)
+
+    def test_exponential_endpoints_and_monotonicity(self):
+        schedule = ExponentialSchedule(0.1, 0.001)
+        values = [schedule(i, 20) for i in range(21)]
+        assert values[0] == pytest.approx(0.1)
+        assert values[-1] == pytest.approx(0.001)
+        assert all(a >= b for a, b in zip(values[:-1], values[1:]))
+
+    def test_exponential_requires_positive(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialSchedule(0.0, 0.1)
+
+    def test_cosine_endpoints(self):
+        schedule = CosineSchedule(1.0, 0.0)
+        assert schedule(0, 10) == pytest.approx(1.0)
+        assert schedule(10, 10) == pytest.approx(0.0, abs=1e-12)
+
+    def test_step_schedule(self):
+        schedule = StepSchedule(1.0, factor=0.5, period=3)
+        assert schedule(0, 100) == 1.0
+        assert schedule(3, 100) == 0.5
+        assert schedule(6, 100) == 0.25
+
+    def test_step_validation(self):
+        with pytest.raises(ConfigurationError):
+            StepSchedule(1.0, period=0)
+
+    def test_warmup_ramps_then_delegates(self):
+        schedule = WarmupSchedule(ConstantSchedule(1.0), warmup_steps=4)
+        assert schedule(0, 10) < 1.0
+        assert schedule(4, 10) == pytest.approx(1.0)
+        with pytest.raises(ConfigurationError):
+            WarmupSchedule(ConstantSchedule(1.0), warmup_steps=-1)
+
+    def test_zero_total_steps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinearSchedule(1.0, 0.0)(0, 0)
+
+
+class TestFactory:
+    def test_make_known_schedules(self):
+        assert make_schedule("constant", value=2.0)(0, 1) == 2.0
+        assert make_schedule("linear", start=1.0, stop=0.0)(0, 2) == 1.0
+
+    def test_unknown_schedule(self):
+        with pytest.raises(ConfigurationError):
+            make_schedule("bogus")

@@ -1,0 +1,62 @@
+"""Tests for model save/load."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BCPNNClassifier,
+    Network,
+    SGDClassifier,
+    StructuralPlasticityLayer,
+    TrainingSchedule,
+    load_network,
+    save_network,
+)
+from repro.core.serialization import _instantiate_layer
+from repro.exceptions import SerializationError
+
+
+class TestSaveLoad:
+    def test_round_trip_preserves_predictions(self, trained_network, encoded_higgs, tmp_path):
+        path = save_network(trained_network, tmp_path / "model.npz")
+        restored = load_network(path)
+        x = encoded_higgs["x_test"][:64]
+        assert np.allclose(restored.predict_proba(x), trained_network.predict_proba(x))
+        assert restored.is_fitted
+
+    def test_round_trip_bcpnn_head(self, encoded_higgs, tmp_path):
+        net = Network(seed=0)
+        net.add(StructuralPlasticityLayer(1, 12, density=0.5, seed=1))
+        net.add(BCPNNClassifier(n_classes=2))
+        net.fit(
+            encoded_higgs["x_train"][:600],
+            encoded_higgs["y_train"][:600],
+            input_spec=encoded_higgs["spec"],
+            schedule=TrainingSchedule(hidden_epochs=2, classifier_epochs=2, batch_size=128),
+        )
+        path = save_network(net, tmp_path / "bcpnn_head")
+        assert path.suffix == ".npz"
+        restored = load_network(path)
+        x = encoded_higgs["x_test"][:32]
+        assert np.array_equal(restored.predict(x), net.predict(x))
+
+    def test_unbuilt_network_rejected(self, tmp_path):
+        net = Network()
+        net.add(StructuralPlasticityLayer(1, 5))
+        net.add(SGDClassifier(n_classes=2))
+        with pytest.raises(SerializationError):
+            save_network(net, tmp_path / "x.npz")
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_network(tmp_path / "does_not_exist.npz")
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "corrupt.npz"
+        path.write_bytes(b"this is not an npz archive")
+        with pytest.raises(SerializationError):
+            load_network(path)
+
+    def test_unknown_layer_kind_rejected(self):
+        with pytest.raises(SerializationError):
+            _instantiate_layer("MysteryLayer", {})

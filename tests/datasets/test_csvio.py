@@ -1,0 +1,78 @@
+"""Tests for streaming CSV I/O."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.datasets.csvio import iter_csv_rows, read_numeric_csv, write_numeric_csv
+from repro.exceptions import DataError
+
+
+class TestRoundTrip:
+    def test_plain_csv(self, tmp_path):
+        matrix = np.random.default_rng(0).normal(size=(25, 4))
+        path = write_numeric_csv(tmp_path / "data.csv", matrix, fmt="%.10g")
+        loaded = read_numeric_csv(path)
+        assert np.allclose(loaded, matrix, rtol=1e-9)
+
+    def test_gzip_csv(self, tmp_path):
+        matrix = np.arange(20.0).reshape(5, 4)
+        path = write_numeric_csv(tmp_path / "data.csv.gz", matrix)
+        with gzip.open(path, "rt") as handle:
+            assert len(handle.readlines()) == 5
+        assert np.allclose(read_numeric_csv(path), matrix)
+
+    def test_header_written_and_skipped(self, tmp_path):
+        matrix = np.ones((3, 2))
+        path = write_numeric_csv(tmp_path / "h.csv", matrix, header=["a", "b"])
+        rows = list(iter_csv_rows(path))
+        assert rows[0] == ["a", "b"]
+        loaded = read_numeric_csv(path, skip_header=True)
+        assert loaded.shape == (3, 2)
+
+    def test_max_rows_limits_reading(self, tmp_path):
+        matrix = np.random.default_rng(1).normal(size=(100, 3))
+        path = write_numeric_csv(tmp_path / "big.csv", matrix)
+        loaded = read_numeric_csv(path, max_rows=17)
+        assert loaded.shape == (17, 3)
+
+    def test_chunked_reading_matches(self, tmp_path):
+        matrix = np.random.default_rng(2).normal(size=(50, 2))
+        path = write_numeric_csv(tmp_path / "c.csv", matrix, fmt="%.10g")
+        loaded = read_numeric_csv(path, chunk_size=7)
+        assert np.allclose(loaded, matrix, rtol=1e-9)
+
+
+class TestErrors:
+    def test_non_numeric_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,2\n3,x\n")
+        with pytest.raises(DataError):
+            read_numeric_csv(path)
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("1,2\n3,4,5\n")
+        with pytest.raises(DataError):
+            read_numeric_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataError):
+            read_numeric_csv(path)
+
+    def test_invalid_max_rows(self, tmp_path):
+        path = tmp_path / "x.csv"
+        path.write_text("1,2\n")
+        with pytest.raises(DataError):
+            read_numeric_csv(path, max_rows=0)
+
+    def test_write_requires_2d(self, tmp_path):
+        with pytest.raises(DataError):
+            write_numeric_csv(tmp_path / "x.csv", np.ones(5))
+
+    def test_write_header_width_mismatch(self, tmp_path):
+        with pytest.raises(DataError):
+            write_numeric_csv(tmp_path / "x.csv", np.ones((2, 2)), header=["only-one"])

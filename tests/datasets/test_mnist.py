@@ -1,0 +1,107 @@
+"""Tests for the procedural digit generator and IDX readers."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.datasets.mnist import (
+    IMAGE_SIZE,
+    SyntheticDigits,
+    load_digits,
+    read_idx_images,
+    read_idx_labels,
+)
+from repro.exceptions import DataError
+
+
+class TestSyntheticDigits:
+    def test_sample_shape_and_range(self):
+        data = SyntheticDigits(seed=0).sample(50)
+        assert data.features.shape == (50, IMAGE_SIZE * IMAGE_SIZE)
+        assert data.features.min() >= 0.0
+        assert data.features.max() <= 1.0
+
+    def test_information_concentrated_in_centre(self):
+        data = SyntheticDigits(seed=1, noise=0.0).sample(200)
+        images = data.features.reshape(-1, IMAGE_SIZE, IMAGE_SIZE)
+        variance = images.var(axis=0)
+        margin = 7
+        central = variance[margin:-margin, margin:-margin].mean()
+        border = np.concatenate(
+            [variance[:3, :].ravel(), variance[-3:, :].ravel(), variance[:, :3].ravel(), variance[:, -3:].ravel()]
+        ).mean()
+        assert central > 10 * (border + 1e-12)
+
+    def test_distinct_digits_look_different(self):
+        generator = SyntheticDigits(seed=2, noise=0.0, jitter=0)
+        one = generator.render_digit(1)
+        eight = generator.render_digit(8)
+        assert np.abs(one - eight).mean() > 0.02
+
+    def test_labels_match_requested_digits(self):
+        data = SyntheticDigits(seed=3).sample(40, digits=(3, 7))
+        assert set(np.unique(data.labels)) <= {0, 1}
+        assert data.metadata["digits"] == [3, 7]
+
+    def test_invalid_digit_rejected(self):
+        with pytest.raises(DataError):
+            SyntheticDigits(seed=0).render_digit(12)
+        with pytest.raises(DataError):
+            SyntheticDigits(seed=0).sample(10, digits=(3, 11))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DataError):
+            SyntheticDigits(noise=-0.1)
+        with pytest.raises(DataError):
+            SyntheticDigits(thickness=0.0)
+
+    def test_reproducible(self):
+        a = SyntheticDigits(seed=9).sample(20)
+        b = SyntheticDigits(seed=9).sample(20)
+        assert np.array_equal(a.features, b.features)
+
+
+def _write_idx(tmp_path, images: np.ndarray, labels: np.ndarray):
+    n, rows, cols = images.shape
+    image_path = tmp_path / "images.idx"
+    with open(image_path, "wb") as handle:
+        handle.write(struct.pack(">IIII", 2051, n, rows, cols))
+        handle.write((images * 255).astype(np.uint8).tobytes())
+    label_path = tmp_path / "labels.idx"
+    with open(label_path, "wb") as handle:
+        handle.write(struct.pack(">II", 2049, n))
+        handle.write(labels.astype(np.uint8).tobytes())
+    return image_path, label_path
+
+
+class TestIdxReaders:
+    def test_round_trip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        images = rng.random((6, 28, 28))
+        labels = rng.integers(0, 10, size=6)
+        image_path, label_path = _write_idx(tmp_path, images, labels)
+        loaded_images = read_idx_images(image_path)
+        loaded_labels = read_idx_labels(label_path)
+        assert loaded_images.shape == (6, 784)
+        assert np.array_equal(loaded_labels, labels)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.idx"
+        path.write_bytes(struct.pack(">IIII", 1234, 1, 28, 28))
+        with pytest.raises(DataError):
+            read_idx_images(path)
+
+    def test_load_digits_from_idx(self, tmp_path):
+        rng = np.random.default_rng(1)
+        images = rng.random((10, 28, 28))
+        labels = np.array([0, 1, 2, 3, 4, 5, 6, 7, 8, 9])
+        image_path, label_path = _write_idx(tmp_path, images, labels)
+        data = load_digits(n_samples=6, digits=(1, 3, 5), images_path=image_path, labels_path=label_path)
+        assert data.metadata["synthetic"] is False
+        assert set(np.unique(data.labels)) <= {0, 1, 2}
+
+    def test_load_digits_synthetic_fallback(self):
+        data = load_digits(n_samples=25, seed=0)
+        assert data.metadata["synthetic"] is True
+        assert data.n_samples == 25

@@ -1,0 +1,55 @@
+"""Tests for the dataset registry."""
+
+import pytest
+
+from repro.datasets import get_dataset, list_datasets, register_dataset
+from repro.datasets.base import Dataset
+from repro.datasets.registry import unregister_dataset
+from repro.exceptions import ConfigurationError
+
+import numpy as np
+
+
+class TestRegistry:
+    def test_builtin_datasets_registered(self):
+        names = list_datasets()
+        assert "higgs" in names
+        assert "digits" in names
+
+    def test_get_builtin(self):
+        data = get_dataset("higgs", n_samples=120, seed=0)
+        assert isinstance(data, Dataset)
+        assert data.n_samples == 120
+
+    def test_register_and_get_custom(self):
+        def factory(n=10):
+            return Dataset(features=np.ones((n, 2)), labels=np.zeros(n, dtype=int))
+
+        register_dataset("custom-test-ds", factory)
+        try:
+            assert "custom-test-ds" in list_datasets()
+            assert get_dataset("Custom-Test-DS", n=5).n_samples == 5
+        finally:
+            unregister_dataset("custom-test-ds")
+
+    def test_duplicate_registration_rejected(self):
+        def factory():
+            raise AssertionError("never called")
+
+        register_dataset("dup-ds", factory)
+        try:
+            with pytest.raises(ConfigurationError):
+                register_dataset("dup-ds", factory)
+            register_dataset("dup-ds", factory, overwrite=True)
+        finally:
+            unregister_dataset("dup-ds")
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ConfigurationError):
+            get_dataset("no-such-dataset")
+
+    def test_invalid_registration_arguments(self):
+        with pytest.raises(ConfigurationError):
+            register_dataset("", lambda: None)
+        with pytest.raises(ConfigurationError):
+            register_dataset("x-ds", "not-callable")

@@ -1,0 +1,28 @@
+"""Fixtures shared by experiment-level tests: a tiny scale and small data."""
+
+import pytest
+
+from repro.experiments import ExperimentScale, prepare_higgs_data
+
+
+@pytest.fixture(scope="session")
+def tiny_scale():
+    """A deliberately tiny scale so experiment harness tests run in seconds."""
+    return ExperimentScale(
+        name="small",
+        n_events=3200,
+        hidden_epochs=2,
+        classifier_epochs=4,
+        batch_size=128,
+        repeats=1,
+        hcu_values=(1, 2),
+        mcu_values=(10, 30),
+        density_values=(0.1, 0.4, 0.8),
+        baseline_epochs=6,
+        boosting_rounds=15,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_higgs_data(tiny_scale):
+    return prepare_higgs_data(n_events=tiny_scale.n_events, seed=3)

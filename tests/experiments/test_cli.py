@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main_benchmark, main_sweep, main_train
+
+
+class TestTrainCli:
+    def test_train_runs_and_writes_json(self, capsys, tmp_path):
+        json_path = tmp_path / "result.json"
+        code = main_train(
+            [
+                "--hcus", "1", "--mcus", "15", "--density", "0.4", "--events", "1200",
+                "--epochs", "1", "--seed", "0", "--quiet", "--json", str(json_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accuracy=" in out and "auc=" in out
+        report = json.loads(json_path.read_text())
+        assert 0.3 <= report["accuracy"] <= 1.0
+
+    def test_train_with_bcpnn_head(self, capsys):
+        code = main_train(
+            ["--head", "bcpnn", "--mcus", "10", "--events", "1000", "--epochs", "1", "--quiet"]
+        )
+        assert code == 0
+        assert "accuracy=" in capsys.readouterr().out
+
+    def test_unknown_backend_fails(self):
+        with pytest.raises(Exception):
+            main_train(["--backend", "cuda", "--events", "600", "--quiet"])
+
+
+class TestBenchmarkCli:
+    def test_benchmark_prints_tables(self, capsys):
+        code = main_benchmark(
+            ["--batch", "64", "--inputs", "40", "--mcus", "20", "--hcus", "2", "--repeats", "2", "--quiet"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Analytical per-batch cost" in out
+        assert "numpy" in out and "parallel" in out
+
+
+class TestSweepCli:
+    def test_distributed_sweep_fast_path(self, capsys, monkeypatch, tmp_path):
+        # The distributed sweep is the cheapest: patch its default scale usage
+        # by pointing REPRO_FULL off and running with the small scale.
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        json_path = tmp_path / "sweep.json"
+        code = main_sweep(["distributed", "--quiet", "--json", str(json_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ranks" in out
+        assert json_path.exists()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main_sweep(["nonexistent-experiment", "--quiet"])

@@ -1,0 +1,68 @@
+"""Tests for experiment scaling configuration."""
+
+import pytest
+
+from repro.core import BCPNNHyperParameters, TrainingSchedule
+from repro.exceptions import ConfigurationError
+from repro.experiments import ExperimentScale, HiggsExperimentConfig, get_scale
+
+
+class TestGetScale:
+    def test_default_is_small(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert get_scale().name == "small"
+
+    def test_env_selects_full(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert get_scale().name == "full"
+
+    def test_explicit_name_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert get_scale("small").name == "small"
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            get_scale("medium")
+
+    def test_full_scale_matches_paper_sweeps(self):
+        full = get_scale("full")
+        assert full.mcu_values == (30, 300, 3000)
+        assert full.hcu_values == (1, 2, 4, 6, 8)
+        assert len(full.density_values) == 21  # 0% .. 100% in 5% steps
+        assert full.repeats == 10
+
+    def test_scale_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentScale(
+                name="bad", n_events=10, hidden_epochs=1, classifier_epochs=1, batch_size=8,
+                repeats=1, hcu_values=(1,), mcu_values=(10,), density_values=(0.5,),
+                baseline_epochs=1, boosting_rounds=1,
+            )
+
+
+class TestHiggsExperimentConfig:
+    def test_defaults_valid(self):
+        config = HiggsExperimentConfig()
+        assert isinstance(config.hyperparams(), BCPNNHyperParameters)
+        assert isinstance(config.schedule(), TrainingSchedule)
+
+    def test_invalid_head(self):
+        with pytest.raises(ConfigurationError):
+            HiggsExperimentConfig(head="cnn")
+
+    def test_replace(self):
+        config = HiggsExperimentConfig(density=0.3)
+        assert config.replace(density=0.7).density == 0.7
+
+    def test_from_scale_inherits_sizes(self):
+        scale = get_scale("small")
+        config = HiggsExperimentConfig.from_scale(scale, head="bcpnn")
+        assert config.n_events == scale.n_events
+        assert config.head == "bcpnn"
+        assert config.n_minicolumns == max(scale.mcu_values)
+
+    def test_hyperparams_carry_density_and_taupdt(self):
+        config = HiggsExperimentConfig(density=0.25, taupdt=0.07)
+        hp = config.hyperparams()
+        assert hp.density == 0.25
+        assert hp.taupdt == 0.07

@@ -1,0 +1,58 @@
+"""Tests for the figure-style experiments (Fig. 1 receptive fields, Fig. 2 in-situ)."""
+
+import numpy as np
+
+from repro.experiments import run_insitu_experiment, run_mnist_receptive_fields
+from repro.experiments.mnist_fields import central_mass
+
+
+class TestCentralMass:
+    def test_all_central(self):
+        mask = np.zeros(28 * 28)
+        image = mask.reshape(28, 28)
+        image[10:18, 10:18] = 1.0
+        assert central_mass(image.ravel()) == 1.0
+
+    def test_all_peripheral(self):
+        image = np.zeros((28, 28))
+        image[0, :] = 1.0
+        assert central_mass(image.ravel()) == 0.0
+
+    def test_empty_mask(self):
+        assert central_mass(np.zeros(784)) == 0.0
+
+
+class TestMnistReceptiveFields:
+    def test_fields_move_toward_centre(self):
+        result = run_mnist_receptive_fields(
+            n_hypercolumns=2,
+            n_minicolumns=10,
+            density=0.15,
+            n_samples=500,
+            epochs=4,
+            digits=(1, 8),
+            seed=0,
+        )
+        # Structural plasticity should increase the central concentration of
+        # the receptive fields (Fig. 1 behaviour).
+        assert result["central_mass_gain"] > 0.1
+        assert result["accuracy"] > 0.6
+        assert result["final_masks"].shape == (2, 28 * 28)
+
+
+class TestInsituExperiment:
+    def test_vti_files_written_and_overhead_reported(self, tmp_path, tiny_scale, tiny_higgs_data):
+        result = run_insitu_experiment(
+            output_dir=tmp_path,
+            scale=tiny_scale,
+            n_hypercolumns=3,
+            density=0.4,
+            data=tiny_higgs_data,
+            seed=0,
+            write_pgm=True,
+        )
+        assert result["n_vti_files"] == tiny_scale.hidden_epochs
+        assert all(str(tmp_path) in f for f in result["written_files"])
+        assert result["insitu_overhead_seconds"] >= 0
+        assert len(result["mask_evolution"]) == tiny_scale.hidden_epochs
+        assert result["field_summary"]["n_hcus"] == 3

@@ -1,0 +1,73 @@
+"""Tests for the shared Higgs experiment pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import Network
+from repro.exceptions import ConfigurationError
+from repro.experiments import (
+    HiggsExperimentConfig,
+    build_higgs_network,
+    prepare_higgs_data,
+    repeated_runs,
+    train_and_evaluate,
+)
+
+
+class TestPrepareData:
+    def test_encoded_shapes(self, tiny_higgs_data):
+        data = tiny_higgs_data
+        assert data.x_train.shape[1] == 280  # 28 features x 10 bins
+        assert data.x_test.shape[1] == 280
+        assert data.input_spec.n_hypercolumns == 28
+        assert data.n_train > data.n_test
+
+    def test_balanced_training_labels(self, tiny_higgs_data):
+        counts = np.bincount(tiny_higgs_data.y_train)
+        assert abs(int(counts[0]) - int(counts[1])) <= 2
+
+    def test_custom_bins(self):
+        data = prepare_higgs_data(n_events=600, n_bins=5, seed=0)
+        assert data.x_train.shape[1] == 140
+
+
+class TestBuildAndTrain:
+    def test_build_network_heads(self):
+        sgd_net = build_higgs_network(HiggsExperimentConfig(head="sgd"))
+        bcpnn_net = build_higgs_network(HiggsExperimentConfig(head="bcpnn"))
+        assert isinstance(sgd_net, Network) and isinstance(bcpnn_net, Network)
+        assert type(sgd_net.head).__name__ == "SGDClassifier"
+        assert type(bcpnn_net.head).__name__ == "BCPNNClassifier"
+
+    def test_train_and_evaluate_result_keys(self, tiny_higgs_data):
+        config = HiggsExperimentConfig(
+            n_hypercolumns=1, n_minicolumns=20, density=0.4, hidden_epochs=2,
+            classifier_epochs=4, n_events=3200, seed=1,
+        )
+        result = train_and_evaluate(config, data=tiny_higgs_data)
+        assert {"accuracy", "auc", "log_loss", "train_seconds", "network"} <= set(result)
+        assert 0.4 <= result["accuracy"] <= 1.0
+        assert result["train_seconds"] > 0
+
+    def test_learns_above_chance(self, tiny_higgs_data):
+        config = HiggsExperimentConfig(
+            n_hypercolumns=1, n_minicolumns=30, density=0.4, taupdt=0.05,
+            hidden_epochs=4, classifier_epochs=8, n_events=3200, seed=2,
+        )
+        result = train_and_evaluate(config, data=tiny_higgs_data, seed_offset=7)
+        assert result["accuracy"] > 0.56
+        assert result["auc"] > 0.58
+
+    def test_repeated_runs_aggregation(self, tiny_higgs_data):
+        config = HiggsExperimentConfig(
+            n_hypercolumns=1, n_minicolumns=15, density=0.4, hidden_epochs=1,
+            classifier_epochs=2, n_events=3200, seed=3,
+        )
+        aggregate = repeated_runs(config, repeats=2, data=tiny_higgs_data)
+        assert len(aggregate["accuracies"]) == 2
+        assert aggregate["accuracy_mean"] == pytest.approx(np.mean(aggregate["accuracies"]))
+        assert aggregate["accuracy_std"] >= 0
+
+    def test_repeats_validated(self, tiny_higgs_data):
+        with pytest.raises(ConfigurationError):
+            repeated_runs(HiggsExperimentConfig(), repeats=0, data=tiny_higgs_data)

@@ -1,0 +1,54 @@
+"""Tests for the experiment journal."""
+
+import pytest
+
+from repro.exceptions import SearchError
+from repro.hyperopt import ExperimentJournal, FloatParameter, RandomSearch, SearchSpace
+from repro.hyperopt.search import Trial
+
+
+class TestJournal:
+    def test_record_and_load(self, tmp_path):
+        journal = ExperimentJournal(tmp_path / "journal.jsonl", experiment="exp-a")
+        journal.record(Trial(index=0, config={"x": 1.0}, score=0.5, duration_seconds=0.01))
+        journal.record({"index": 1, "config": {"x": 2.0}, "score": 0.9, "failed": False})
+        records = journal.load()
+        assert len(records) == 2
+        assert records[1]["score"] == 0.9
+        assert all(r["experiment"] == "exp-a" for r in records)
+
+    def test_filter_by_experiment(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        a = ExperimentJournal(path, experiment="a")
+        b = ExperimentJournal(path, experiment="b")
+        a.record({"index": 0, "config": {}, "score": 0.1})
+        b.record({"index": 0, "config": {}, "score": 0.2})
+        assert len(a.load(experiment="a")) == 1
+        assert len(a.load()) == 2
+
+    def test_best_ignores_failures(self, tmp_path):
+        journal = ExperimentJournal(tmp_path / "j.jsonl")
+        journal.record({"index": 0, "config": {}, "score": 5.0, "failed": True})
+        journal.record({"index": 1, "config": {}, "score": 1.0, "failed": False})
+        assert journal.best()["score"] == 1.0
+
+    def test_best_empty_is_none(self, tmp_path):
+        assert ExperimentJournal(tmp_path / "empty.jsonl").best() is None
+
+    def test_corrupt_line_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(SearchError):
+            ExperimentJournal(path).load()
+
+    def test_invalid_record_type(self, tmp_path):
+        journal = ExperimentJournal(tmp_path / "j.jsonl")
+        with pytest.raises(SearchError):
+            journal.record(42)
+
+    def test_search_driver_writes_to_journal(self, tmp_path):
+        journal = ExperimentJournal(tmp_path / "search.jsonl", experiment="search")
+        space = SearchSpace({"x": FloatParameter(0, 1)})
+        RandomSearch(space, seed=0, journal=journal).optimize(lambda c: c["x"], n_trials=4)
+        assert len(journal) == 4
+        assert journal.best()["score"] <= 1.0

@@ -1,0 +1,58 @@
+"""Tests for quasi-random samplers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SearchError
+from repro.hyperopt import halton_sequence, scrambled_halton
+from repro.hyperopt.samplers import first_primes
+
+
+class TestPrimes:
+    def test_first_primes(self):
+        assert first_primes(6).tolist() == [2, 3, 5, 7, 11, 13]
+
+    def test_invalid_count(self):
+        with pytest.raises(SearchError):
+            first_primes(0)
+
+
+class TestHalton:
+    def test_shape_and_range(self):
+        points = halton_sequence(100, 4)
+        assert points.shape == (100, 4)
+        assert points.min() >= 0.0 and points.max() < 1.0
+
+    def test_deterministic(self):
+        assert np.array_equal(halton_sequence(20, 3), halton_sequence(20, 3))
+
+    def test_low_discrepancy_better_than_worst_case(self):
+        # Each dimension's marginal should be close to uniform: the mean of
+        # the first 200 points is within a tight band around 0.5.
+        points = halton_sequence(200, 5)
+        assert np.all(np.abs(points.mean(axis=0) - 0.5) < 0.05)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(SearchError):
+            halton_sequence(0, 2)
+        with pytest.raises(SearchError):
+            halton_sequence(5, 0)
+
+
+class TestScrambledHalton:
+    def test_seeds_give_different_rotations(self):
+        a = scrambled_halton(50, 3, seed=1)
+        b = scrambled_halton(50, 3, seed=2)
+        assert not np.allclose(a, b)
+
+    def test_same_seed_reproducible(self):
+        assert np.array_equal(scrambled_halton(30, 2, seed=5), scrambled_halton(30, 2, seed=5))
+
+    def test_stays_in_unit_cube(self):
+        points = scrambled_halton(100, 6, seed=3)
+        assert points.min() >= 0.0 and points.max() < 1.0
+
+    def test_rotation_preserves_uniformity(self):
+        points = scrambled_halton(400, 2, seed=7)
+        hist, _ = np.histogram(points[:, 0], bins=10, range=(0, 1))
+        assert hist.min() > 20  # roughly 40 expected per bin

@@ -1,0 +1,110 @@
+"""Tests for the search-space specification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, SearchError
+from repro.hyperopt import (
+    CategoricalParameter,
+    FloatParameter,
+    IntParameter,
+    LogFloatParameter,
+    SearchSpace,
+)
+
+
+class TestParameters:
+    def test_float_sampling_and_clipping(self):
+        param = FloatParameter(0.0, 2.0)
+        assert param.sample_from_unit(0.0) == 0.0
+        assert param.sample_from_unit(0.5) == 1.0
+        assert param.clip(5.0) == 2.0
+
+    def test_float_invalid_range(self):
+        with pytest.raises(ConfigurationError):
+            FloatParameter(1.0, 1.0)
+
+    def test_log_float_spans_decades(self):
+        param = LogFloatParameter(1e-3, 1e-1)
+        assert param.sample_from_unit(0.5) == pytest.approx(1e-2)
+        with pytest.raises(ConfigurationError):
+            LogFloatParameter(0.0, 1.0)
+
+    def test_int_inclusive_bounds(self):
+        param = IntParameter(1, 4)
+        values = {param.sample_from_unit(u) for u in np.linspace(0, 0.999, 50)}
+        assert values == {1, 2, 3, 4}
+        assert param.clip(10) == 4
+        assert param.clip(-1) == 1
+
+    def test_categorical(self):
+        param = CategoricalParameter(["a", "b", "c"])
+        assert param.sample_from_unit(0.0) == "a"
+        assert param.sample_from_unit(0.99) == "c"
+        assert param.clip("b") == "b"
+        with pytest.raises(SearchError):
+            param.clip("z")
+        with pytest.raises(ConfigurationError):
+            CategoricalParameter(["only"])
+
+    def test_mutation_stays_in_domain(self):
+        rng = np.random.default_rng(0)
+        float_param = FloatParameter(0.0, 1.0)
+        int_param = IntParameter(1, 10)
+        log_param = LogFloatParameter(1e-4, 1e-1)
+        for _ in range(100):
+            assert 0.0 <= float_param.mutate(0.5, rng) <= 1.0
+            assert 1 <= int_param.mutate(5, rng) <= 10
+            assert 1e-4 <= log_param.mutate(1e-2, rng) <= 1e-1
+
+
+class TestSearchSpace:
+    def _space(self):
+        return SearchSpace(
+            {
+                "lr": LogFloatParameter(1e-4, 1e-1),
+                "units": IntParameter(10, 100),
+                "kind": CategoricalParameter(["a", "b"]),
+            }
+        )
+
+    def test_sample_contains_all_parameters(self):
+        config = self._space().sample(np.random.default_rng(0))
+        assert set(config) == {"lr", "units", "kind"}
+
+    def test_sample_from_unit_vector_length_checked(self):
+        with pytest.raises(SearchError):
+            self._space().sample_from_unit_vector([0.5])
+
+    def test_mutate_requires_full_config(self):
+        space = self._space()
+        with pytest.raises(SearchError):
+            space.mutate({"lr": 1e-2}, np.random.default_rng(0))
+
+    def test_validate_clips(self):
+        space = self._space()
+        config = space.validate({"lr": 10.0, "units": 1000, "kind": "a"})
+        assert config["lr"] == 1e-1
+        assert config["units"] == 100
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SearchSpace({})
+
+    def test_non_parameter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SearchSpace({"x": 3})
+
+
+@given(
+    u=st.floats(0.0, 0.999999),
+    low=st.floats(-100, 0),
+    span=st.floats(0.1, 100),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_float_sampling_in_bounds(u, low, span):
+    param = FloatParameter(low, low + span)
+    value = param.sample_from_unit(u)
+    assert low <= value <= low + span

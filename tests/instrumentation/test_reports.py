@@ -1,0 +1,66 @@
+"""Tests for report formatting."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.instrumentation import dump_json_report, format_comparison, format_table
+
+import numpy as np
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        rows = [{"name": "a", "value": 1.23456}, {"name": "bb", "value": 2.0}]
+        table = format_table(rows, precision=2)
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.23" in table and "2.00" in table
+        # All data lines have equal width.
+        assert len(set(len(line) for line in lines[:1] + lines[2:])) == 1
+
+    def test_title_and_column_selection(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        table = format_table(rows, columns=["c", "a"], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+        assert "b" not in table.splitlines()[1]
+
+    def test_missing_cell_rendered_empty(self):
+        table = format_table([{"a": 1}, {"a": 2, "b": 3}])
+        assert "b" in table
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table([])
+
+
+class TestFormatComparison:
+    def test_methods_and_metrics(self):
+        results = {"bcpnn": {"accuracy": 0.68, "auc": 0.75}, "dnn": {"accuracy": 0.74}}
+        table = format_comparison(results, metrics=["accuracy", "auc"])
+        assert "bcpnn" in table and "dnn" in table
+        assert "nan" in table  # missing AUC for dnn
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_comparison({}, metrics=["accuracy"])
+
+
+class TestJsonReport:
+    def test_numpy_values_serialised(self, tmp_path):
+        data = {
+            "int": np.int64(3),
+            "float": np.float64(0.5),
+            "array": np.arange(3),
+            "nested": {"x": 1},
+        }
+        path = dump_json_report(data, tmp_path / "report.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["int"] == 3
+        assert loaded["array"] == [0, 1, 2]
+        assert loaded["nested"]["x"] == 1
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = dump_json_report({"a": 1}, tmp_path / "deep" / "dir" / "r.json")
+        assert path.exists()

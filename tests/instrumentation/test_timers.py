@@ -1,0 +1,43 @@
+"""Tests for timers."""
+
+import time
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.instrumentation import RepeatTimer, Timer
+
+
+class TestTimer:
+    def test_elapsed_positive(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.01
+
+    def test_restart(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.restart()
+        assert timer.elapsed == 0.0
+
+
+class TestRepeatTimer:
+    def test_statistics_fields(self):
+        stats = RepeatTimer(repeats=3, warmup=1).measure(lambda: sum(range(1000)))
+        assert stats.n == 3
+        assert stats.mean > 0
+        assert stats.minimum <= stats.mean <= stats.maximum
+        assert stats.total == pytest.approx(sum(stats.samples))
+        assert set(stats.as_dict()) == {"n", "mean", "std", "min", "max", "total"}
+
+    def test_warmup_not_counted(self):
+        calls = []
+        RepeatTimer(repeats=2, warmup=3).measure(lambda: calls.append(1))
+        assert len(calls) == 5
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            RepeatTimer(repeats=0)
+        with pytest.raises(ConfigurationError):
+            RepeatTimer(warmup=-1)

@@ -1,0 +1,57 @@
+"""Tests for the Approximate Median Significance metric."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.metrics import ams_score, best_ams_threshold
+
+
+class TestAmsScore:
+    def test_textbook_value(self):
+        # s = 2 signal selected, b = 1 background selected, b_reg = 10:
+        # AMS = sqrt(2*((2+1+10)*ln(1+2/11) - 2))
+        y_true = np.array([1, 1, 0, 0, 1])
+        y_sel = np.array([1, 1, 1, 0, 0])
+        expected = np.sqrt(2 * ((2 + 1 + 10) * np.log(1 + 2 / 11) - 2))
+        assert ams_score(y_true, y_sel) == pytest.approx(expected)
+
+    def test_nothing_selected_is_zero(self):
+        assert ams_score([1, 0], [0, 0]) == pytest.approx(0.0)
+
+    def test_weights_scale_counts(self):
+        y_true = np.array([1, 0])
+        y_sel = np.array([1, 1])
+        unweighted = ams_score(y_true, y_sel)
+        weighted = ams_score(y_true, y_sel, weights=np.array([2.0, 2.0]))
+        assert weighted > unweighted
+
+    def test_more_signal_increases_ams(self):
+        y_true = np.array([1] * 10 + [0] * 10)
+        few = np.array([1] * 2 + [0] * 18)
+        many = np.array([1] * 10 + [0] * 10)
+        assert ams_score(y_true, many) > ams_score(y_true, few)
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(DataError):
+            ams_score([1, 0], [1, 0], weights=np.array([-1.0, 1.0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            ams_score([1, 0, 1], [1, 0])
+
+
+class TestBestThreshold:
+    def test_finds_separating_threshold(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=500)
+        scores = y + rng.normal(0, 0.2, size=500)
+        threshold, best = best_ams_threshold(y, scores)
+        # The separating threshold should sit between the two clusters and
+        # produce a better AMS than selecting everything.
+        assert 0.0 < threshold < 1.0
+        assert best > ams_score(y, np.ones_like(y))
+
+    def test_requires_multiple_thresholds(self):
+        with pytest.raises(DataError):
+            best_ams_threshold([0, 1], [0.1, 0.9], n_thresholds=1)

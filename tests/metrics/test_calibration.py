@@ -1,0 +1,64 @@
+"""Tests for calibration metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.metrics import brier_score, calibration_curve, expected_calibration_error
+
+
+class TestCalibrationCurve:
+    def test_perfectly_calibrated(self):
+        rng = np.random.default_rng(0)
+        probs = rng.random(20000)
+        y = (rng.random(20000) < probs).astype(int)
+        centers, observed, counts = calibration_curve(y, probs, n_bins=10)
+        mask = counts > 100
+        assert np.allclose(observed[mask], centers[mask], atol=0.06)
+
+    def test_empty_bins_are_nan(self):
+        probs = np.array([0.05, 0.06, 0.95])
+        y = np.array([0, 0, 1])
+        _, observed, counts = calibration_curve(y, probs, n_bins=10)
+        assert np.isnan(observed[counts == 0]).all()
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(DataError):
+            calibration_curve([0, 1], [0.5, 1.5])
+
+    def test_invalid_bins(self):
+        with pytest.raises(DataError):
+            calibration_curve([0, 1], [0.2, 0.8], n_bins=0)
+
+
+class TestExpectedCalibrationError:
+    def test_zero_for_perfect_binary_confidence(self):
+        y = np.array([0, 0, 1, 1])
+        probs = np.array([0.0, 0.0, 1.0, 1.0])
+        assert expected_calibration_error(y, probs) == pytest.approx(0.0)
+
+    def test_large_for_overconfident_wrong(self):
+        y = np.array([0, 0, 0, 0])
+        probs = np.array([0.99, 0.99, 0.99, 0.99])
+        assert expected_calibration_error(y, probs) > 0.9
+
+    def test_bounded(self):
+        rng = np.random.default_rng(2)
+        y = rng.integers(0, 2, 200)
+        probs = rng.random(200)
+        assert 0.0 <= expected_calibration_error(y, probs) <= 1.0
+
+
+class TestBrierScore:
+    def test_perfect_zero(self):
+        assert brier_score([0, 1], [0.0, 1.0]) == pytest.approx(0.0)
+
+    def test_worst_case_one(self):
+        assert brier_score([0, 1], [1.0, 0.0]) == pytest.approx(1.0)
+
+    def test_uniform_quarter(self):
+        assert brier_score([0, 1, 0, 1], [0.5] * 4) == pytest.approx(0.25)
+
+    def test_binary_labels_required(self):
+        with pytest.raises(DataError):
+            brier_score([0, 2], [0.5, 0.5])

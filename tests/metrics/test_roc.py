@@ -1,0 +1,106 @@
+"""Tests for ROC/AUC, including the property that both AUC formulations agree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DataError
+from repro.metrics import average_precision, precision_recall_curve, rank_auc, roc_auc, roc_curve
+
+
+class TestRocCurve:
+    def test_perfect_separation(self):
+        y = [0, 0, 1, 1]
+        scores = [0.1, 0.2, 0.8, 0.9]
+        fpr, tpr, thresholds = roc_curve(y, scores)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+        assert roc_auc(y, scores) == pytest.approx(1.0)
+
+    def test_reverse_separation(self):
+        y = [0, 0, 1, 1]
+        scores = [0.9, 0.8, 0.2, 0.1]
+        assert roc_auc(y, scores) == pytest.approx(0.0)
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=4000)
+        scores = rng.random(4000)
+        assert roc_auc(y, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_tied_scores_handled(self):
+        y = [0, 1, 0, 1]
+        scores = [0.5, 0.5, 0.5, 0.5]
+        assert roc_auc(y, scores) == pytest.approx(0.5)
+        assert rank_auc(y, scores) == pytest.approx(0.5)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(DataError):
+            roc_curve([1, 1, 1], [0.1, 0.2, 0.3])
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(DataError):
+            roc_curve([0, 1, 2], [0.1, 0.2, 0.3])
+
+    def test_nan_scores_rejected(self):
+        with pytest.raises(DataError):
+            roc_curve([0, 1], [np.nan, 0.2])
+
+    def test_monotone_curve(self):
+        rng = np.random.default_rng(3)
+        y = rng.integers(0, 2, size=200)
+        scores = rng.normal(size=200) + y
+        fpr, tpr, _ = roc_curve(y, scores)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+
+class TestPrecisionRecall:
+    def test_perfect_classifier(self):
+        y = [0, 0, 1, 1]
+        scores = [0.1, 0.2, 0.8, 0.9]
+        precision, recall, _ = precision_recall_curve(y, scores)
+        assert precision[0] == 1.0 and recall[0] == 0.0
+        assert recall[-1] == 1.0
+        assert average_precision(y, scores) == pytest.approx(1.0)
+
+    def test_no_positives_rejected(self):
+        with pytest.raises(DataError):
+            precision_recall_curve([0, 0], [0.1, 0.2])
+
+    def test_average_precision_bounds(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, size=300)
+        scores = rng.random(300)
+        ap = average_precision(y, scores)
+        assert 0.0 <= ap <= 1.0
+
+
+@given(
+    n=st.integers(10, 120),
+    seed=st.integers(0, 10_000),
+    ties=st.booleans(),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_trapezoid_auc_equals_rank_auc(n, seed, ties):
+    """The trapezoidal ROC integral must equal the Mann-Whitney formulation."""
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, size=n)
+    # Ensure both classes are present.
+    y[0], y[1] = 0, 1
+    scores = rng.normal(size=n)
+    if ties:
+        scores = np.round(scores, 1)  # introduce ties
+    assert roc_auc(y, scores) == pytest.approx(rank_auc(y, scores), abs=1e-9)
+
+
+@given(n=st.integers(10, 80), seed=st.integers(0, 10_000), shift=st.floats(0.1, 5.0))
+@settings(max_examples=30, deadline=None)
+def test_property_auc_improves_with_separation(n, seed, shift):
+    """Adding class-dependent shift to the scores must not lower the AUC."""
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, size=n)
+    y[0], y[1] = 0, 1
+    base = rng.normal(size=n)
+    assert roc_auc(y, base + shift * y) >= roc_auc(y, base) - 1e-9

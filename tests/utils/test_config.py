@@ -1,0 +1,95 @@
+"""Tests for repro.utils.config."""
+
+import dataclasses
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.utils.config import FrozenConfig, asdict_shallow, dump_json_config, load_json_config
+
+
+class TestFrozenConfig:
+    def test_basic_access(self):
+        cfg = FrozenConfig({"a": 1, "b": "two"})
+        assert cfg["a"] == 1
+        assert cfg["b"] == "two"
+        assert len(cfg) == 2
+
+    def test_nested_dotted_access(self):
+        cfg = FrozenConfig({"model": {"n_hcu": 4, "inner": {"x": 1}}})
+        assert cfg["model.n_hcu"] == 4
+        assert cfg["model.inner.x"] == 1
+        assert "model.inner.x" in cfg
+        assert "model.missing" not in cfg
+
+    def test_get_default(self):
+        cfg = FrozenConfig({"a": 1})
+        assert cfg.get("zzz", 7) == 7
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            FrozenConfig({"a": 1})["b"]
+
+    def test_updated_returns_new_config(self):
+        cfg = FrozenConfig({"a": 1, "b": 2})
+        new = cfg.updated(b=3, c=4)
+        assert cfg["b"] == 2
+        assert new["b"] == 3 and new["c"] == 4
+
+    def test_equality_and_hash(self):
+        a = FrozenConfig({"x": 1, "y": {"z": 2}})
+        b = FrozenConfig({"y": {"z": 2}, "x": 1})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a == {"x": 1, "y": {"z": 2}}
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FrozenConfig({1: "a"})
+
+    def test_to_dict_round_trip(self):
+        data = {"a": 1, "nested": {"b": [1, 2, 3]}}
+        assert FrozenConfig(data).to_dict() == data
+
+
+class TestAsdictShallow:
+    def test_dataclass(self):
+        @dataclasses.dataclass
+        class Point:
+            x: int
+            y: int
+
+        assert asdict_shallow(Point(1, 2)) == {"x": 1, "y": 2}
+
+    def test_mapping(self):
+        assert asdict_shallow({"a": 1}) == {"a": 1}
+
+    def test_plain_object(self):
+        class Thing:
+            def __init__(self):
+                self.a = 1
+                self._hidden = 2
+
+        assert asdict_shallow(Thing()) == {"a": 1}
+
+    def test_unsupported(self):
+        with pytest.raises(ConfigurationError):
+            asdict_shallow(42)
+
+
+class TestJsonRoundTrip:
+    def test_dump_and_load(self, tmp_path):
+        cfg = FrozenConfig({"seed": 3, "model": {"density": 0.4}})
+        path = dump_json_config(cfg, tmp_path / "cfg.json")
+        loaded = load_json_config(path)
+        assert loaded == cfg
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_json_config(tmp_path / "missing.json")
+
+    def test_load_non_object(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ConfigurationError):
+            load_json_config(path)

@@ -1,0 +1,41 @@
+"""Tests for repro.utils.logging."""
+
+import io
+import logging
+
+from repro.utils.logging import enable_console_logging, get_logger
+
+
+class TestGetLogger:
+    def test_namespace_prefixing(self):
+        assert get_logger("foo").name == "repro.foo"
+        assert get_logger("repro.bar").name == "repro.bar"
+        assert get_logger().name == "repro"
+
+    def test_root_has_null_handler(self):
+        root = logging.getLogger("repro")
+        assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+
+class TestConsoleLogging:
+    def test_enable_writes_to_stream(self):
+        stream = io.StringIO()
+        handler = enable_console_logging(level=logging.INFO, stream=stream)
+        try:
+            get_logger("test_console").info("hello world")
+            assert "hello world" in stream.getvalue()
+        finally:
+            logging.getLogger("repro").removeHandler(handler)
+
+    def test_enable_twice_does_not_duplicate(self):
+        stream = io.StringIO()
+        h1 = enable_console_logging(stream=stream)
+        h2 = enable_console_logging(stream=stream)
+        try:
+            console_handlers = [
+                h for h in logging.getLogger("repro").handlers if getattr(h, "_repro_console", False)
+            ]
+            assert len(console_handlers) == 1
+        finally:
+            logging.getLogger("repro").removeHandler(h1)
+            logging.getLogger("repro").removeHandler(h2)

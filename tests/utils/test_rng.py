@@ -1,0 +1,101 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    as_rng,
+    check_independent,
+    derive_rng,
+    iter_batches_shuffled,
+    rng_state_signature,
+    spawn_rngs,
+)
+
+
+class TestAsRng:
+    def test_none_returns_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_rng(42).integers(0, 1000, size=10)
+        b = as_rng(42).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_rng(1).integers(0, 10**9, size=8)
+        b = as_rng(2).integers(0, 10**9, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        assert isinstance(as_rng(seq), np.random.Generator)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            as_rng(-1)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_rng("seed")
+
+
+class TestDeriveAndSpawn:
+    def test_derive_requires_generator(self):
+        with pytest.raises(TypeError):
+            derive_rng(42)
+
+    def test_derive_produces_distinct_streams(self):
+        parent = as_rng(3)
+        children = [derive_rng(parent, k) for k in ("a", "b", "c")]
+        assert check_independent(children)
+
+    def test_spawn_count_validation(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, 0)
+
+    def test_spawn_deterministic_from_int_seed(self):
+        a = [g.integers(0, 10**9) for g in spawn_rngs(5, 3)]
+        b = [g.integers(0, 10**9) for g in spawn_rngs(5, 3)]
+        assert a == b
+
+    def test_spawn_streams_independent(self):
+        assert check_independent(spawn_rngs(9, 6))
+
+    def test_spawn_from_generator(self):
+        gens = spawn_rngs(np.random.default_rng(0), 4)
+        assert len(gens) == 4
+        assert check_independent(gens)
+
+
+class TestStateSignature:
+    def test_signature_stable_without_draws(self):
+        gen = as_rng(1)
+        assert rng_state_signature(gen) == rng_state_signature(gen)
+
+    def test_signature_changes_after_draw(self):
+        gen = as_rng(1)
+        before = rng_state_signature(gen)
+        gen.random()
+        assert rng_state_signature(gen) != before
+
+
+class TestIterBatches:
+    def test_covers_all_indices_once(self):
+        batches = list(iter_batches_shuffled(as_rng(0), 103, 20))
+        joined = np.concatenate(batches)
+        assert sorted(joined.tolist()) == list(range(103))
+
+    def test_final_batch_may_be_smaller(self):
+        batches = list(iter_batches_shuffled(as_rng(0), 10, 4))
+        assert [len(b) for b in batches] == [4, 4, 2]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            list(iter_batches_shuffled(as_rng(0), 0, 4))
+        with pytest.raises(ValueError):
+            list(iter_batches_shuffled(as_rng(0), 4, 0))

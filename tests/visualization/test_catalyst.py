@@ -1,0 +1,105 @@
+"""Tests for the Catalyst-style co-processing pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import VisualizationError
+from repro.visualization.catalyst import CatalystAdaptor, CoProcessor, DataDescription
+from repro.visualization.vti import read_vti_arrays
+
+
+class _FakeHyperParams:
+    density = 0.4
+
+
+class _FakeLayer:
+    """Duck-typed stand-in for a StructuralPlasticityLayer."""
+
+    def __init__(self, masks):
+        self._masks = masks
+        self.hyperparams = _FakeHyperParams()
+
+    def receptive_field_masks(self):
+        return self._masks.copy()
+
+
+class TestCoProcessor:
+    def test_frequency_gating(self):
+        coproc = CoProcessor(frequency=2)
+        outputs = []
+        coproc.add_pipeline(lambda desc: outputs.append(desc.step) or None)
+        for step in range(4):
+            coproc.coprocess(DataDescription(step=step, time=float(step), fields={}))
+        assert outputs == [0, 2]
+        assert coproc.invocations == 2
+
+    def test_written_paths_collected(self, tmp_path):
+        coproc = CoProcessor()
+        target = tmp_path / "artifact.txt"
+
+        def stage(desc):
+            target.write_text("x")
+            return target
+
+        coproc.add_pipeline(stage)
+        written = coproc.coprocess(DataDescription(step=0, time=0.0, fields={}))
+        assert written == [target]
+        assert coproc.outputs == [target]
+
+    def test_invalid_configuration(self):
+        with pytest.raises(VisualizationError):
+            CoProcessor(frequency=0)
+        with pytest.raises(VisualizationError):
+            CoProcessor().add_pipeline("not-callable")
+
+
+class TestCatalystAdaptor:
+    def _context(self, layer, epoch, phase="hidden"):
+        return {
+            "phase": phase,
+            "layer": layer,
+            "layer_name": "hidden-test",
+            "epoch": epoch,
+            "network": None,
+            "metrics": {"mask_swaps": 1.0},
+        }
+
+    def test_writes_vti_per_epoch(self, tmp_path):
+        masks = np.random.default_rng(0).integers(0, 2, size=(4, 28)).astype(float)
+        adaptor = CatalystAdaptor(output_dir=tmp_path, image_shape=(4, 7))
+        layer = _FakeLayer(masks)
+        for epoch in range(3):
+            adaptor.on_epoch_end(self._context(layer, epoch))
+        vti_files = [p for p in adaptor.written_files if p.suffix == ".vti"]
+        assert len(vti_files) == 3
+        arrays = read_vti_arrays(vti_files[0])
+        assert arrays["receptive_field"].size == 4 * 4 * 7
+        assert np.allclose(np.sort(np.unique(arrays["receptive_field"])), [0.0, 1.0])
+
+    def test_pgm_option(self, tmp_path):
+        adaptor = CatalystAdaptor(output_dir=tmp_path, write_pgm=True)
+        adaptor.on_epoch_end(self._context(_FakeLayer(np.ones((2, 9))), 0))
+        suffixes = {p.suffix for p in adaptor.written_files}
+        assert suffixes == {".vti", ".pgm"}
+
+    def test_ignores_other_phases(self, tmp_path):
+        adaptor = CatalystAdaptor(output_dir=tmp_path)
+        adaptor.on_epoch_end(self._context(_FakeLayer(np.ones((1, 4))), 0, phase="classifier"))
+        assert adaptor.written_files == []
+
+    def test_frequency_respected(self, tmp_path):
+        adaptor = CatalystAdaptor(output_dir=tmp_path, frequency=2)
+        layer = _FakeLayer(np.ones((1, 4)))
+        for epoch in range(4):
+            adaptor.on_epoch_end(self._context(layer, epoch))
+        assert len(adaptor.written_files) == 2
+
+    def test_mask_evolution_recorded(self, tmp_path):
+        adaptor = CatalystAdaptor(output_dir=tmp_path)
+        layer = _FakeLayer(np.zeros((2, 6)))
+        adaptor.on_epoch_end(self._context(layer, 0))
+        layer._masks[0, 0] = 1.0
+        adaptor.on_epoch_end(self._context(layer, 1))
+        evolution = adaptor.mask_evolution()
+        assert len(evolution) == 2
+        assert evolution[0][0, 0] == 0.0 and evolution[1][0, 0] == 1.0

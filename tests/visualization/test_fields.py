@@ -1,0 +1,71 @@
+"""Tests for receptive-field rendering and summaries."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import VisualizationError
+from repro.visualization import mask_to_square_image, masks_to_image_grid, receptive_field_summary
+
+
+class TestMaskToSquareImage:
+    def test_exact_shape(self):
+        row = np.arange(12.0)
+        image = mask_to_square_image(row, image_shape=(3, 4))
+        assert image.shape == (3, 4)
+        assert image[0, 0] == 0.0 and image[2, 3] == 11.0
+
+    def test_auto_shape_pads_with_zeros(self):
+        image = mask_to_square_image(np.ones(28))
+        assert image.size >= 28
+        assert image.sum() == 28
+
+    def test_too_small_shape_rejected(self):
+        with pytest.raises(VisualizationError):
+            mask_to_square_image(np.ones(10), image_shape=(2, 2))
+
+    def test_empty_rejected(self):
+        with pytest.raises(VisualizationError):
+            mask_to_square_image(np.array([]))
+
+
+class TestMasksToImageGrid:
+    def test_panel_contains_all_tiles(self):
+        masks = np.eye(4)  # 4 HCUs over 4 features
+        panel = masks_to_image_grid(masks, image_shape=(2, 2), padding=1)
+        assert panel.shape == (7, 7)
+        # Total active connections preserved in the panel (padding value 0.5).
+        assert np.isclose(np.sum(panel == 1.0), 4)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(VisualizationError):
+            masks_to_image_grid(np.ones(5))
+        with pytest.raises(VisualizationError):
+            masks_to_image_grid(np.ones((2, 4)), padding=-1)
+
+
+class TestSummary:
+    def test_summary_statistics(self):
+        masks = np.array(
+            [
+                [1, 1, 0, 0, 0, 0],
+                [0, 1, 1, 0, 0, 0],
+            ],
+            dtype=float,
+        )
+        names = [f"feat{i}" for i in range(6)]
+        summary = receptive_field_summary(masks, feature_names=names)
+        assert summary["n_hcus"] == 2
+        assert summary["active_per_hcu"] == [2, 2]
+        assert summary["coverage"] == pytest.approx(3 / 6)
+        assert summary["usage_per_feature"][1] == 2
+        assert summary["most_attended"][0][0] == "feat1"
+        # Jaccard overlap between the two HCUs: |{1}| / |{0,1,2}| = 1/3.
+        assert summary["mean_pairwise_jaccard"] == pytest.approx(1 / 3)
+
+    def test_single_hcu_has_zero_overlap(self):
+        summary = receptive_field_summary(np.ones((1, 4)))
+        assert summary["mean_pairwise_jaccard"] == 0.0
+
+    def test_name_length_checked(self):
+        with pytest.raises(VisualizationError):
+            receptive_field_summary(np.ones((1, 4)), feature_names=["a", "b"])

@@ -1,0 +1,47 @@
+"""Tests for the training-curve recorder."""
+
+import csv
+
+import pytest
+
+from repro.exceptions import VisualizationError
+from repro.visualization import TrainingCurveRecorder
+
+
+def _context(phase, epoch, **metrics):
+    return {"phase": phase, "layer_name": "layer", "epoch": epoch, "metrics": metrics}
+
+
+class TestTrainingCurveRecorder:
+    def test_records_all_phases_by_default(self):
+        recorder = TrainingCurveRecorder()
+        recorder.on_epoch_end(_context("hidden", 0, entropy=1.2))
+        recorder.on_epoch_end(_context("classifier", 0, train_accuracy=0.6))
+        assert len(recorder) == 2
+
+    def test_phase_filter(self):
+        recorder = TrainingCurveRecorder(phases=["hidden"])
+        recorder.on_epoch_end(_context("hidden", 0, entropy=1.0))
+        recorder.on_epoch_end(_context("classifier", 0, train_accuracy=0.5))
+        assert len(recorder) == 1
+
+    def test_series_extraction(self):
+        recorder = TrainingCurveRecorder()
+        for epoch, value in enumerate([1.0, 0.8, 0.6]):
+            recorder.on_epoch_end(_context("hidden", epoch, entropy=value))
+        assert recorder.series("entropy") == [1.0, 0.8, 0.6]
+        assert recorder.series("entropy", phase="classifier") == []
+
+    def test_csv_export(self, tmp_path):
+        recorder = TrainingCurveRecorder()
+        recorder.on_epoch_end(_context("hidden", 0, entropy=1.0))
+        recorder.on_epoch_end(_context("classifier", 0, train_accuracy=0.7))
+        path = recorder.to_csv(tmp_path / "curves.csv")
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert "entropy" in rows[0] and "train_accuracy" in rows[0]
+
+    def test_empty_export_rejected(self, tmp_path):
+        with pytest.raises(VisualizationError):
+            TrainingCurveRecorder().to_csv(tmp_path / "empty.csv")

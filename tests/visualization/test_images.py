@@ -1,0 +1,69 @@
+"""Tests for PGM/ASCII image helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import VisualizationError
+from repro.visualization import array_to_pgm, ascii_render, normalize_to_unit
+
+
+class TestNormalize:
+    def test_linear_scaling(self):
+        out = normalize_to_unit(np.array([2.0, 4.0, 6.0]))
+        assert np.allclose(out, [0.0, 0.5, 1.0])
+
+    def test_constant_array(self):
+        assert np.allclose(normalize_to_unit(np.full(5, 3.0)), 0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(VisualizationError):
+            normalize_to_unit(np.array([]))
+
+    def test_nan_rejected(self):
+        with pytest.raises(VisualizationError):
+            normalize_to_unit(np.array([np.nan, 1.0]))
+
+
+class TestPgm:
+    def test_writes_valid_header_and_payload(self, tmp_path):
+        image = np.random.default_rng(0).random((10, 6))
+        path = array_to_pgm(image, tmp_path / "img")
+        assert path.suffix == ".pgm"
+        data = path.read_bytes()
+        assert data.startswith(b"P5\n6 10\n255\n")
+        assert len(data) == len(b"P5\n6 10\n255\n") + 60
+
+    def test_requires_2d(self, tmp_path):
+        with pytest.raises(VisualizationError):
+            array_to_pgm(np.ones(5), tmp_path / "x.pgm")
+
+    def test_max_value_bounds(self, tmp_path):
+        with pytest.raises(VisualizationError):
+            array_to_pgm(np.ones((2, 2)), tmp_path / "x.pgm", max_value=300)
+
+
+class TestAscii:
+    def test_dimensions_and_charset(self):
+        image = np.random.default_rng(1).random((20, 40))
+        art = ascii_render(image, width=30)
+        lines = art.splitlines()
+        assert all(len(line) == 30 for line in lines)
+        assert set("".join(lines)) <= set(" .:-=+*#%@")
+
+    def test_small_image_not_upsampled(self):
+        art = ascii_render(np.eye(4), width=30)
+        assert len(art.splitlines()) == 4
+
+    def test_contrast_visible(self):
+        image = np.zeros((4, 8))
+        image[:, 4:] = 1.0
+        art = ascii_render(image, width=8)
+        first_line = art.splitlines()[0]
+        assert first_line[:4] == "    "
+        assert first_line[4:] == "@@@@"
+
+    def test_invalid_arguments(self):
+        with pytest.raises(VisualizationError):
+            ascii_render(np.ones(4))
+        with pytest.raises(VisualizationError):
+            ascii_render(np.ones((2, 2)), width=1)

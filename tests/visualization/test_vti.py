@@ -1,0 +1,63 @@
+"""Tests for the VTK XML ImageData writer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import VisualizationError
+from repro.visualization import ImageDataSpec, write_vti
+from repro.visualization.vti import read_vti_arrays
+
+
+class TestImageDataSpec:
+    def test_point_count_and_extent(self):
+        spec = ImageDataSpec(dimensions=(4, 3, 2))
+        assert spec.n_points == 24
+        assert spec.whole_extent == "0 3 0 2 0 1"
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(VisualizationError):
+            ImageDataSpec(dimensions=(0, 3, 2))
+        with pytest.raises(VisualizationError):
+            ImageDataSpec(dimensions=(2, 2, 2), spacing=(1.0, 0.0, 1.0))
+
+
+class TestWriteVti:
+    def test_file_structure(self, tmp_path):
+        spec = ImageDataSpec(dimensions=(3, 2, 1))
+        values = np.arange(6, dtype=float)
+        path = write_vti(tmp_path / "fields", {"mask": values}, spec)
+        assert path.suffix == ".vti"
+        text = path.read_text()
+        assert text.startswith("<?xml")
+        assert 'type="ImageData"' in text
+        assert 'Name="mask"' in text
+        assert 'WholeExtent="0 2 0 1 0 0"' in text
+
+    def test_round_trip_values(self, tmp_path):
+        spec = ImageDataSpec(dimensions=(4, 4, 2))
+        rng = np.random.default_rng(0)
+        fields = {"a": rng.random(32), "b": rng.random((2, 4, 4))}
+        path = write_vti(tmp_path / "multi.vti", fields, spec)
+        arrays = read_vti_arrays(path)
+        assert np.allclose(arrays["a"], fields["a"], rtol=1e-6)
+        assert np.allclose(arrays["b"], fields["b"].reshape(-1), rtol=1e-6)
+
+    def test_size_mismatch_rejected(self, tmp_path):
+        spec = ImageDataSpec(dimensions=(2, 2, 1))
+        with pytest.raises(VisualizationError):
+            write_vti(tmp_path / "bad.vti", {"x": np.ones(3)}, spec)
+
+    def test_nan_rejected(self, tmp_path):
+        spec = ImageDataSpec(dimensions=(2, 1, 1))
+        with pytest.raises(VisualizationError):
+            write_vti(tmp_path / "nan.vti", {"x": np.array([1.0, np.nan])}, spec)
+
+    def test_empty_fields_rejected(self, tmp_path):
+        with pytest.raises(VisualizationError):
+            write_vti(tmp_path / "none.vti", {}, ImageDataSpec(dimensions=(1, 1, 1)))
+
+    def test_read_invalid_file(self, tmp_path):
+        path = tmp_path / "nope.vti"
+        path.write_text("<notvtk/>")
+        with pytest.raises(VisualizationError):
+            read_vti_arrays(path)
