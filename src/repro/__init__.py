@@ -23,7 +23,7 @@ Quick start::
 """
 
 from repro.version import __version__
-from repro import backend, baselines, core, datasets, experiments, hyperopt, instrumentation, metrics, visualization
+from repro import backend, baselines, core, datasets, engine, experiments, hyperopt, instrumentation, metrics, visualization
 from repro.core import (
     BCPNNClassifier,
     BCPNNHyperParameters,
@@ -40,6 +40,7 @@ __all__ = [
     "baselines",
     "core",
     "datasets",
+    "engine",
     "experiments",
     "hyperopt",
     "instrumentation",

@@ -22,7 +22,12 @@ from repro.backend.numpy_backend import NumpyBackend
 from repro.backend.lowprec import LowPrecisionBackend, posit_round
 from repro.backend.parallel import ParallelBackend
 from repro.backend.registry import get_backend, register_backend, list_backends
-from repro.backend.distributed import LocalComm, DistributedTrainer, split_ranks
+from repro.backend.distributed import (
+    DistributedBackend,
+    DistributedTrainer,
+    LocalComm,
+    split_ranks,
+)
 
 __all__ = [
     "Backend",
@@ -30,6 +35,7 @@ __all__ = [
     "NumpyBackend",
     "ParallelBackend",
     "LowPrecisionBackend",
+    "DistributedBackend",
     "posit_round",
     "get_backend",
     "register_backend",

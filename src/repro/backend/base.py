@@ -10,10 +10,11 @@ up to its declared precision — a property the test-suite enforces.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import kernels
 from repro.exceptions import BackendError
 
 __all__ = ["Backend", "KernelStatistics"]
@@ -85,9 +86,99 @@ class Backend:
         p_j: np.ndarray,
         p_ij: np.ndarray,
         trace_floor: float = 1e-12,
+        out_weights: Optional[np.ndarray] = None,
+        out_bias: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Convert probability traces into weights and biases."""
+        """Convert probability traces into weights and biases.
+
+        ``out_weights``/``out_bias`` receive the results when given so the
+        per-batch weight refresh can reuse the layer's persistent buffers.
+        """
         raise NotImplementedError
+
+    # ----------------------------------------------------- fused primitives
+    #
+    # The streaming execution engine (:mod:`repro.engine`) drives training
+    # through these three entry points.  ``workspace`` is duck-typed: any
+    # object exposing the preallocated buffers of
+    # :class:`repro.engine.LayerWorkspace` (``support``, ``activations``,
+    # ``masked_weights``, ``mean_x``, ``mean_a``, ``mean_outer``) works.
+    # The base implementations compose the three abstract kernels, so every
+    # backend gets a numerically-faithful fused path for free; subclasses
+    # override them to exploit buffer reuse (NumPy), chunked parallelism
+    # (parallel) or rank sharding (distributed).
+
+    def forward_into(
+        self,
+        x: np.ndarray,
+        weights: np.ndarray,
+        bias: np.ndarray,
+        mask_expanded: np.ndarray,
+        hidden_sizes: Sequence[int],
+        bias_gain: float = 1.0,
+        out: Optional[np.ndarray] = None,
+        workspace=None,
+    ) -> np.ndarray:
+        """``out=``-style forward: hidden activations written into ``out``.
+
+        The default implementation delegates to :meth:`forward` and copies;
+        workspace-aware backends override it to compute in place.
+        """
+        activations = self.forward(x, weights, bias, mask_expanded, hidden_sizes, bias_gain)
+        if out is None:
+            return activations
+        np.copyto(out, activations)
+        return out
+
+    def update_traces(
+        self,
+        x: np.ndarray,
+        a: np.ndarray,
+        p_i: np.ndarray,
+        p_j: np.ndarray,
+        p_ij: np.ndarray,
+        taupdt: float,
+        workspace=None,
+    ) -> None:
+        """Batch statistics + in-place EMA trace update in one dispatch.
+
+        Mutates the trace arrays directly (``p <- (1-taupdt) p + taupdt mean``).
+        """
+        mean_x, mean_a, mean_outer = self.batch_statistics(x, a)
+        kernels.ema_update(p_i, p_j, p_ij, mean_x, mean_a, mean_outer, taupdt)
+
+    def fused_update(
+        self,
+        x: np.ndarray,
+        weights: np.ndarray,
+        bias: np.ndarray,
+        mask_expanded: np.ndarray,
+        hidden_sizes: Sequence[int],
+        bias_gain: float,
+        p_i: np.ndarray,
+        p_j: np.ndarray,
+        p_ij: np.ndarray,
+        taupdt: float,
+        activity_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        workspace=None,
+    ) -> np.ndarray:
+        """One fused training step: forward + batch statistics + trace update.
+
+        ``activity_fn`` maps the forward activations to the training activity
+        (the layer's competition rule); ``None`` trains on the activations
+        themselves.  Returns the forward activations — a view into the
+        workspace when one is supplied, valid until the next dispatch.
+        """
+        out = None
+        if workspace is not None:
+            out = workspace.activations[: np.asarray(x).shape[0]]
+        activations = self.forward_into(
+            x, weights, bias, mask_expanded, hidden_sizes, bias_gain,
+            out=out, workspace=workspace,
+        )
+        activity = activations if activity_fn is None else activity_fn(activations)
+        self.update_traces(x, activity, p_i, p_j, p_ij, taupdt, workspace=workspace)
+        return activations
 
     # --------------------------------------------------------------- misc
     def prepare_array(self, array: np.ndarray) -> np.ndarray:

@@ -25,13 +25,21 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import kernels
+from repro.backend.base import Backend
 from repro.exceptions import BackendError, DataError
 from repro.utils.arrays import split_into_chunks
 from repro.utils.logging import get_logger
 
 logger = get_logger(__name__)
 
-__all__ = ["LocalComm", "DistributedTrainer", "split_ranks", "ShardStatistics"]
+__all__ = [
+    "LocalComm",
+    "DistributedBackend",
+    "DistributedTrainer",
+    "split_ranks",
+    "ShardStatistics",
+]
 
 _REDUCTIONS = {
     "sum": lambda arrays: np.sum(arrays, axis=0),
@@ -107,6 +115,135 @@ class LocalComm:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"LocalComm(size={self.size})"
+
+
+class DistributedBackend(Backend):
+    """Data-parallel compute backend over the simulated MPI communicator.
+
+    Every kernel partitions the batch rows over ``comm.size`` ranks, computes
+    rank-local results, and combines the sufficient statistics with a single
+    allreduce — the same reduction algebra :class:`DistributedTrainer` uses,
+    but packaged behind the :class:`Backend` interface so the execution
+    engine (and therefore ``Network(backend="mpi")``) can stream batches
+    through it end-to-end.  The forward pass needs no communication (each
+    rank computes activations for its own rows); only the trace statistics
+    are reduced, which is the paper's "communication scales with the model,
+    not the batch" property.
+
+    Numerics match the NumPy reference up to floating-point summation order
+    (the per-rank partial sums are added in a different order than one fused
+    GEMM).
+    """
+
+    name = "distributed"
+    precision = "float64"
+    supports_parallel = True
+
+    def __init__(self, n_ranks: Optional[int] = None, comm: Optional[LocalComm] = None) -> None:
+        super().__init__()
+        if comm is not None:
+            if n_ranks is not None and int(n_ranks) != comm.size:
+                raise BackendError("n_ranks disagrees with the supplied communicator size")
+            self.comm = comm
+        else:
+            self.comm = LocalComm(int(n_ranks) if n_ranks is not None else 2)
+
+    # ------------------------------------------------------------- kernels
+    def forward(
+        self,
+        x: np.ndarray,
+        weights: np.ndarray,
+        bias: np.ndarray,
+        mask_expanded: np.ndarray,
+        hidden_sizes: Sequence[int],
+        bias_gain: float = 1.0,
+    ) -> np.ndarray:
+        return self.forward_into(x, weights, bias, mask_expanded, hidden_sizes, bias_gain)
+
+    def forward_into(
+        self,
+        x: np.ndarray,
+        weights: np.ndarray,
+        bias: np.ndarray,
+        mask_expanded: np.ndarray,
+        hidden_sizes: Sequence[int],
+        bias_gain: float = 1.0,
+        out: Optional[np.ndarray] = None,
+        workspace=None,
+    ) -> np.ndarray:
+        x = self._require_2d(x, "x")
+        n_rows = x.shape[0]
+        self.stats.forward_calls += 1
+        self.stats.elements_processed += int(n_rows) * int(weights.shape[1])
+        if out is None:
+            if workspace is not None:
+                out = workspace.activations[:n_rows]
+            else:
+                out = np.empty((n_rows, weights.shape[1]), dtype=np.float64)
+        if mask_expanded is not None:
+            if workspace is not None:
+                effective = np.multiply(weights, mask_expanded, out=workspace.masked_weights)
+            else:
+                effective = weights * mask_expanded
+        else:
+            effective = weights
+        # Rank-local compute: activations of a row only depend on that row.
+        for lo, hi in split_ranks(n_rows, self.comm.size):
+            if hi <= lo:
+                continue
+            support = bias_gain * bias[None, :] + x[lo:hi] @ effective
+            kernels.hidden_activations(support, hidden_sizes, out=out[lo:hi])
+        return out
+
+    def batch_statistics(
+        self, x: np.ndarray, a: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        x = self._require_2d(x, "x")
+        a = self._require_2d(a, "a")
+        if x.shape[0] != a.shape[0]:
+            raise BackendError("x and a must have the same number of rows")
+        if x.shape[0] == 0:
+            raise BackendError("cannot compute batch statistics of an empty batch")
+        self.stats.statistics_calls += 1
+        self.stats.elements_processed += int(x.shape[1]) * int(a.shape[1])
+        n_input, n_hidden = x.shape[1], a.shape[1]
+        sum_x, sum_a, sum_outer, counts = [], [], [], []
+        for lo, hi in split_ranks(x.shape[0], self.comm.size):
+            if hi <= lo:
+                sum_x.append(np.zeros(n_input))
+                sum_a.append(np.zeros(n_hidden))
+                sum_outer.append(np.zeros((n_input, n_hidden)))
+                counts.append(np.zeros(1))
+                continue
+            xs, as_ = x[lo:hi], a[lo:hi]
+            sum_x.append(xs.sum(axis=0))
+            sum_a.append(as_.sum(axis=0))
+            sum_outer.append(xs.T @ as_)
+            counts.append(np.asarray([float(hi - lo)]))
+        total = float(self.comm.allreduce(counts, op="sum")[0])
+        mean_x = self.comm.allreduce(sum_x, op="sum") / total
+        mean_a = self.comm.allreduce(sum_a, op="sum") / total
+        mean_outer = self.comm.allreduce(sum_outer, op="sum") / total
+        return mean_x, mean_a, mean_outer
+
+    def traces_to_weights(
+        self,
+        p_i: np.ndarray,
+        p_j: np.ndarray,
+        p_ij: np.ndarray,
+        trace_floor: float = 1e-12,
+        out_weights: Optional[np.ndarray] = None,
+        out_bias: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        # The trace-to-weight conversion is replicated on every rank (the
+        # traces themselves are already identical after the allreduce).
+        self.stats.weight_updates += 1
+        return kernels.traces_to_weights(
+            p_i, p_j, p_ij, trace_floor, out_weights=out_weights, out_bias=out_bias
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DistributedBackend(ranks={self.comm.size})"
 
 
 @dataclass

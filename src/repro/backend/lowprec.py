@@ -16,7 +16,7 @@ under each representation and reports the accuracy/AUC degradation.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -112,18 +112,39 @@ class LowPrecisionBackend(Backend):
         hidden_sizes: Sequence[int],
         bias_gain: float = 1.0,
     ) -> np.ndarray:
-        activations = self._reference.forward(
+        return self.forward_into(x, weights, bias, mask_expanded, hidden_sizes, bias_gain)
+
+    def forward_into(
+        self,
+        x: np.ndarray,
+        weights: np.ndarray,
+        bias: np.ndarray,
+        mask_expanded: np.ndarray,
+        hidden_sizes: Sequence[int],
+        bias_gain: float = 1.0,
+        out: Optional[np.ndarray] = None,
+        workspace=None,
+    ) -> np.ndarray:
+        # The quantisation of the operands allocates by construction (this
+        # backend simulates number formats, it is not a perf path), but the
+        # reference forward still streams through the shared workspace.
+        activations = self._reference.forward_into(
             self.quantize(x),
             self.quantize(weights),
             self.quantize(bias),
             mask_expanded,
             hidden_sizes,
             bias_gain,
+            out=out,
+            workspace=workspace,
         )
         self.stats.forward_calls += 1
         self.stats.elements_processed += int(np.asarray(x).shape[0]) * int(np.asarray(weights).shape[1])
         # Re-normalise after quantisation so each hypercolumn still sums to 1.
         quantised = self.quantize(activations)
+        if out is not None and quantised is not out:
+            np.copyto(out, quantised)
+            quantised = out
         sizes = np.asarray(hidden_sizes, dtype=np.int64)
         offsets = np.concatenate([[0], np.cumsum(sizes)])
         for b in range(sizes.shape[0]):
@@ -148,7 +169,18 @@ class LowPrecisionBackend(Backend):
         p_j: np.ndarray,
         p_ij: np.ndarray,
         trace_floor: float = 1e-12,
+        out_weights: Optional[np.ndarray] = None,
+        out_bias: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
-        weights, bias = self._reference.traces_to_weights(p_i, p_j, p_ij, trace_floor)
+        weights, bias = self._reference.traces_to_weights(
+            p_i, p_j, p_ij, trace_floor, out_weights=out_weights, out_bias=out_bias
+        )
         self.stats.weight_updates += 1
-        return self.quantize(weights), self.quantize(bias)
+        quant_w, quant_b = self.quantize(weights), self.quantize(bias)
+        if out_weights is not None and quant_w is not out_weights:
+            np.copyto(out_weights, quant_w)
+            quant_w = out_weights
+        if out_bias is not None and quant_b is not out_bias:
+            np.copyto(out_bias, quant_b)
+            quant_b = out_bias
+        return quant_w, quant_b

@@ -20,8 +20,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import kernels
 from repro.backend.base import Backend
-from repro.core import kernels
 from repro.exceptions import BackendError
 from repro.utils.arrays import split_into_chunks
 
@@ -98,21 +98,53 @@ class ParallelBackend(Backend):
         hidden_sizes: Sequence[int],
         bias_gain: float = 1.0,
     ) -> np.ndarray:
+        return self.forward_into(x, weights, bias, mask_expanded, hidden_sizes, bias_gain)
+
+    def forward_into(
+        self,
+        x: np.ndarray,
+        weights: np.ndarray,
+        bias: np.ndarray,
+        mask_expanded: np.ndarray,
+        hidden_sizes: Sequence[int],
+        bias_gain: float = 1.0,
+        out: Optional[np.ndarray] = None,
+        workspace=None,
+    ) -> np.ndarray:
         x = self._require_2d(x, "x")
-        chunks = self._chunks(x.shape[0])
+        n_rows = x.shape[0]
+        chunks = self._chunks(n_rows)
         self.stats.forward_calls += 1
-        self.stats.elements_processed += int(x.shape[0]) * int(weights.shape[1])
+        self.stats.elements_processed += int(n_rows) * int(weights.shape[1])
+        if workspace is not None and out is None:
+            out = workspace.activations[:n_rows]
         if len(chunks) == 1:
-            support = kernels.compute_support(x, weights, bias, mask_expanded, bias_gain)
-            return kernels.hidden_activations(support, hidden_sizes)
+            support_buf = workspace.support[:n_rows] if workspace is not None else None
+            masked_buf = (
+                workspace.masked_weights
+                if workspace is not None and mask_expanded is not None
+                else None
+            )
+            support = kernels.compute_support(
+                x, weights, bias, mask_expanded, bias_gain,
+                out=support_buf, masked_scratch=masked_buf,
+            )
+            return kernels.hidden_activations(support, hidden_sizes, out=out)
         # Pre-mask once; workers share the read-only result.
-        effective = weights * mask_expanded if mask_expanded is not None else weights
-        out = np.empty((x.shape[0], weights.shape[1]), dtype=np.float64)
+        if mask_expanded is not None:
+            if workspace is not None:
+                effective = np.multiply(weights, mask_expanded, out=workspace.masked_weights)
+            else:
+                effective = weights * mask_expanded
+        else:
+            effective = weights
+        if out is None:
+            out = np.empty((n_rows, weights.shape[1]), dtype=np.float64)
 
         def run(chunk: Tuple[int, int]) -> None:
             lo, hi = chunk
             support = bias_gain * bias[None, :] + x[lo:hi] @ effective
-            out[lo:hi] = kernels.hidden_activations(support, hidden_sizes)
+            kernels.hidden_activations(support, hidden_sizes, out=out[lo:hi])
 
         list(self.pool.map(run, chunks))
         return out
@@ -143,26 +175,39 @@ class ParallelBackend(Backend):
         sum_outer = np.sum([p[2] for p in partials], axis=0)
         return sum_x / total, sum_a / total, sum_outer / total
 
+    # update_traces: the inherited composition (chunked batch_statistics +
+    # in-place EMA) is already optimal here — the chunked partial sums combine
+    # into fresh mean arrays that ema_update consumes as scratch.
+
     def traces_to_weights(
         self,
         p_i: np.ndarray,
         p_j: np.ndarray,
         p_ij: np.ndarray,
         trace_floor: float = 1e-12,
+        out_weights: Optional[np.ndarray] = None,
+        out_bias: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         self.stats.weight_updates += 1
         chunks = self._chunks(p_ij.shape[0])
         if len(chunks) == 1:
-            return kernels.traces_to_weights(p_i, p_j, p_ij, trace_floor)
-        weights = np.empty_like(np.asarray(p_ij, dtype=np.float64))
+            return kernels.traces_to_weights(
+                p_i, p_j, p_ij, trace_floor, out_weights=out_weights, out_bias=out_bias
+            )
+        if out_weights is None:
+            out_weights = np.empty_like(np.asarray(p_ij, dtype=np.float64))
+        weights = out_weights
         log_pj = np.log(np.maximum(np.asarray(p_j, dtype=np.float64), trace_floor))
 
         def run(chunk: Tuple[int, int]) -> None:
             lo, hi = chunk
-            w_chunk, _ = kernels.traces_to_weights(
-                np.asarray(p_i[lo:hi]), p_j, np.asarray(p_ij[lo:hi]), trace_floor
+            kernels.traces_to_weights(
+                np.asarray(p_i[lo:hi]), p_j, np.asarray(p_ij[lo:hi]), trace_floor,
+                out_weights=weights[lo:hi],
             )
-            weights[lo:hi] = w_chunk
 
         list(self.pool.map(run, chunks))
+        if out_bias is not None:
+            np.copyto(out_bias, log_pj)
+            return weights, out_bias
         return weights, log_pj

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Union
 
 from repro.backend.base import Backend
+from repro.backend.distributed import DistributedBackend
 from repro.backend.lowprec import LowPrecisionBackend
 from repro.backend.numpy_backend import NumpyBackend
 from repro.backend.parallel import ParallelBackend
@@ -22,8 +23,10 @@ BackendFactory = Callable[..., Backend]
 _REGISTRY: Dict[str, BackendFactory] = {
     "numpy": NumpyBackend,
     "parallel": ParallelBackend,
+    "distributed": DistributedBackend,
     # Aliases matching the StreamBrain backend names they stand in for.
     "openmp": ParallelBackend,
+    "mpi": DistributedBackend,
     "float32": lambda **kw: LowPrecisionBackend("float32"),
     "float16": lambda **kw: LowPrecisionBackend("float16"),
     "posit16": lambda **kw: LowPrecisionBackend("posit16"),

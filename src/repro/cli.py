@@ -20,8 +20,8 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import kernels
 from repro.backend import get_backend, list_backends
-from repro.core import kernels
 from repro.experiments import (
     HiggsExperimentConfig,
     get_scale,
@@ -113,16 +113,23 @@ def main_sweep(argv: Optional[List[str]] = None) -> int:
         prog="repro-sweep", description="Run a paper experiment sweep and print its table."
     )
     parser.add_argument("experiment", choices=sorted(_SWEEPS), help="which experiment to run")
+    parser.add_argument(
+        "--backend",
+        type=str,
+        default="numpy",
+        help=f"compute backend for the sweep ({', '.join(list_backends())})",
+    )
     _add_common(parser)
     args = parser.parse_args(argv)
     if not args.quiet:
         enable_console_logging()
     scale = get_scale(args.scale)
     runner = _SWEEPS[args.experiment]
-    if args.experiment == "distributed":
+    if args.experiment == "precision":
+        # The precision ablation *is* a backend sweep; --backend is ignored.
         result = runner(scale=scale, seed=args.seed)
     else:
-        result = runner(scale=scale, seed=args.seed)
+        result = runner(scale=scale, seed=args.seed, backend=args.backend)
     print(result["table"])
     return _finish(result, args)
 
@@ -163,7 +170,7 @@ def main_benchmark(argv: Optional[List[str]] = None) -> int:
     hidden_sizes = [args.mcus] * args.hcus
 
     rows = []
-    for name in ("numpy", "parallel", "float32", "float16"):
+    for name in ("numpy", "parallel", "distributed", "float32", "float16"):
         backend = get_backend(name)
         timer = RepeatTimer(repeats=args.repeats, warmup=1)
         stats = timer.measure(lambda b=backend: b.forward(x, weights, bias, mask, hidden_sizes))
@@ -178,7 +185,51 @@ def main_benchmark(argv: Optional[List[str]] = None) -> int:
         backend.close()
     table = format_table(rows, precision=5, title="Forward-kernel timing by backend")
     print(table)
-    result = {"cost_model": cost.as_dict(), "backend_timings": rows, "table": table}
+
+    # Fused streaming path vs the allocate-per-batch composition (engine win).
+    from repro.engine import ExecutionPlan, LayerEngine
+
+    plan = ExecutionPlan(
+        n_input=args.inputs, hidden_sizes=tuple([args.mcus] * args.hcus), batch_size=args.batch
+    )
+    numpy_backend = get_backend("numpy")
+    engine = LayerEngine(numpy_backend, plan)
+    p_i = np.full(args.inputs, 1.0 / args.inputs)
+    p_j = np.full(n_hidden, 1.0 / n_hidden)
+    p_ij = np.outer(p_i, p_j)
+
+    class _TraceView:
+        def __init__(self):
+            self.p_i, self.p_j, self.p_ij = p_i, p_j, p_ij
+            self.updates_seen = 0
+
+    traces = _TraceView()
+    fused_timer = RepeatTimer(repeats=args.repeats, warmup=1)
+    fused_stats = fused_timer.measure(
+        lambda: engine.fused_update(x, weights, bias, mask, 1.0, traces, 0.01)
+    )
+    unfused_timer = RepeatTimer(repeats=args.repeats, warmup=1)
+
+    def unfused_step():
+        activations = numpy_backend.forward(x, weights, bias, mask, hidden_sizes)
+        mean_x, mean_a, mean_outer = numpy_backend.batch_statistics(x, activations)
+        kernels.ema_update(p_i, p_j, p_ij, mean_x, mean_a, mean_outer, 0.01)
+
+    unfused_stats = unfused_timer.measure(unfused_step)
+    fused_rows = [
+        {"path": "unfused (allocate per batch)", "mean_seconds": unfused_stats.mean},
+        {"path": "fused (preallocated workspace)", "mean_seconds": fused_stats.mean},
+    ]
+    fused_table = format_table(
+        fused_rows, precision=6, title="Training-step dispatch: fused vs unfused"
+    )
+    print(fused_table)
+    result = {
+        "cost_model": cost.as_dict(),
+        "backend_timings": rows,
+        "fused_vs_unfused": fused_rows,
+        "table": table + "\n" + fused_table,
+    }
     return _finish(result, args)
 
 

@@ -1,0 +1,139 @@
+"""Shared backend/engine plumbing for trainable BCPNN layers.
+
+:class:`BackendExecutionMixin` hosts the logic that used to be duplicated
+between :class:`~repro.core.layers.StructuralPlasticityLayer` and
+:class:`~repro.core.heads.BCPNNClassifier`:
+
+* backend resolution — a single point (``repro.backend.registry.get_backend``
+  imported at module top; the historical per-method lazy imports are gone now
+  that the backends no longer depend on ``repro.core``),
+* network-level backend inheritance (:meth:`bind_backend`, used by
+  ``Network(backend=...)`` to thread one backend instance through the stack),
+* the streaming :class:`~repro.engine.LayerEngine` lifecycle — one engine
+  per ``(layer, batch_size)``, rebuilt only when the backend or the layer
+  shape changes or a larger batch arrives,
+* the trace→weight refresh, streamed into the layer's persistent
+  weight/bias buffers.
+
+Hosts must provide ``traces`` (a :class:`~repro.core.traces.ProbabilityTraces`
+or ``None`` before build), ``weights``/``bias`` attributes, a ``name`` and a
+``_trace_floor`` property.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.backend.base import Backend
+from repro.backend.registry import get_backend
+from repro.engine import ExecutionPlan, LayerEngine
+from repro.exceptions import NotFittedError
+
+__all__ = ["BackendExecutionMixin"]
+
+
+class BackendExecutionMixin:
+    """Backend resolution + streaming engine shared by trainable layers."""
+
+    # ------------------------------------------------------------- backend
+    def _init_execution(self, backend=None) -> None:
+        """Record the constructor-supplied backend choice (may be ``None``)."""
+        self._backend_spec = backend
+        self._backend: Optional[Backend] = (
+            get_backend(backend) if backend is not None else None
+        )
+        self._engine: Optional[LayerEngine] = None
+
+    @property
+    def backend(self) -> Backend:
+        """The resolved compute backend (defaults to the NumPy reference)."""
+        if self._backend is None:
+            self._backend = get_backend(None)
+        return self._backend
+
+    @backend.setter
+    def backend(self, value) -> None:
+        self._backend_spec = value
+        self._backend = get_backend(value)
+        self._engine = None
+
+    def bind_backend(self, backend, force: bool = False) -> None:
+        """Adopt a network-level backend unless one was explicitly chosen.
+
+        ``Network(backend=...)`` threads its backend through every layer with
+        this hook; a layer constructed with an explicit ``backend=`` argument
+        keeps it unless ``force`` is set.
+        """
+        if backend is None:
+            return
+        if force or self._backend_spec is None:
+            self._backend = get_backend(backend)
+            self._engine = None
+
+    # ------------------------------------------------------------ lifecycle
+    @property
+    def is_built(self) -> bool:
+        return self.traces is not None
+
+    def _require_built(self) -> None:
+        if not self.is_built:
+            raise NotFittedError(f"layer '{self.name}' has not been built")
+
+    # -------------------------------------------------------------- engine
+    def engine_for(self, n_rows: int) -> LayerEngine:
+        """The streaming engine for the current shape, sized for ``n_rows``.
+
+        The workspace is allocated once per ``(layer, batch_size)`` and
+        reused; smaller remainder batches run in leading slices of the same
+        buffers, larger batches grow the plan.
+        """
+        self._require_built()
+        traces = self.traces
+        engine = self._engine
+        if (
+            engine is None
+            or engine.backend is not self.backend
+            or not engine.matches(traces.n_input, tuple(traces.hidden_sizes))
+            or not engine.accommodates(n_rows)
+        ):
+            previous = engine.plan.batch_size if engine is not None else 0
+            plan = ExecutionPlan.for_traces(traces, max(int(n_rows), previous))
+            engine = LayerEngine(self.backend, plan)
+            self._engine = engine
+        return engine
+
+    def _reset_engine(self) -> None:
+        self._engine = None
+
+    # ------------------------------------------------------------- weights
+    def refresh_weights(self) -> None:
+        """Recompute weights/bias from the current traces.
+
+        Streams the conversion into the persistent weight/bias buffers when
+        their shapes still match, so the once-per-batch refresh does not
+        allocate on the hot path.  ``weights``/``bias`` are therefore mutated
+        in place across refreshes — snapshot with ``.copy()`` if you need a
+        before/after comparison.
+        """
+        self._require_built()
+        traces = self.traces
+        out_w = (
+            self.weights
+            if isinstance(self.weights, np.ndarray) and self.weights.shape == traces.p_ij.shape
+            else None
+        )
+        out_b = (
+            self.bias
+            if isinstance(self.bias, np.ndarray) and self.bias.shape == traces.p_j.shape
+            else None
+        )
+        self.weights, self.bias = self.backend.traces_to_weights(
+            traces.p_i,
+            traces.p_j,
+            traces.p_ij,
+            self._trace_floor,
+            out_weights=out_w,
+            out_bias=out_b,
+        )

@@ -19,7 +19,8 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.core import kernels
+from repro import kernels
+from repro.core.execution import BackendExecutionMixin
 from repro.core.layers import InputSpec
 from repro.core.traces import ProbabilityTraces
 from repro.exceptions import ConfigurationError, DataError, NotFittedError
@@ -30,7 +31,7 @@ from repro.utils.validation import check_labels, check_positive_int
 __all__ = ["BCPNNClassifier", "SGDClassifier"]
 
 
-class BCPNNClassifier:
+class BCPNNClassifier(BackendExecutionMixin):
     """Supervised BCPNN output layer (one hypercolumn of ``n_classes`` units)."""
 
     def __init__(
@@ -50,10 +51,7 @@ class BCPNNClassifier:
         self.taupdt = float(taupdt)
         self.bias_gain = float(bias_gain)
         self.trace_floor = float(trace_floor)
-        # Lazy import: the backend package depends on repro.core.kernels.
-        from repro.backend.registry import get_backend
-
-        self.backend = get_backend(backend)
+        self._init_execution(backend)
         self.name = name
         self.input_spec: Optional[InputSpec] = None
         self.traces: Optional[ProbabilityTraces] = None
@@ -63,12 +61,8 @@ class BCPNNClassifier:
 
     # ----------------------------------------------------------------- meta
     @property
-    def is_built(self) -> bool:
-        return self.traces is not None
-
-    def _require_built(self) -> None:
-        if not self.is_built:
-            raise NotFittedError(f"classifier '{self.name}' has not been built")
+    def _trace_floor(self) -> float:
+        return self.trace_floor
 
     # ---------------------------------------------------------------- build
     def build(self, input_spec: InputSpec) -> "BCPNNClassifier":
@@ -77,14 +71,9 @@ class BCPNNClassifier:
             input_spec.hypercolumn_sizes, [self.n_classes]
         )
         self._batches_trained = 0
+        self._reset_engine()
         self.refresh_weights()
         return self
-
-    def refresh_weights(self) -> None:
-        self._require_built()
-        self.weights, self.bias = self.backend.traces_to_weights(
-            self.traces.p_i, self.traces.p_j, self.traces.p_ij, self.trace_floor
-        )
 
     # -------------------------------------------------------------- training
     def train_batch(self, hidden: np.ndarray, labels: np.ndarray) -> None:
@@ -93,7 +82,9 @@ class BCPNNClassifier:
         As in the hidden layer, the first batch re-anchors the trace prior to
         the observed marginals of the hidden representation so that the
         class-conditional weights are not diluted by a mismatched uniform
-        prior.
+        prior.  The statistics + trace update run as one fused engine
+        dispatch (no forward pass is needed — the training activity is the
+        one-hot label).
         """
         self._require_built()
         hidden = self.input_spec.validate_batch(hidden)
@@ -104,8 +95,8 @@ class BCPNNClassifier:
         if self._batches_trained == 0:
             self.traces.calibrate_marginals(mean_x=hidden.mean(axis=0))
             self.refresh_weights()
-        mean_x, mean_a, mean_outer = self.backend.batch_statistics(hidden, targets)
-        self.traces.apply_statistics(mean_x, mean_a, mean_outer, self.taupdt)
+        engine = self.engine_for(hidden.shape[0])
+        engine.update_traces(hidden, targets, self.traces, self.taupdt)
         self._batches_trained += 1
         self.refresh_weights()
 

@@ -151,12 +151,15 @@ class TrainingSchedule:
     sgd_learning_rate: float = 0.05
     sgd_momentum: float = 0.9
     sgd_weight_decay: float = 0.0
+    #: Batches the BatchStream may gather ahead of the consumer (0 = off).
+    prefetch_batches: int = 0
 
     def __post_init__(self) -> None:
         check_positive_int(self.hidden_epochs, "hidden_epochs", minimum=0)
         check_positive_int(self.classifier_epochs, "classifier_epochs", minimum=0)
         check_positive_int(self.batch_size, "batch_size")
         check_positive_int(self.sgd_epochs, "sgd_epochs", minimum=0)
+        check_positive_int(self.prefetch_batches, "prefetch_batches", minimum=0)
         if self.sgd_learning_rate <= 0:
             raise ConfigurationError("sgd_learning_rate must be positive")
         if not 0.0 <= self.sgd_momentum < 1.0:
@@ -177,4 +180,5 @@ class TrainingSchedule:
             "sgd_learning_rate": self.sgd_learning_rate,
             "sgd_momentum": self.sgd_momentum,
             "sgd_weight_decay": self.sgd_weight_decay,
+            "prefetch_batches": self.prefetch_batches,
         }

@@ -12,11 +12,12 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core import kernels
+from repro import kernels
+from repro.core.execution import BackendExecutionMixin
 from repro.core.hyperparams import BCPNNHyperParameters
 from repro.core.plasticity import StructuralPlasticity
 from repro.core.traces import ProbabilityTraces
-from repro.exceptions import ConfigurationError, DataError, NotFittedError
+from repro.exceptions import ConfigurationError, DataError
 from repro.utils.arrays import blockwise_sample, blockwise_softmax, stable_log
 from repro.utils.rng import as_rng
 from repro.utils.validation import check_fraction, check_positive_int
@@ -97,7 +98,7 @@ class InputSpec:
         return f"InputSpec(sizes={self.hypercolumn_sizes})"
 
 
-class StructuralPlasticityLayer:
+class StructuralPlasticityLayer(BackendExecutionMixin):
     """Unsupervised BCPNN hidden layer with a trainable receptive field.
 
     Parameters
@@ -134,11 +135,7 @@ class StructuralPlasticityLayer:
             density = check_fraction(density, "density")
             base = base.replace(density=density)
         self.hyperparams = base
-        # Imported lazily to avoid a circular import: the backend package
-        # itself depends on repro.core.kernels.
-        from repro.backend.registry import get_backend
-
-        self.backend = get_backend(backend)
+        self._init_execution(backend)
         self._rng = as_rng(seed)
         self.name = name or f"hidden-{self.n_hypercolumns}x{self.n_minicolumns}"
 
@@ -160,8 +157,8 @@ class StructuralPlasticityLayer:
         return self.n_hypercolumns * self.n_minicolumns
 
     @property
-    def is_built(self) -> bool:
-        return self.traces is not None
+    def _trace_floor(self) -> float:
+        return self.hyperparams.trace_floor
 
     @property
     def output_spec(self) -> InputSpec:
@@ -199,26 +196,13 @@ class StructuralPlasticityLayer:
         self.traces.p_ij *= noise
         self.refresh_weights()
         self._refresh_mask()
+        self._reset_engine()
         self.batches_trained = 0
         return self
-
-    def _require_built(self) -> None:
-        if not self.is_built:
-            raise NotFittedError(f"layer '{self.name}' has not been built")
 
     def _refresh_mask(self) -> None:
         self._mask_expanded = kernels.expand_mask(
             self.plasticity.mask, self.input_spec.hypercolumn_sizes, self.hidden_sizes
-        )
-
-    def refresh_weights(self) -> None:
-        """Recompute weights/bias from the current traces."""
-        self._require_built()
-        self.weights, self.bias = self.backend.traces_to_weights(
-            self.traces.p_i,
-            self.traces.p_j,
-            self.traces.p_ij,
-            self.hyperparams.trace_floor,
         )
 
     # ------------------------------------------------------------- forward
@@ -272,6 +256,11 @@ class StructuralPlasticityLayer:
     def train_batch(self, x: np.ndarray, taupdt: Optional[float] = None) -> np.ndarray:
         """One unsupervised learning step on a batch; returns the activations.
 
+        The returned activations are a view into the layer's streaming
+        workspace: they are valid until the next training or engine dispatch
+        on this layer and are overwritten then.  Callers that retain
+        per-batch activations across batches must copy them.
+
         On the very first batch the trace prior is re-anchored to the
         observed input marginals (see
         :meth:`repro.core.traces.ProbabilityTraces.calibrate_marginals`), so
@@ -287,10 +276,21 @@ class StructuralPlasticityLayer:
                 mean_x=x.mean(axis=0), jitter=0.02, rng=self._rng
             )
             self.refresh_weights()
-        activations = self.forward_raw(x)
-        training_activity = self._training_activity(activations)
-        mean_x, mean_a, mean_outer = self.backend.batch_statistics(x, training_activity)
-        self.traces.apply_statistics(mean_x, mean_a, mean_outer, taupdt)
+        # One fused dispatch: forward + competition + statistics + trace
+        # update, streamed through the engine's preallocated workspace.  The
+        # returned activations are a workspace view, valid until the next
+        # engine dispatch on this layer.
+        engine = self.engine_for(x.shape[0])
+        activations = engine.fused_update(
+            x,
+            self.weights,
+            self.bias,
+            self._mask_expanded,
+            self.hyperparams.bias_gain,
+            self.traces,
+            taupdt,
+            activity_fn=self._training_activity,
+        )
         self.refresh_weights()
         self.batches_trained += 1
         return activations

@@ -19,10 +19,13 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.backend.base import Backend
+from repro.backend.registry import get_backend
 from repro.core.heads import BCPNNClassifier, SGDClassifier
 from repro.core.hyperparams import TrainingSchedule
 from repro.core.layers import InputSpec, StructuralPlasticityLayer
 from repro.core.training import CallbackList, EpochResult, History, TrainingCallback
+from repro.datasets.stream import BatchStream
 from repro.exceptions import ConfigurationError, DataError, NotFittedError
 from repro.metrics.classification import accuracy as accuracy_metric
 from repro.metrics.classification import log_loss as log_loss_metric
@@ -44,16 +47,27 @@ class Network:
         Seed for batch shuffling (layer seeds are set on the layers).
     name:
         Identifier used in logs and serialised files.
+    backend:
+        Optional backend name or instance threaded through every BCPNN layer
+        that did not choose one explicitly — the single backend-resolution
+        point for a whole network (layers share the instance, so e.g. one
+        thread pool serves the full stack).
     """
 
-    def __init__(self, seed=None, name: str = "bcpnn-network") -> None:
+    def __init__(self, seed=None, name: str = "bcpnn-network", backend=None) -> None:
         self._rng = as_rng(seed)
         self.name = name
+        self._backend: Optional[Backend] = get_backend(backend) if backend is not None else None
         self.hidden_layers: List[StructuralPlasticityLayer] = []
         self.head: Optional[HeadLayer] = None
         self.input_spec: Optional[InputSpec] = None
         self.history = History()
         self._fitted = False
+
+    @property
+    def backend(self) -> Optional[Backend]:
+        """The network-level backend instance (``None`` = per-layer default)."""
+        return self._backend
 
     # ------------------------------------------------------------ assembly
     def add(self, layer) -> "Network":
@@ -71,6 +85,8 @@ class Network:
                 f"unsupported layer type {type(layer).__name__}; expected "
                 "StructuralPlasticityLayer, BCPNNClassifier or SGDClassifier"
             )
+        if self._backend is not None and hasattr(layer, "bind_backend"):
+            layer.bind_backend(self._backend)
         return self
 
     @property
@@ -151,10 +167,22 @@ class Network:
         self._fitted = True
         return self.history
 
-    def _iter_batches(self, n: int, batch_size: int, shuffle: bool):
-        order = self._rng.permutation(n) if shuffle else np.arange(n)
-        for start in range(0, n, batch_size):
-            yield order[start : start + batch_size]
+    def _batch_stream(
+        self, x: np.ndarray, y: Optional[np.ndarray], schedule: TrainingSchedule
+    ) -> BatchStream:
+        """The minibatch stream for one training phase.
+
+        Shares the network RNG with the stream so the per-epoch shuffle draws
+        reproduce the legacy ``fit`` batch order exactly.
+        """
+        return BatchStream(
+            x,
+            y=y,
+            batch_size=schedule.batch_size,
+            shuffle=schedule.shuffle,
+            rng=self._rng,
+            prefetch=schedule.prefetch_batches,
+        )
 
     def _train_hidden_layer(
         self,
@@ -164,11 +192,12 @@ class Network:
         callbacks: CallbackList,
         verbose: bool,
     ) -> None:
+        stream = self._batch_stream(x, None, schedule)
         for epoch in range(schedule.hidden_epochs):
             start = time.perf_counter()
             batch_entropy = []
-            for batch_idx in self._iter_batches(x.shape[0], schedule.batch_size, schedule.shuffle):
-                activations = layer.train_batch(x[batch_idx])
+            for batch in stream:
+                activations = layer.train_batch(batch.x)
                 # Mean per-HCU entropy of the activations: a cheap progress proxy
                 # for unsupervised training (lower = more specialised MCUs).
                 with np.errstate(divide="ignore", invalid="ignore"):
@@ -212,20 +241,17 @@ class Network:
         epochs = schedule.classifier_epochs
         extra_sgd = schedule.sgd_epochs if isinstance(head, SGDClassifier) else 0
         total_epochs = epochs + extra_sgd
+        stream = self._batch_stream(representation, y, schedule)
         for epoch in range(total_epochs):
             start = time.perf_counter()
             losses = []
             fine_tuning = epoch >= epochs
-            for batch_idx in self._iter_batches(
-                representation.shape[0], schedule.batch_size, schedule.shuffle
-            ):
-                batch_h = representation[batch_idx]
-                batch_y = y[batch_idx]
+            for batch in stream:
                 if isinstance(head, SGDClassifier):
                     lr = schedule.sgd_learning_rate * (0.1 if fine_tuning else 1.0)
-                    losses.append(head.train_batch(batch_h, batch_y, learning_rate=lr))
+                    losses.append(head.train_batch(batch.x, batch.y, learning_rate=lr))
                 else:
-                    head.train_batch(batch_h, batch_y)
+                    head.train_batch(batch.x, batch.y)
             duration = time.perf_counter() - start
             train_pred = head.predict(representation)
             metrics: Dict[str, float] = {

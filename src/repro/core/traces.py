@@ -15,7 +15,7 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
-from repro.core import kernels
+from repro import kernels
 from repro.exceptions import DataError
 from repro.utils.validation import check_positive_int
 

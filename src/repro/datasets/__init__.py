@@ -25,10 +25,13 @@ from repro.datasets.preprocessing import (
 )
 from repro.datasets.splits import train_test_split, stratified_kfold
 from repro.datasets.registry import register_dataset, get_dataset, list_datasets
+from repro.datasets.stream import Batch, BatchStream
 
 __all__ = [
     "Dataset",
     "DatasetSplits",
+    "Batch",
+    "BatchStream",
     "HIGGS_FEATURE_NAMES",
     "HIGGS_LOW_LEVEL",
     "HIGGS_HIGH_LEVEL",

@@ -1,0 +1,21 @@
+"""Streaming batched execution engine.
+
+The engine is the single dispatch path between the layer/network layer and
+the compute backends: an :class:`ExecutionPlan` sizes a
+:class:`LayerWorkspace` once per ``(layer, batch_size)``, and a
+:class:`LayerEngine` streams every training/inference batch through the
+backend's fused, workspace-aware primitives (``forward_into``,
+``update_traces``, ``fused_update``).  This realises the paper's framing of
+BCPNN training as a pipeline of GEMM-shaped kernels that an HPC framework
+feeds through pluggable backends — here with per-batch allocations removed
+from the steady-state loop.
+
+Layering: ``repro.engine`` depends only on ``repro.backend`` (and the
+neutral ``repro.kernels``); ``repro.core`` depends on the engine.  Backends
+never import the engine — workspaces are duck-typed.
+"""
+
+from repro.engine.plan import ExecutionPlan, LayerEngine
+from repro.engine.workspace import LayerWorkspace
+
+__all__ = ["ExecutionPlan", "LayerEngine", "LayerWorkspace"]

@@ -1,0 +1,166 @@
+"""Execution plans and the per-layer streaming engine.
+
+An :class:`ExecutionPlan` captures the static shape of one layer's per-batch
+computation — input width, hidden hypercolumn layout and the maximum batch
+size — and knows how to allocate the matching :class:`LayerWorkspace`.  A
+:class:`LayerEngine` binds a plan to a compute backend and streams batches
+through the backend's fused entry points, so the layer code contains no
+per-batch arithmetic: one ``fused_update`` dispatch per training batch, one
+``forward`` dispatch per inference batch.
+
+The engine is rebuilt only when something static changes (backend swapped,
+layer rebuilt with new sizes, batch larger than planned); remainder batches
+reuse leading slices of the same buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.backend.base import Backend
+from repro.engine.workspace import LayerWorkspace
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ExecutionPlan", "LayerEngine"]
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """Static shape of one layer's batched execution.
+
+    Parameters
+    ----------
+    n_input:
+        Number of input units feeding the layer.
+    hidden_sizes:
+        Hypercolumn layout of the layer's output (``(n_classes,)`` for a
+        supervised head).
+    batch_size:
+        Largest batch the workspace must accommodate.
+    """
+
+    n_input: int
+    hidden_sizes: Tuple[int, ...]
+    batch_size: int
+
+    def __post_init__(self) -> None:
+        if self.n_input <= 0 or self.batch_size <= 0 or not self.hidden_sizes:
+            raise ConfigurationError(f"invalid execution plan: {self}")
+        if any(int(s) <= 0 for s in self.hidden_sizes):
+            raise ConfigurationError("hidden sizes must be positive")
+
+    @property
+    def n_hidden(self) -> int:
+        return int(sum(self.hidden_sizes))
+
+    @classmethod
+    def for_traces(cls, traces, batch_size: int) -> "ExecutionPlan":
+        """Plan matching a :class:`~repro.core.traces.ProbabilityTraces` layout."""
+        return cls(
+            n_input=int(traces.n_input),
+            hidden_sizes=tuple(int(s) for s in traces.hidden_sizes),
+            batch_size=int(batch_size),
+        )
+
+    def allocate(self) -> LayerWorkspace:
+        """Allocate the workspace buffers this plan requires."""
+        return LayerWorkspace(self.n_input, self.n_hidden, self.batch_size)
+
+
+class LayerEngine:
+    """Streams batches of one layer's arithmetic through a compute backend.
+
+    The engine owns the workspace for its plan and forwards every dispatch to
+    the backend's fused, ``out=``-style primitives.  Buffers returned by
+    :meth:`forward` / :meth:`fused_update` are views into the workspace and
+    remain valid only until the next dispatch.
+    """
+
+    def __init__(self, backend: Backend, plan: ExecutionPlan) -> None:
+        if not isinstance(backend, Backend):
+            raise ConfigurationError("LayerEngine requires a Backend instance")
+        self.backend = backend
+        self.plan = plan
+        self.workspace = plan.allocate()
+
+    # ------------------------------------------------------------ capacity
+    def accommodates(self, n_rows: int) -> bool:
+        return self.workspace.accommodates(n_rows)
+
+    def matches(self, n_input: int, hidden_sizes: Tuple[int, ...]) -> bool:
+        """Whether the plan still matches a layer's (possibly rebuilt) shape."""
+        return self.plan.n_input == int(n_input) and self.plan.hidden_sizes == tuple(
+            int(s) for s in hidden_sizes
+        )
+
+    # ----------------------------------------------------------- dispatch
+    def forward(
+        self,
+        x: np.ndarray,
+        weights: np.ndarray,
+        bias: np.ndarray,
+        mask_expanded: Optional[np.ndarray],
+        bias_gain: float = 1.0,
+    ) -> np.ndarray:
+        """Hidden activations for a batch, written into the workspace."""
+        n_rows = np.asarray(x).shape[0]
+        return self.backend.forward_into(
+            x,
+            weights,
+            bias,
+            mask_expanded,
+            self.plan.hidden_sizes,
+            bias_gain,
+            out=self.workspace.activations[:n_rows],
+            workspace=self.workspace,
+        )
+
+    def fused_update(
+        self,
+        x: np.ndarray,
+        weights: np.ndarray,
+        bias: np.ndarray,
+        mask_expanded: Optional[np.ndarray],
+        bias_gain: float,
+        traces,
+        taupdt: float,
+        activity_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    ) -> np.ndarray:
+        """One fused training dispatch: forward + statistics + trace update.
+
+        Mutates ``traces`` in place and returns the forward activations (a
+        workspace view).
+        """
+        activations = self.backend.fused_update(
+            x,
+            weights,
+            bias,
+            mask_expanded,
+            self.plan.hidden_sizes,
+            bias_gain,
+            traces.p_i,
+            traces.p_j,
+            traces.p_ij,
+            taupdt,
+            activity_fn=activity_fn,
+            workspace=self.workspace,
+        )
+        traces.updates_seen += 1
+        return activations
+
+    def update_traces(self, x: np.ndarray, a: np.ndarray, traces, taupdt: float) -> None:
+        """Fused statistics + trace update for precomputed activity ``a``.
+
+        This is the supervised-head path: the target activity is known ahead
+        of time (one-hot labels), so no forward pass is dispatched.
+        """
+        self.backend.update_traces(
+            x, a, traces.p_i, traces.p_j, traces.p_ij, taupdt, workspace=self.workspace
+        )
+        traces.updates_seen += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"LayerEngine(backend={self.backend.name}, plan={self.plan})"

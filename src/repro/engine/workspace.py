@@ -1,0 +1,76 @@
+"""Preallocated buffers for the streaming execution engine.
+
+A :class:`LayerWorkspace` owns every layer-sized intermediate of the fused
+BCPNN training step — the masked weight product, the support/activation
+matrices and the batch-statistic buffers — sized once per
+``(n_input, n_hidden, batch_size)`` plan.  Backends receive the workspace
+through their fused entry points and write into its buffers instead of
+allocating per batch, which is what makes the hot path "stream" batches at
+steady-state zero allocation (see ``benchmarks/bench_kernels.py`` for the
+measured effect).
+
+The workspace is duck-typed on purpose: backends only touch the attribute
+names, so alternative workspace implementations (pinned host memory, device
+buffers) can be swapped in without changing the backend code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["LayerWorkspace"]
+
+
+class LayerWorkspace:
+    """Reusable buffers for one ``(n_input, n_hidden, batch_size)`` shape set.
+
+    Attributes
+    ----------
+    masked_weights:
+        ``(n_input, n_hidden)`` scratch for the ``weights * mask`` product.
+    support, activations:
+        ``(batch_size, n_hidden)`` buffers for the support GEMM result and
+        the per-hypercolumn softmax.  Smaller (remainder) batches use leading
+        row slices of the same buffers.
+    mean_x, mean_a, mean_outer:
+        Batch-statistic buffers consumed by the in-place trace update.
+    """
+
+    def __init__(self, n_input: int, n_hidden: int, batch_size: int) -> None:
+        if n_input <= 0 or n_hidden <= 0 or batch_size <= 0:
+            raise ConfigurationError(
+                "workspace dimensions must be positive, got "
+                f"(n_input={n_input}, n_hidden={n_hidden}, batch_size={batch_size})"
+            )
+        self.n_input = int(n_input)
+        self.n_hidden = int(n_hidden)
+        self.batch_size = int(batch_size)
+        self.masked_weights = np.empty((self.n_input, self.n_hidden), dtype=np.float64)
+        self.support = np.empty((self.batch_size, self.n_hidden), dtype=np.float64)
+        self.activations = np.empty((self.batch_size, self.n_hidden), dtype=np.float64)
+        self.mean_x = np.empty(self.n_input, dtype=np.float64)
+        self.mean_a = np.empty(self.n_hidden, dtype=np.float64)
+        self.mean_outer = np.empty((self.n_input, self.n_hidden), dtype=np.float64)
+
+    def accommodates(self, n_rows: int) -> bool:
+        """Whether a batch of ``n_rows`` fits in the preallocated buffers."""
+        return 0 < n_rows <= self.batch_size
+
+    def nbytes(self) -> int:
+        """Total bytes held by the workspace (for memory reports)."""
+        return int(
+            self.masked_weights.nbytes
+            + self.support.nbytes
+            + self.activations.nbytes
+            + self.mean_x.nbytes
+            + self.mean_a.nbytes
+            + self.mean_outer.nbytes
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"LayerWorkspace(n_input={self.n_input}, n_hidden={self.n_hidden}, "
+            f"batch_size={self.batch_size}, {self.nbytes() / 1e6:.2f} MB)"
+        )

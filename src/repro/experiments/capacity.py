@@ -30,6 +30,7 @@ def run_capacity_sweep(
     repeats: Optional[int] = None,
     data: Optional[HiggsData] = None,
     seed: int = 0,
+    backend: str = "numpy",
 ) -> Dict[str, object]:
     """Run the HCU x MCU capacity sweep and return a result table.
 
@@ -56,6 +57,7 @@ def run_capacity_sweep(
                 hidden_epochs=scale.hidden_epochs,
                 classifier_epochs=scale.classifier_epochs,
                 batch_size=scale.batch_size,
+                backend=backend,
                 seed=seed,
             )
             aggregate = repeated_runs(config, repeats=repeats, data=data)
@@ -85,6 +87,7 @@ def run_capacity_sweep(
     return {
         "experiment": "fig3_capacity",
         "scale": scale.name,
+        "backend": backend,
         "density": density,
         "head": head,
         "repeats": repeats,

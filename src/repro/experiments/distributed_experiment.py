@@ -28,10 +28,13 @@ logger = get_logger(__name__)
 __all__ = ["run_distributed_equivalence"]
 
 
-def _fresh_layer(input_spec: InputSpec, n_minicolumns: int, seed: int) -> StructuralPlasticityLayer:
+def _fresh_layer(
+    input_spec: InputSpec, n_minicolumns: int, seed: int, backend: str = "numpy"
+) -> StructuralPlasticityLayer:
     hyperparams = BCPNNHyperParameters(taupdt=0.02, density=0.5, competition="softmax")
     layer = StructuralPlasticityLayer(
-        n_hypercolumns=2, n_minicolumns=n_minicolumns, hyperparams=hyperparams, seed=seed
+        n_hypercolumns=2, n_minicolumns=n_minicolumns, hyperparams=hyperparams,
+        seed=seed, backend=backend,
     )
     layer.build(input_spec)
     return layer
@@ -45,12 +48,15 @@ def run_distributed_equivalence(
     batch_size: int = 256,
     data: Optional[HiggsData] = None,
     seed: int = 0,
+    backend: str = "numpy",
 ) -> Dict[str, object]:
     """Compare serial vs. rank-sharded training of one hidden layer.
 
     The competition rule is forced to the deterministic ``"softmax"`` mode so
     runs are comparable.  Returns per-rank-count rows with the maximum trace
     deviation from the serial reference and the communication volume.
+    ``backend`` selects the *compute* backend each rank uses for its local
+    shard arithmetic (the sharding itself is the trainer's job).
     """
     scale = scale or get_scale()
     if data is None:
@@ -59,7 +65,7 @@ def run_distributed_equivalence(
     input_spec = data.input_spec
 
     # Serial reference (rank count 1 path, trained through the same trainer).
-    reference_layer = _fresh_layer(input_spec, n_minicolumns, seed=seed + 1)
+    reference_layer = _fresh_layer(input_spec, n_minicolumns, seed=seed + 1, backend=backend)
     reference_trainer = DistributedTrainer(LocalComm(1))
     reference_trainer.train_layer(
         reference_layer, x, epochs=epochs, batch_size=batch_size, rng=as_rng(seed + 2), shuffle=True
@@ -68,7 +74,7 @@ def run_distributed_equivalence(
     rows: List[Dict[str, object]] = []
     for ranks in rank_counts:
         comm = LocalComm(int(ranks))
-        layer = _fresh_layer(input_spec, n_minicolumns, seed=seed + 1)
+        layer = _fresh_layer(input_spec, n_minicolumns, seed=seed + 1, backend=backend)
         trainer = DistributedTrainer(comm)
         report = trainer.train_layer(
             layer, x, epochs=epochs, batch_size=batch_size, rng=as_rng(seed + 2), shuffle=True
@@ -100,6 +106,7 @@ def run_distributed_equivalence(
     )
     return {
         "experiment": "distributed_equivalence",
+        "backend": backend,
         "rows": rows,
         "table": table,
         "all_equivalent": all(r["equivalent"] for r in rows),

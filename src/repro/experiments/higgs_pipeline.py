@@ -80,22 +80,30 @@ def prepare_higgs_data(
 
 
 def build_higgs_network(config: HiggsExperimentConfig, seed_offset: int = 0) -> Network:
-    """Assemble the Network described by ``config`` (not yet trained)."""
+    """Assemble the Network described by ``config`` (not yet trained).
+
+    The backend named in the config is resolved once at the network level
+    and threaded through every BCPNN layer, so the whole stack shares one
+    backend instance (one thread pool / communicator) end-to-end.
+    """
     rng = as_rng(config.seed + seed_offset)
-    network = Network(seed=rng, name=f"higgs-{config.n_hypercolumns}x{config.n_minicolumns}-{config.head}")
+    network = Network(
+        seed=rng,
+        name=f"higgs-{config.n_hypercolumns}x{config.n_minicolumns}-{config.head}",
+        backend=config.backend,
+    )
     network.add(
         StructuralPlasticityLayer(
             n_hypercolumns=config.n_hypercolumns,
             n_minicolumns=config.n_minicolumns,
             hyperparams=config.hyperparams(),
-            backend=config.backend,
             seed=config.seed + seed_offset + 1,
         )
     )
     if config.head == "sgd":
         network.add(SGDClassifier(n_classes=2, learning_rate=0.1, seed=config.seed + seed_offset + 2))
     else:
-        network.add(BCPNNClassifier(n_classes=2, backend=config.backend))
+        network.add(BCPNNClassifier(n_classes=2))
     return network
 
 

@@ -36,6 +36,7 @@ def run_insitu_experiment(
     data: Optional[HiggsData] = None,
     seed: int = 0,
     write_pgm: bool = True,
+    backend: str = "numpy",
 ) -> Dict[str, object]:
     """Train with the Catalyst adaptor attached and report what it produced."""
     scale = scale or get_scale()
@@ -54,6 +55,7 @@ def run_insitu_experiment(
         hidden_epochs=scale.hidden_epochs,
         classifier_epochs=max(2, scale.classifier_epochs // 2),
         batch_size=scale.batch_size,
+        backend=backend,
         seed=seed,
     )
 

@@ -56,6 +56,7 @@ def run_mnist_receptive_fields(
     epochs: int = 6,
     digits=(3, 5, 8),
     seed: int = 0,
+    backend: str = "numpy",
 ) -> Dict[str, object]:
     """Train on synthetic digits and measure receptive-field migration.
 
@@ -80,7 +81,7 @@ def run_mnist_receptive_fields(
         hyperparams=hyperparams,
         seed=seed + 1,
     )
-    network = Network(seed=seed, name="mnist-receptive-fields")
+    network = Network(seed=seed, name="mnist-receptive-fields", backend=backend)
     network.add(layer)
     network.add(BCPNNClassifier(n_classes=len(digits)))
 

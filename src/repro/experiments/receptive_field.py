@@ -32,6 +32,7 @@ def run_receptive_field_sweep(
     data: Optional[HiggsData] = None,
     seed: int = 0,
     collect_masks: bool = True,
+    backend: str = "numpy",
 ) -> Dict[str, object]:
     """Sweep the receptive-field density of a single-HCU network.
 
@@ -58,6 +59,7 @@ def run_receptive_field_sweep(
             hidden_epochs=scale.hidden_epochs,
             classifier_epochs=scale.classifier_epochs,
             batch_size=scale.batch_size,
+            backend=backend,
             seed=seed,
         )
         aggregate = repeated_runs(config, repeats=repeats, data=data)
@@ -92,6 +94,7 @@ def run_receptive_field_sweep(
     return {
         "experiment": "fig4_fig5_receptive_field",
         "scale": scale.name,
+        "backend": backend,
         "n_minicolumns": n_minicolumns,
         "head": head,
         "repeats": repeats,

@@ -41,6 +41,7 @@ def run_related_work_comparison(
     data: Optional[HiggsData] = None,
     seed: int = 0,
     include_deep: bool = True,
+    backend: str = "numpy",
 ) -> Dict[str, object]:
     """Train BCPNN (both heads) and the baselines on one split.
 
@@ -55,7 +56,9 @@ def run_related_work_comparison(
 
     # ---------------------------------------------------------------- BCPNN
     for head, label in (("bcpnn", "bcpnn"), ("sgd", "bcpnn+sgd")):
-        config = HiggsExperimentConfig.from_scale(scale, head=head, density=0.4, seed=seed)
+        config = HiggsExperimentConfig.from_scale(
+            scale, head=head, density=0.4, seed=seed, backend=backend
+        )
         outcome = train_and_evaluate(config, data=data)
         results[label] = {
             "accuracy": outcome["accuracy"],
@@ -106,6 +109,7 @@ def run_related_work_comparison(
     return {
         "experiment": "related_work",
         "scale": scale.name,
+        "backend": backend,
         "results": results,
         "paper_reference_auc": dict(PAPER_REFERENCE_AUC),
         "table": table,

@@ -1,0 +1,284 @@
+"""Reference NumPy kernels for the BCPNN update.
+
+These are the mathematical primitives every compute backend must provide
+(see :mod:`repro.backend.base`).  The rate-based BCPNN formulation maps the
+expensive steps onto dense matrix products (GEMM) exactly as the paper's
+Section II-B describes, so the NumPy implementation already dispatches to
+BLAS; alternative backends (multiprocessing, reduced precision, simulated
+MPI) reuse these functions on partitioned or quantised data.
+
+The module lives at the top of the package (outside both ``repro.core`` and
+``repro.backend``) so that backends can depend on the kernels without
+importing the layer/network layer — this is what breaks the historical
+``core.layers -> backend.registry -> numpy_backend -> core`` import cycle.
+``repro.core.kernels`` remains as a thin re-export for backward
+compatibility.
+
+Every hot-path kernel accepts optional ``out=`` buffers so the execution
+engine (:mod:`repro.engine`) can stream batches through preallocated
+workspaces instead of allocating fresh intermediates per batch.
+
+Notation
+--------
+``x``      batch of input activations, shape ``(B, N_in)``; each input
+           hypercolumn block of a row is a probability distribution
+           (one-hot in the Higgs pipeline).
+``a``      hidden activations, shape ``(B, N_hid)``; softmax per hidden HCU.
+``p_i``    input unit marginal trace, shape ``(N_in,)``.
+``p_j``    hidden unit marginal trace, shape ``(N_hid,)``.
+``p_ij``   joint trace, shape ``(N_in, N_hid)``.
+``w``      weights ``log(p_ij / (p_i p_j))``, shape ``(N_in, N_hid)``.
+``b``      bias ``log(p_j)``, shape ``(N_hid,)``.
+``mask``   structural-plasticity connectivity, shape ``(F, H)`` over
+           (input hypercolumn, hidden hypercolumn) pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.utils.arrays import blockwise_softmax, block_offsets, stable_log
+
+__all__ = [
+    "expand_mask",
+    "compute_support",
+    "hidden_activations",
+    "batch_outer_product",
+    "traces_to_weights",
+    "ema_update",
+    "mutual_information_scores",
+    "classifier_support",
+]
+
+
+def expand_mask(
+    mask: np.ndarray,
+    input_sizes: Sequence[int],
+    hidden_sizes: Sequence[int],
+) -> np.ndarray:
+    """Expand an ``(F, H)`` hypercolumn mask to unit resolution ``(N_in, N_hid)``.
+
+    Connection granularity in this reproduction follows the paper's figures:
+    a hidden HCU either sees *all* units of an input feature's hypercolumn or
+    none of them.
+    """
+    mask = np.asarray(mask, dtype=np.float64)
+    input_sizes = np.asarray(input_sizes, dtype=np.int64)
+    hidden_sizes = np.asarray(hidden_sizes, dtype=np.int64)
+    if mask.ndim != 2:
+        raise DataError(f"mask must be 2-D, got shape {mask.shape}")
+    if mask.shape != (input_sizes.shape[0], hidden_sizes.shape[0]):
+        raise DataError(
+            f"mask shape {mask.shape} does not match (n_input_hc={input_sizes.shape[0]}, "
+            f"n_hidden_hc={hidden_sizes.shape[0]})"
+        )
+    expanded = np.repeat(np.repeat(mask, input_sizes, axis=0), hidden_sizes, axis=1)
+    return np.ascontiguousarray(expanded)
+
+
+def compute_support(
+    x: np.ndarray,
+    weights: np.ndarray,
+    bias: np.ndarray,
+    mask_expanded: np.ndarray = None,
+    bias_gain: float = 1.0,
+    out: Optional[np.ndarray] = None,
+    masked_scratch: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Compute the hidden support ``s = bias_gain * b + x @ (w * mask)``.
+
+    The masked weight product is the GEMM the paper offloads to accelerators.
+    ``out`` receives the support (shape ``(B, N_hid)``) when given;
+    ``masked_scratch`` is an optional ``(N_in, N_hid)`` buffer for the masked
+    weight product so the hot path does not allocate it per batch.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    bias = np.asarray(bias, dtype=np.float64)
+    if x.ndim != 2 or weights.ndim != 2:
+        raise DataError("x and weights must be 2-D")
+    if x.shape[1] != weights.shape[0]:
+        raise DataError(
+            f"x has {x.shape[1]} columns but weights expect {weights.shape[0]} inputs"
+        )
+    if bias.shape != (weights.shape[1],):
+        raise DataError("bias shape does not match the number of hidden units")
+    if mask_expanded is not None:
+        mask_expanded = np.asarray(mask_expanded, dtype=np.float64)
+        if mask_expanded.shape != weights.shape:
+            raise DataError("mask_expanded shape must match weights shape")
+        if masked_scratch is not None:
+            effective = np.multiply(weights, mask_expanded, out=masked_scratch)
+        else:
+            effective = weights * mask_expanded
+    else:
+        effective = weights
+    if out is None:
+        return bias_gain * bias[None, :] + x @ effective
+    np.matmul(x, effective, out=out)
+    out += bias_gain * bias[None, :]
+    return out
+
+
+def hidden_activations(
+    support: np.ndarray,
+    hidden_sizes: Sequence[int],
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Softmax within each hidden hypercolumn (mutual inhibition inside an HCU)."""
+    return blockwise_softmax(support, hidden_sizes, out=out)
+
+
+def batch_outer_product(
+    x: np.ndarray,
+    a: np.ndarray,
+    out_x: Optional[np.ndarray] = None,
+    out_a: Optional[np.ndarray] = None,
+    out_outer: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batch-mean marginals and co-activation matrix.
+
+    Returns ``(mean_x, mean_a, mean_outer)`` where ``mean_outer[i, j]`` is the
+    batch average of ``x[:, i] * a[:, j]`` — a single GEMM of shape
+    ``(N_in, B) @ (B, N_hid)``.  The three ``out_*`` buffers let callers
+    stream statistics into a preallocated workspace.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    a = np.asarray(a, dtype=np.float64)
+    if x.ndim != 2 or a.ndim != 2 or x.shape[0] != a.shape[0]:
+        raise DataError("x and a must be 2-D with the same number of rows")
+    if x.shape[0] == 0:
+        raise DataError("cannot compute batch statistics of an empty batch")
+    inv_b = 1.0 / x.shape[0]
+    mean_x = np.mean(x, axis=0, out=out_x)
+    mean_a = np.mean(a, axis=0, out=out_a)
+    if out_outer is None:
+        mean_outer = (x.T @ a) * inv_b
+    else:
+        mean_outer = np.matmul(x.T, a, out=out_outer)
+        mean_outer *= inv_b
+    return mean_x, mean_a, mean_outer
+
+
+def traces_to_weights(
+    p_i: np.ndarray,
+    p_j: np.ndarray,
+    p_ij: np.ndarray,
+    trace_floor: float = 1e-12,
+    out_weights: Optional[np.ndarray] = None,
+    out_bias: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Convert probability traces into BCPNN weights and biases.
+
+    ``w_ij = log(p_ij / (p_i * p_j))`` and ``b_j = log(p_j)``, all with a
+    numerical floor so silent units produce large-negative rather than
+    infinite terms.  ``out_weights``/``out_bias`` receive the results when
+    given (the weight refresh runs once per batch, so reusing its buffers is
+    a large allocation saving on the training hot path).
+    """
+    p_i = np.asarray(p_i, dtype=np.float64)
+    p_j = np.asarray(p_j, dtype=np.float64)
+    p_ij = np.asarray(p_ij, dtype=np.float64)
+    if p_ij.shape != (p_i.shape[0], p_j.shape[0]):
+        raise DataError(
+            f"p_ij shape {p_ij.shape} does not match ({p_i.shape[0]}, {p_j.shape[0]})"
+        )
+    log_pi = stable_log(p_i, trace_floor)
+    log_pj = stable_log(p_j, trace_floor)
+    if out_weights is None:
+        weights = stable_log(p_ij, trace_floor)
+    else:
+        np.maximum(p_ij, trace_floor, out=out_weights)
+        weights = np.log(out_weights, out=out_weights)
+    weights -= log_pi[:, None]
+    weights -= log_pj[None, :]
+    if out_bias is None:
+        bias = log_pj
+    else:
+        np.copyto(out_bias, log_pj)
+        bias = out_bias
+    return weights, bias
+
+
+def ema_update(
+    p_i: np.ndarray,
+    p_j: np.ndarray,
+    p_ij: np.ndarray,
+    mean_x: np.ndarray,
+    mean_a: np.ndarray,
+    mean_outer: np.ndarray,
+    taupdt: float,
+) -> None:
+    """In-place trace update ``p <- (1 - taupdt) * p + taupdt * mean``.
+
+    The fused learning-rule step shared by every backend.  The ``mean_*``
+    arrays are treated as scratch (they are scaled by ``taupdt`` in place) so
+    the update allocates nothing — callers pass workspace buffers or freshly
+    computed statistics they no longer need.
+    """
+    if not 0.0 < taupdt <= 1.0:
+        raise DataError(f"taupdt must be in (0, 1], got {taupdt}")
+    if mean_x.shape != p_i.shape or mean_a.shape != p_j.shape:
+        raise DataError("statistic shapes do not match the trace dimensions")
+    if mean_outer.shape != p_ij.shape:
+        raise DataError("mean_outer shape does not match the trace dimensions")
+    decay = 1.0 - taupdt
+    p_i *= decay
+    mean_x *= taupdt
+    p_i += mean_x
+    p_j *= decay
+    mean_a *= taupdt
+    p_j += mean_a
+    p_ij *= decay
+    mean_outer *= taupdt
+    p_ij += mean_outer
+
+
+def mutual_information_scores(
+    p_i: np.ndarray,
+    p_j: np.ndarray,
+    p_ij: np.ndarray,
+    input_sizes: Sequence[int],
+    hidden_sizes: Sequence[int],
+    trace_floor: float = 1e-12,
+) -> np.ndarray:
+    """Mutual information between each input hypercolumn and each hidden HCU.
+
+    ``score[f, h] = sum_{i in f} sum_{j in h} p_ij * log(p_ij / (p_i p_j))``
+
+    This is the quantity structural plasticity maximises: active connections
+    with low scores are exchanged for silent connections with high scores.
+    The double block-sum is evaluated with ``np.add.reduceat`` on both axes,
+    so the cost is one elementwise pass over ``p_ij``.
+    """
+    p_i = np.asarray(p_i, dtype=np.float64)
+    p_j = np.asarray(p_j, dtype=np.float64)
+    p_ij = np.asarray(p_ij, dtype=np.float64)
+    input_offsets = block_offsets(input_sizes)[:-1]
+    hidden_offsets = block_offsets(hidden_sizes)[:-1]
+    if p_ij.shape != (p_i.shape[0], p_j.shape[0]):
+        raise DataError("p_ij shape does not match marginal traces")
+    if int(np.sum(input_sizes)) != p_i.shape[0]:
+        raise DataError("input_sizes do not sum to the number of input units")
+    if int(np.sum(hidden_sizes)) != p_j.shape[0]:
+        raise DataError("hidden_sizes do not sum to the number of hidden units")
+    ratio_log = (
+        stable_log(p_ij, trace_floor)
+        - stable_log(p_i, trace_floor)[:, None]
+        - stable_log(p_j, trace_floor)[None, :]
+    )
+    contrib = np.where(p_ij > trace_floor, p_ij * ratio_log, 0.0)
+    # Block-sum over input hypercolumns (rows) then hidden HCUs (columns).
+    row_reduced = np.add.reduceat(contrib, input_offsets, axis=0)
+    scores = np.add.reduceat(row_reduced, hidden_offsets, axis=1)
+    return scores
+
+
+def classifier_support(
+    hidden: np.ndarray, weights: np.ndarray, bias: np.ndarray, bias_gain: float = 1.0
+) -> np.ndarray:
+    """Support of the supervised classification layer (single output HCU)."""
+    return compute_support(hidden, weights, bias, mask_expanded=None, bias_gain=bias_gain)

@@ -78,14 +78,18 @@ def block_offsets(block_sizes: Sequence[int]) -> np.ndarray:
     return np.concatenate([[0], np.cumsum(sizes)])
 
 
-def blockwise_softmax(support: np.ndarray, block_sizes: Sequence[int]) -> np.ndarray:
+def blockwise_softmax(
+    support: np.ndarray, block_sizes: Sequence[int], out: np.ndarray = None
+) -> np.ndarray:
     """Softmax applied independently within each hypercolumn block.
 
     ``support`` has shape ``(n_samples, sum(block_sizes))``; the result has
     the same shape, and each block of each row sums to one.  When all blocks
     share the same size the computation is reshaped to a single 3-D softmax
     (no Python loop); otherwise the loop runs over blocks (few) rather than
-    samples (many).
+    samples (many).  ``out`` receives the result when given (it may alias
+    ``support``), which lets the execution engine stream batches through a
+    preallocated activation buffer.
     """
     support = np.asarray(support, dtype=np.float64)
     if support.ndim != 2:
@@ -96,15 +100,25 @@ def blockwise_softmax(support: np.ndarray, block_sizes: Sequence[int]) -> np.nda
         raise DataError(
             f"support has {support.shape[1]} columns, block sizes sum to {total}"
         )
+    if out is not None and out.shape != support.shape:
+        raise DataError(
+            f"out has shape {out.shape}, expected {support.shape}"
+        )
     if np.all(sizes == sizes[0]):
         n, _ = support.shape
         h = sizes.shape[0]
         m = int(sizes[0])
         cube = support.reshape(n, h, m)
-        out = row_softmax(cube)
-        return out.reshape(n, total)
+        if out is None:
+            return row_softmax(cube).reshape(n, total)
+        ocube = out.reshape(n, h, m)
+        np.subtract(cube, cube.max(axis=-1, keepdims=True), out=ocube)
+        np.exp(ocube, out=ocube)
+        ocube /= ocube.sum(axis=-1, keepdims=True)
+        return out
     offsets = block_offsets(sizes)
-    out = np.empty_like(support)
+    if out is None:
+        out = np.empty_like(support)
     for b in range(sizes.shape[0]):
         lo, hi = offsets[b], offsets[b + 1]
         out[:, lo:hi] = row_softmax(support[:, lo:hi])

@@ -1,0 +1,123 @@
+"""Tests for the BatchStream minibatch iterator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Batch, BatchStream
+from repro.exceptions import ConfigurationError, DataError
+
+
+def _data(n=25, f=4, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.random((n, f))
+    y = rng.integers(0, 2, size=n)
+    return x, y
+
+
+class TestChunking:
+    def test_batch_boundaries_and_remainder(self):
+        x, y = _data(n=25)
+        stream = BatchStream(x, y, batch_size=10)
+        batches = list(stream)
+        assert len(stream) == 3
+        assert [b.size for b in batches] == [10, 10, 5]
+        assert [b.ordinal for b in batches] == [0, 1, 2]
+        np.testing.assert_array_equal(np.concatenate([b.x for b in batches]), x)
+        np.testing.assert_array_equal(np.concatenate([b.y for b in batches]), y)
+
+    def test_drop_last(self):
+        x, y = _data(n=25)
+        stream = BatchStream(x, y, batch_size=10, drop_last=True)
+        batches = list(stream)
+        assert len(stream) == 2
+        assert [b.size for b in batches] == [10, 10]
+
+    def test_exact_multiple_has_no_remainder(self):
+        x, _ = _data(n=20)
+        assert [b.size for b in BatchStream(x, batch_size=10)] == [10, 10]
+
+    def test_inorder_batches_are_views(self):
+        x, _ = _data()
+        batch = next(iter(BatchStream(x, batch_size=10)))
+        assert np.shares_memory(batch.x, x)
+
+    def test_labels_optional(self):
+        x, _ = _data()
+        batch = next(iter(BatchStream(x, batch_size=10)))
+        assert batch.y is None
+        assert isinstance(batch, Batch)
+
+    def test_validation(self):
+        x, y = _data()
+        with pytest.raises(DataError):
+            BatchStream(np.ones(5), batch_size=2)
+        with pytest.raises(DataError):
+            BatchStream(x, y[:-1], batch_size=2)
+        with pytest.raises(ConfigurationError):
+            BatchStream(x, batch_size=0)
+        with pytest.raises(ConfigurationError):
+            BatchStream(x, batch_size=4, prefetch=-1)
+
+
+class TestDeterminism:
+    def test_shuffle_deterministic_under_seed(self):
+        x, y = _data(n=40)
+        a = [b.indices for b in BatchStream(x, y, batch_size=16, shuffle=True, rng=7)]
+        b = [b.indices for b in BatchStream(x, y, batch_size=16, shuffle=True, rng=7)]
+        for ia, ib in zip(a, b):
+            np.testing.assert_array_equal(ia, ib)
+
+    def test_shuffle_draws_fresh_epoch_permutations(self):
+        x, _ = _data(n=40)
+        stream = BatchStream(x, batch_size=40, shuffle=True, rng=3)
+        first = next(iter(stream)).indices
+        second = next(iter(stream)).indices
+        assert not np.array_equal(first, second)
+        # Every epoch is still a complete permutation.
+        np.testing.assert_array_equal(np.sort(second), np.arange(40))
+
+    def test_shuffle_matches_legacy_fit_order(self):
+        """The stream reproduces rng.permutation-per-epoch batch order."""
+        x, y = _data(n=30)
+        stream = BatchStream(x, y, batch_size=8, shuffle=True, rng=np.random.default_rng(5))
+        got = [b.indices for b in stream]
+        rng = np.random.default_rng(5)
+        order = rng.permutation(30)
+        expected = [order[s : s + 8] for s in range(0, 30, 8)]
+        for g, e in zip(got, expected):
+            np.testing.assert_array_equal(g, e)
+        batch = next(iter(BatchStream(x, y, batch_size=8, shuffle=True, rng=1)))
+        np.testing.assert_array_equal(batch.x, x[batch.indices])
+        np.testing.assert_array_equal(batch.y, y[batch.indices])
+
+
+class TestPrefetch:
+    def test_prefetch_yields_identical_batches(self):
+        x, y = _data(n=50)
+        plain = list(BatchStream(x, y, batch_size=8, shuffle=True, rng=11))
+        fetched = list(BatchStream(x, y, batch_size=8, shuffle=True, rng=11, prefetch=2))
+        assert len(plain) == len(fetched)
+        for p, f in zip(plain, fetched):
+            np.testing.assert_array_equal(p.x, f.x)
+            np.testing.assert_array_equal(p.y, f.y)
+            np.testing.assert_array_equal(p.indices, f.indices)
+
+    def test_prefetch_survives_early_exit(self):
+        x, _ = _data(n=50)
+        stream = BatchStream(x, batch_size=5, prefetch=1)
+        for i, _batch in enumerate(stream):
+            if i == 1:
+                break
+        # A fresh epoch after an abandoned one must still stream everything.
+        assert sum(b.size for b in stream) == 50
+
+    def test_prefetch_propagates_worker_errors(self):
+        x, _ = _data(n=20)
+        stream = BatchStream(x, batch_size=5, prefetch=2)
+
+        def boom(order, start, stop, ordinal):
+            raise RuntimeError("gather failed")
+
+        stream._gather = boom
+        with pytest.raises(RuntimeError, match="gather failed"):
+            list(stream)
