@@ -7,13 +7,18 @@ configuration (280 input units, 1x300 hidden units, batch 256).
 
 The module also compares the execution engine's *fused* training step
 (one dispatch, preallocated workspace — :mod:`repro.engine`) against the
-seed's allocate-per-batch composition of the same kernels, and emits the
-machine-readable ``BENCH_kernels.json`` at the repository root so the perf
-trajectory of the hot path is tracked from PR to PR.  Run standalone with
-``python benchmarks/bench_kernels.py`` to regenerate the JSON without
-pytest.
+seed's allocate-per-batch composition of the same kernels, times the
+*streaming inference* path (:mod:`repro.serving`) per backend, and emits
+the machine-readable ``BENCH_kernels.json`` at the repository root so the
+perf trajectory of both hot paths is tracked from PR to PR.
+
+Run standalone with ``python benchmarks/bench_kernels.py`` to regenerate
+the JSON without pytest; ``--quick`` shrinks the measurement for CI, and
+``--check-speedup X`` exits non-zero when the fused-vs-unfused speedup
+falls below ``X`` (the CI perf-regression gate).
 """
 
+import argparse
 import json
 import time
 from pathlib import Path
@@ -34,12 +39,22 @@ INPUT_SIZES = [10] * 28
 BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
 
 
+def _one_hot_rows(n_rows, seed=0):
+    """Random per-hypercolumn one-hot rows matching ``INPUT_SIZES``."""
+    rng = np.random.default_rng(seed)
+    x = np.zeros((n_rows, N_INPUT))
+    offset = 0
+    for size in INPUT_SIZES:
+        winners = rng.integers(0, size, size=n_rows)
+        x[np.arange(n_rows), offset + winners] = 1.0
+        offset += size
+    return x
+
+
 @pytest.fixture(scope="module")
 def kernel_data():
     rng = np.random.default_rng(0)
-    x = np.zeros((BATCH, N_INPUT))
-    winners = rng.integers(0, 10, size=(BATCH, 28))
-    x[np.repeat(np.arange(BATCH), 28), (winners + np.arange(28) * 10).ravel()] = 1.0
+    x = _one_hot_rows(BATCH, seed=0)
     weights = rng.normal(size=(N_INPUT, N_HIDDEN))
     bias = rng.normal(size=N_HIDDEN)
     mask = kernels.expand_mask(
@@ -119,9 +134,7 @@ class _TraceBuffers:
 
 def _training_step_problem(seed=0):
     rng = np.random.default_rng(seed)
-    x = np.zeros((BATCH, N_INPUT))
-    winners = rng.integers(0, 10, size=(BATCH, 28))
-    x[np.repeat(np.arange(BATCH), 28), (winners + np.arange(28) * 10).ravel()] = 1.0
+    x = _one_hot_rows(BATCH, seed=seed)
     mask = kernels.expand_mask(
         (rng.random((28, 1)) > 0.6).astype(float), INPUT_SIZES, HIDDEN_SIZES
     )
@@ -201,9 +214,83 @@ def measure_fused_vs_unfused(repeats=5, inner=20):
     }
 
 
-def write_bench_json(result, path=BENCH_JSON_PATH):
-    payload = {"benchmark": "bench_kernels", "fused_vs_unfused": result}
-    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+SERVING_BACKENDS = ("numpy", "parallel", "distributed", "float32")
+
+
+def _serving_network():
+    """A built (untrained) Higgs-sized network for inference timing.
+
+    Inference numerics do not require training — ``build`` materialises
+    weights from the initial traces — so the benchmark skips ``fit`` and
+    measures pure streaming-forward throughput.
+    """
+    from repro.core import BCPNNClassifier, InputSpec, Network, StructuralPlasticityLayer
+
+    network = Network(seed=0, name="bench-serving")
+    network.add(StructuralPlasticityLayer(1, N_HIDDEN, density=0.4, seed=1))
+    network.add(BCPNNClassifier(n_classes=2))
+    network.build(InputSpec(INPUT_SIZES))
+    return network
+
+
+def measure_streaming_inference(
+    backends=SERVING_BACKENDS, n_samples=8192, batch_size=BATCH, repeats=3
+):
+    """Per-backend throughput of ``predict_stream`` over a large input.
+
+    The input is several times larger than any single workspace, so the
+    numbers measure the steady-state streaming path: preallocated
+    double-buffered workspaces, O(batch) memory, one engine dispatch per
+    batch per layer.
+    """
+    from repro.serving import StreamingPredictor
+
+    network = _serving_network()
+    x = _one_hot_rows(n_samples)
+    results = {}
+    for name in backends:
+        predictor = StreamingPredictor(network, batch_size=batch_size, backend=name)
+        predictor.predict_stream(x[: 2 * batch_size])  # warm up engines/pools
+        timings = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            predictor.predict_stream(x)
+            timings.append(time.perf_counter() - start)
+        best = float(min(timings))
+        results[name] = {
+            "seconds_total": best,
+            "rows_per_second": n_samples / max(best, 1e-12),
+            "workspace_bytes": predictor.workspace_nbytes(),
+        }
+        predictor.backend.close()
+    return {
+        "config": {
+            "n_input": N_INPUT,
+            "n_hidden": N_HIDDEN,
+            "n_samples": int(n_samples),
+            "batch_size": int(batch_size),
+            "repeats": int(repeats),
+        },
+        "backends": results,
+    }
+
+
+def write_bench_json(sections, path=BENCH_JSON_PATH):
+    """Merge ``sections`` into ``BENCH_kernels.json``, preserving the rest.
+
+    The fused-training and streaming-inference measurements are produced by
+    different entry points (pytest vs standalone), so each write merges its
+    section instead of clobbering the other's.
+    """
+    path = Path(path)
+    payload = {"benchmark": "bench_kernels"}
+    if path.is_file():
+        try:
+            payload.update(json.loads(path.read_text()))
+        except (ValueError, OSError):
+            pass
+    payload.update(sections)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
     return path
 
 
@@ -213,7 +300,7 @@ def test_fused_workspace_path_faster_than_unfused():
     Also emits BENCH_kernels.json so the perf trajectory is tracked.
     """
     result = measure_fused_vs_unfused()
-    write_bench_json(result)
+    write_bench_json({"fused_vs_unfused": result})
     assert result["fused_seconds_per_batch"] > 0
     # Small tolerance so CPU-contention noise cannot flake the suite; the
     # recorded speedup in BENCH_kernels.json (typically ~1.4-1.5x) is the
@@ -238,8 +325,57 @@ def test_bench_fused_training_step(benchmark, kernel_data):
     assert activations.shape == (BATCH, N_HIDDEN)
 
 
-if __name__ == "__main__":
-    outcome = measure_fused_vs_unfused()
-    path = write_bench_json(outcome)
-    print(json.dumps(outcome, indent=2))
+def test_streaming_inference_throughput_recorded():
+    """The serving path must stream every backend.
+
+    Deliberately does NOT write BENCH_kernels.json: the quick configuration
+    here (2048 rows) is incomparable with the standalone run's committed
+    numbers, and a pytest invocation must not dirty the tracked perf
+    trajectory.  The JSON is regenerated by ``python benchmarks/bench_kernels.py``.
+    """
+    outcome = measure_streaming_inference(n_samples=2048, repeats=2)
+    for name in SERVING_BACKENDS:
+        entry = outcome["backends"][name]
+        assert entry["rows_per_second"] > 0
+        assert entry["workspace_bytes"] > 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller measurement for CI (seconds, not minutes)"
+    )
+    parser.add_argument(
+        "--check-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit non-zero when the fused-vs-unfused speedup is below X",
+    )
+    parser.add_argument(
+        "--json", type=str, default=str(BENCH_JSON_PATH), help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        fused = measure_fused_vs_unfused(repeats=3, inner=10)
+        serving = measure_streaming_inference(n_samples=4096, repeats=2)
+    else:
+        fused = measure_fused_vs_unfused()
+        serving = measure_streaming_inference()
+    path = write_bench_json(
+        {"fused_vs_unfused": fused, "streaming_inference": serving}, path=args.json
+    )
+    print(json.dumps({"fused_vs_unfused": fused, "streaming_inference": serving}, indent=2))
     print(f"wrote {path}")
+    if args.check_speedup is not None and fused["speedup"] < args.check_speedup:
+        print(
+            f"PERF REGRESSION: fused-vs-unfused speedup {fused['speedup']:.3f}x "
+            f"is below the {args.check_speedup:.2f}x gate"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

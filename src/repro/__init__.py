@@ -23,7 +23,19 @@ Quick start::
 """
 
 from repro.version import __version__
-from repro import backend, baselines, core, datasets, engine, experiments, hyperopt, instrumentation, metrics, visualization
+from repro import (
+    backend,
+    baselines,
+    core,
+    datasets,
+    engine,
+    experiments,
+    hyperopt,
+    instrumentation,
+    metrics,
+    serving,
+    visualization,
+)
 from repro.core import (
     BCPNNClassifier,
     BCPNNHyperParameters,
@@ -45,6 +57,7 @@ __all__ = [
     "hyperopt",
     "instrumentation",
     "metrics",
+    "serving",
     "visualization",
     "BCPNNClassifier",
     "BCPNNHyperParameters",

@@ -1,21 +1,29 @@
 """Command-line interface.
 
-Three entry points are installed (see ``pyproject.toml``):
+Four entry points are installed (see ``pyproject.toml``):
 
 * ``repro-train``      — train one Higgs classifier and print accuracy/AUC.
 * ``repro-sweep``      — run a paper experiment sweep (capacity, receptive
                          field, related work, precision, distributed).
 * ``repro-benchmark``  — print the analytical BCPNN cost model and time the
                          compute backends on a representative kernel.
+* ``repro-predict``    — streaming bulk inference with a saved model
+                         (train one with ``repro-train --save-model``):
+                         CSV/npz in, predictions (or probabilities) out, on
+                         any registered backend.  The feature file is read
+                         into memory once; all *layer-sized* intermediates
+                         stay O(batch) regardless of input length.
 
-All commands accept ``--json PATH`` to additionally write the results as a
-JSON report.
+All are also reachable as ``python -m repro.cli <command>``, and all accept
+``--json PATH`` to additionally write the results as a JSON report.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
+from pathlib import Path
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -37,7 +45,7 @@ from repro.instrumentation import BCPNNCostModel, RepeatTimer, format_table
 from repro.instrumentation.reports import dump_json_report
 from repro.utils.logging import enable_console_logging
 
-__all__ = ["main_train", "main_sweep", "main_benchmark"]
+__all__ = ["main_train", "main_sweep", "main_benchmark", "main_predict", "main"]
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -68,6 +76,13 @@ def main_train(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--epochs", type=int, default=None, help="hidden-layer epochs")
     parser.add_argument("--backend", type=str, default="numpy", help=f"backend ({', '.join(list_backends())})")
     parser.add_argument("--higgs-path", type=str, default=None, help="path to a real HIGGS.csv[.gz]")
+    parser.add_argument(
+        "--save-model",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="save the trained network as a .npz archive (consumed by repro-predict)",
+    )
     _add_common(parser)
     args = parser.parse_args(argv)
     if not args.quiet:
@@ -94,6 +109,12 @@ def main_train(argv: Optional[List[str]] = None) -> int:
         f"accuracy={result['accuracy']:.4f}  auc={result['auc']:.4f}  "
         f"log_loss={result['log_loss']:.4f}  train_time={result['train_seconds']:.1f}s"
     )
+    if args.save_model:
+        from repro.core import save_network
+
+        saved = save_network(result["network"], args.save_model)
+        print(f"saved model to {saved}")
+        result["model_path"] = str(saved)
     return _finish(result, args)
 
 
@@ -233,19 +254,130 @@ def main_benchmark(argv: Optional[List[str]] = None) -> int:
     return _finish(result, args)
 
 
-def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover - convenience dispatcher
-    """Dispatch ``python -m repro.cli <train|sweep|benchmark> ...``."""
+# ----------------------------------------------------------------- serving
+def _load_feature_matrix(path: str) -> np.ndarray:
+    """Load a 2-D feature matrix from a ``.npz``/``.npy`` archive or a CSV.
+
+    ``.npz`` archives use the array under the key ``x`` (falling back to the
+    single array when only one is stored); CSV/CSV.gz files are streamed
+    through :func:`repro.datasets.csvio.read_numeric_csv`.
+    """
+    from repro.datasets.csvio import read_numeric_csv
+    from repro.exceptions import DataError
+
+    p = Path(path)
+    if not p.is_file():
+        raise DataError(f"input file not found: {path}")
+    if p.suffix == ".npy":
+        return np.asarray(np.load(p, allow_pickle=False), dtype=np.float64)
+    if p.suffix == ".npz":
+        with np.load(p, allow_pickle=False) as archive:
+            if "x" in archive.files:
+                return np.asarray(archive["x"], dtype=np.float64)
+            if len(archive.files) == 1:
+                return np.asarray(archive[archive.files[0]], dtype=np.float64)
+            raise DataError(
+                f"{path} holds {len(archive.files)} arrays and none is named 'x'; "
+                "store the feature matrix under the key 'x'"
+            )
+    return read_numeric_csv(p)
+
+
+def main_predict(argv: Optional[List[str]] = None) -> int:
+    """Streaming bulk inference: saved model + CSV/npz features -> predictions."""
+    from repro.core import load_network
+    from repro.datasets.csvio import write_numeric_csv
+    from repro.serving import StreamingPredictor
+
+    parser = argparse.ArgumentParser(
+        prog="repro-predict",
+        description=(
+            "Stream a feature matrix through a saved network and write the "
+            "predictions (optionally class probabilities).  The input file is "
+            "loaded once; every layer-sized intermediate stays O(batch-size)."
+        ),
+    )
+    parser.add_argument("input", type=str, help="feature matrix (.csv/.csv.gz/.npy/.npz)")
+    parser.add_argument("--model", type=str, required=True, help="saved network (.npz)")
+    parser.add_argument("--output", type=str, default=None, help="write predictions to this CSV")
+    parser.add_argument(
+        "--backend",
+        type=str,
+        default=None,
+        help=(
+            f"force one compute backend for the whole stack ({', '.join(list_backends())}); "
+            "default: each layer's own resolved backend (the NumPy reference for loaded models)"
+        ),
+    )
+    parser.add_argument("--batch-size", type=int, default=1024, help="rows per streamed batch")
+    parser.add_argument("--proba", action="store_true", help="also emit class probabilities")
+    _add_common(parser)
+    args = parser.parse_args(argv)
+    if not args.quiet:
+        enable_console_logging()
+
+    network = load_network(args.model)
+    x = _load_feature_matrix(args.input)
+    predictor = StreamingPredictor(network, batch_size=args.batch_size, backend=args.backend)
+
+    start = time.perf_counter()
+    if args.proba:
+        proba = predictor.predict_proba_stream(x)
+        predictions = np.argmax(proba, axis=1)
+    else:
+        proba = None
+        predictions = predictor.predict_stream(x)
+    elapsed = time.perf_counter() - start
+
+    if args.output:
+        if proba is not None:
+            matrix = np.column_stack([predictions.astype(np.float64), proba])
+            header = ["prediction"] + [f"p_class{c}" for c in range(proba.shape[1])]
+        else:
+            matrix = predictions.astype(np.float64)[:, None]
+            header = ["prediction"]
+        write_numeric_csv(args.output, matrix, header=header)
+
+    rows_per_second = x.shape[0] / max(elapsed, 1e-9)
+    print(
+        f"predicted {x.shape[0]} rows in {elapsed:.3f}s "
+        f"({rows_per_second:,.0f} rows/s, batch_size={args.batch_size}, "
+        f"backend={predictor.backend.name}, "
+        f"workspace={predictor.workspace_nbytes() / 1e6:.2f} MB)"
+        + (f"; wrote {args.output}" if args.output else "")
+    )
+    result: Dict[str, object] = {
+        "n_rows": int(x.shape[0]),
+        "seconds": float(elapsed),
+        "rows_per_second": float(rows_per_second),
+        "batch_size": int(args.batch_size),
+        "backend": predictor.backend.name,
+        "workspace_bytes": int(predictor.workspace_nbytes()),
+        "class_counts": {int(c): int(n) for c, n in zip(*np.unique(predictions, return_counts=True))},
+        "output": args.output,
+    }
+    return _finish(result, args)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Dispatch ``python -m repro.cli <train|sweep|benchmark|predict> ...``."""
     argv = list(sys.argv[1:] if argv is None else argv)
+    commands = {
+        "train": main_train,
+        "sweep": main_sweep,
+        "benchmark": main_benchmark,
+        "predict": main_predict,
+    }
+    usage = f"usage: python -m repro.cli {{{','.join(commands)}}} ..."
     if not argv:
-        print("usage: python -m repro.cli {train,sweep,benchmark} ...", file=sys.stderr)
+        print(usage, file=sys.stderr)
         return 2
+    if argv[0] in ("-h", "--help"):
+        print(usage)
+        return 0
     command, rest = argv[0], argv[1:]
-    if command == "train":
-        return main_train(rest)
-    if command == "sweep":
-        return main_sweep(rest)
-    if command == "benchmark":
-        return main_benchmark(rest)
+    if command in commands:
+        return commands[command](rest)
     print(f"unknown command {command!r}", file=sys.stderr)
     return 2
 

@@ -9,8 +9,8 @@ backend and experiment referring to the same validated set of values.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from dataclasses import dataclass, replace
+from typing import Dict
 
 from repro.exceptions import ConfigurationError
 from repro.utils.validation import check_fraction, check_positive_int

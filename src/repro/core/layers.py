@@ -170,6 +170,17 @@ class StructuralPlasticityLayer(BackendExecutionMixin):
         self._require_built()
         return self.plasticity.mask
 
+    @property
+    def mask_expanded(self) -> Optional[np.ndarray]:
+        """Unit-level receptive-field mask ``(n_input, n_hidden)``.
+
+        This is the expanded form the backends consume; the streaming
+        serving path (:mod:`repro.serving`) reads it per dispatch so mask
+        swaps between batches are honoured without rebuilding engines.
+        """
+        self._require_built()
+        return self._mask_expanded
+
     # ---------------------------------------------------------------- build
     def build(self, input_spec: InputSpec) -> "StructuralPlasticityLayer":
         """Allocate traces, masks and weights for the given input layout."""

@@ -63,6 +63,8 @@ class Network:
         self.input_spec: Optional[InputSpec] = None
         self.history = History()
         self._fitted = False
+        self._serving_predictor = None
+        self._serving_key = None
 
     @property
     def backend(self) -> Optional[Backend]:
@@ -303,6 +305,49 @@ class Network:
         """Hard class predictions."""
         self._require_fitted()
         return self.head.predict(self.transform(x))
+
+    # ----------------------------------------------------- streaming serving
+    def _streaming_predictor(self, batch_size: int, backend):
+        """The cached :class:`~repro.serving.StreamingPredictor` for a config.
+
+        Imported lazily: ``repro.serving`` depends on ``repro.core`` (the
+        execution mixin), so a module-level import here would be circular.
+        The predictor itself revalidates layer shapes and backend identity on
+        every call, so caching it is safe across refits that keep the
+        architecture — only a config change rebuilds it.
+        """
+        from repro.serving import StreamingPredictor
+
+        key = (
+            backend if isinstance(backend, str) else id(backend) if backend is not None else None,
+            int(batch_size),
+            id(self.head),
+            len(self.hidden_layers),
+        )
+        if self._serving_predictor is None or self._serving_key != key:
+            self._serving_predictor = StreamingPredictor(
+                self, batch_size=batch_size, backend=backend
+            )
+            self._serving_key = key
+        return self._serving_predictor
+
+    def predict_stream(self, x, batch_size: int = 1024, backend=None) -> np.ndarray:
+        """Hard class predictions, streamed at O(batch) memory.
+
+        Equivalent to :meth:`predict` (bit-for-bit on the NumPy backend) but
+        never materialises a layer-sized intermediate for the whole input:
+        batches stream through preallocated engine workspaces, and on a
+        distributed backend the rows are sharded over the ranks with a
+        single gather of the predictions.  ``x`` may also be a prebuilt
+        :class:`~repro.datasets.stream.BatchStream`.
+        """
+        self._require_fitted()
+        return self._streaming_predictor(batch_size, backend).predict_stream(x)
+
+    def predict_proba_stream(self, x, batch_size: int = 1024, backend=None) -> np.ndarray:
+        """Class-probability matrix, streamed at O(batch) memory."""
+        self._require_fitted()
+        return self._streaming_predictor(batch_size, backend).predict_proba_stream(x)
 
     def evaluate(self, x: np.ndarray, y: np.ndarray) -> Dict[str, float]:
         """Accuracy / AUC (binary) / log-loss on a labelled set."""

@@ -14,7 +14,7 @@ connections" (Section III-B).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict
 
 import numpy as np
 

@@ -126,7 +126,7 @@ class SyntheticDigits:
             images[i] = self.render_digit(digits[labels[i]], rng).ravel()
         return Dataset(
             features=images,
-            labels=np.asarray([digits.index(digits[l]) for l in labels], dtype=np.int64),
+            labels=np.asarray([digits.index(digits[lab]) for lab in labels], dtype=np.int64),
             feature_names=[f"px_{r}_{c}" for r in range(IMAGE_SIZE) for c in range(IMAGE_SIZE)],
             name="digits-synthetic",
             metadata={"synthetic": True, "image_shape": (IMAGE_SIZE, IMAGE_SIZE), "digits": digits},
@@ -171,7 +171,7 @@ def load_digits(
         keep = np.isin(labels, list(digits))
         images, labels = images[keep][:n_samples], labels[keep][:n_samples]
         remap = {d: i for i, d in enumerate(sorted(set(digits)))}
-        labels = np.asarray([remap[int(l)] for l in labels], dtype=np.int64)
+        labels = np.asarray([remap[int(lab)] for lab in labels], dtype=np.int64)
         return Dataset(
             features=images,
             labels=labels,

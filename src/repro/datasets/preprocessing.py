@@ -14,7 +14,7 @@ apply to any split), :func:`balanced_subsample` the class balancing, and
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

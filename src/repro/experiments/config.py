@@ -17,8 +17,8 @@ EXPERIMENTS.md records which scale produced the reported numbers.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
 
 from repro.core.hyperparams import BCPNNHyperParameters, TrainingSchedule
 from repro.exceptions import ConfigurationError

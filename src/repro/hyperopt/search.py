@@ -13,9 +13,8 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional
 
-import numpy as np
 
 from repro.exceptions import SearchError
 from repro.hyperopt.samplers import scrambled_halton

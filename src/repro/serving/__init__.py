@@ -1,0 +1,34 @@
+"""Sharded streaming inference.
+
+``repro.serving`` is the serving half of the streaming execution engine:
+where ``Network.fit`` streams *training* batches through fused backend
+primitives, :class:`StreamingPredictor` streams *inference* over arbitrarily
+large inputs at O(batch) memory — every hidden layer runs through
+preallocated (optionally double-buffered)
+:class:`~repro.engine.LayerWorkspace` buffers, so bulk prediction performs
+zero per-batch layer-sized allocations.
+
+When the resolved backend is a
+:class:`~repro.backend.distributed.DistributedBackend`, the input rows are
+sharded over the communicator ranks and the per-rank predictions (or class
+probabilities) are combined with a **single** gather at the end — the same
+"communication scales with the model, not the data" property the training
+path exploits.
+
+Entry points:
+
+* :class:`StreamingPredictor` — owns workspace lifecycle + backend
+  resolution for a fitted network.
+* :func:`predict_stream` / :func:`predict_proba_stream` — one-shot helpers.
+* ``Network.predict_stream`` / ``Network.predict_proba_stream`` — facades on
+  the network front end.
+* ``python -m repro.cli predict`` — CSV/npz in, predictions out.
+"""
+
+from repro.serving.predictor import (
+    StreamingPredictor,
+    predict_proba_stream,
+    predict_stream,
+)
+
+__all__ = ["StreamingPredictor", "predict_stream", "predict_proba_stream"]

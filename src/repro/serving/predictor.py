@@ -1,0 +1,309 @@
+"""The streaming predictor: constant-memory, rank-sharded bulk inference.
+
+``Network.predict`` materialises the full input and every layer-sized
+intermediate in one shot; :class:`StreamingPredictor` instead drives a
+:class:`~repro.datasets.stream.BatchStream` through
+:class:`~repro.engine.LayerEngine.forward` with preallocated (optionally
+double-buffered) :class:`~repro.engine.LayerWorkspace` buffers, so inference
+over any input length runs at O(batch) memory and the steady-state loop
+performs zero layer-sized allocations.  Per-backend numerics are identical to
+``Network.predict`` up to the backend's declared precision (bit-for-bit on
+the NumPy backend — ``tests/serving`` enforces both).
+
+Sharding: when the resolved backend is a
+:class:`~repro.backend.distributed.DistributedBackend`, the input rows are
+block-partitioned over the communicator ranks; each rank streams only its
+shard and the per-rank outputs are combined with a **single**
+``allgather`` — one collective per call, independent of the number of
+batches.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+import numpy as np
+
+from repro.backend.distributed import DistributedBackend, split_ranks
+from repro.core.execution import BackendExecutionMixin
+from repro.datasets.stream import BatchStream
+from repro.engine import ExecutionPlan, LayerEngine
+from repro.exceptions import DataError, NotFittedError
+from repro.utils.arrays import row_softmax
+from repro.utils.validation import check_positive_int
+
+__all__ = ["StreamingPredictor", "predict_stream", "predict_proba_stream"]
+
+Source = Union[np.ndarray, BatchStream]
+
+
+class _LayerStage:
+    """One hidden layer bound to its streaming engine(s).
+
+    With ``n_buffers > 1`` the stage alternates engines (each owning one
+    workspace) per batch ordinal, so batch ``k``'s activations stay valid
+    while batch ``k+1`` is computed into the other buffer — the invariant a
+    pipelined consumer (one that holds the previous batch's view while the
+    next is in flight) needs.  The sequential ``predict_stream`` loop
+    consumes each batch before the next starts, so it defaults to a single
+    buffer.
+    """
+
+    def __init__(self, layer, backend, batch_size: int, n_buffers: int) -> None:
+        self.layer = layer
+        self.engines: Tuple[LayerEngine, ...] = ()
+        self.rebuild(backend, batch_size, n_buffers)
+
+    def rebuild(self, backend, batch_size: int, n_buffers: int) -> None:
+        plan = ExecutionPlan.for_traces(self.layer.traces, batch_size)
+        self.engines = tuple(LayerEngine(backend, plan) for _ in range(n_buffers))
+
+    def stale(self, backend, n_rows: int) -> bool:
+        traces = self.layer.traces
+        engine = self.engines[0]
+        return (
+            engine.backend is not backend
+            or not engine.matches(traces.n_input, tuple(traces.hidden_sizes))
+            or not engine.accommodates(n_rows)
+        )
+
+    def forward(self, x: np.ndarray, ordinal: int) -> np.ndarray:
+        """Hidden activations for one batch (a workspace view)."""
+        engine = self.engines[ordinal % len(self.engines)]
+        layer = self.layer
+        return engine.forward(
+            x, layer.weights, layer.bias, layer.mask_expanded, layer.hyperparams.bias_gain
+        )
+
+    def workspace_nbytes(self) -> int:
+        return sum(engine.workspace.nbytes() for engine in self.engines)
+
+
+class StreamingPredictor(BackendExecutionMixin):
+    """Streams bulk inference for a fitted network at O(batch) memory.
+
+    Parameters
+    ----------
+    network:
+        A fitted (or at least built) :class:`~repro.core.network.Network`;
+        duck-typed — any object with built ``hidden_layers`` and ``head``
+        works.
+    batch_size:
+        Rows per streamed batch; peak intermediate memory is proportional to
+        this, never to the input length.
+    backend:
+        Optional backend name or instance forced onto the whole stack.  When
+        omitted (the default) every stage keeps *its layer's own* resolved
+        backend — exactly the backends ``Network.predict`` would use, so the
+        equivalence guarantee holds even for stacks with explicit per-layer
+        backend choices.
+    double_buffer:
+        Keep two workspaces per hidden layer and alternate between batches,
+        so batch ``k``'s activations stay valid while batch ``k+1``
+        computes.  Off by default: the sequential prediction loop consumes
+        each batch immediately, so the second buffer would only double
+        workspace memory.
+    """
+
+    #: ``BackendExecutionMixin.is_built`` reads ``traces``; the predictor has
+    #: no traces of its own (it borrows the layers'), so pin the attribute.
+    traces = None
+
+    def __init__(
+        self,
+        network,
+        batch_size: int = 1024,
+        backend=None,
+        double_buffer: bool = False,
+    ) -> None:
+        head = getattr(network, "head", None)
+        if head is None or not head.is_built:
+            raise NotFittedError("StreamingPredictor requires a fitted network (built head)")
+        for layer in network.hidden_layers:
+            if not layer.is_built:
+                raise NotFittedError(f"hidden layer '{layer.name}' has not been built")
+        self.network = network
+        self.head = head
+        self.batch_size = check_positive_int(batch_size, "batch_size")
+        self.n_buffers = 2 if double_buffer else 1
+        self.name = f"serving:{getattr(network, 'name', 'network')}"
+        self._init_execution(backend)
+        self._stages: List[_LayerStage] = [
+            _LayerStage(layer, self._stage_backend(layer), self.batch_size, self.n_buffers)
+            for layer in network.hidden_layers
+        ]
+
+    # ------------------------------------------------------------- backend
+    def _stage_backend(self, layer):
+        """The backend one stage dispatches on: the override, else the layer's."""
+        return self._backend if self._backend is not None else layer.backend
+
+    def _uniform_backend(self):
+        """The single backend serving the whole stack, or ``None`` when the
+        stages keep heterogeneous per-layer backends."""
+        if self._backend is not None:
+            return self._backend
+        layers = self.network.hidden_layers
+        if not layers:
+            return None
+        first = layers[0].backend
+        if all(layer.backend is first for layer in layers[1:]):
+            return first
+        return None
+
+    @property
+    def backend(self):
+        """The effective serving backend (first stage's for mixed stacks).
+
+        Overrides the mixin property, which would *cache* a default NumPy
+        instance on first read and thereby silently lock a per-layer stack
+        into uniform-NumPy mode.
+        """
+        uniform = self._uniform_backend()
+        if uniform is not None:
+            return uniform
+        layers = self.network.hidden_layers
+        if layers:
+            return layers[0].backend
+        from repro.backend.registry import get_backend
+
+        return get_backend(None)
+
+    @backend.setter
+    def backend(self, value) -> None:
+        from repro.backend.registry import get_backend
+
+        self._backend_spec = value
+        self._backend = get_backend(value)
+
+    # ------------------------------------------------------------- capacity
+    def workspace_nbytes(self) -> int:
+        """Total preallocated workspace bytes — independent of input length."""
+        return sum(stage.workspace_nbytes() for stage in self._stages)
+
+    def _ensure_capacity(self, n_rows: int) -> None:
+        """Rebuild any stage whose engines no longer fit the layer/batch/backend."""
+        for stage in self._stages:
+            effective = self._stage_backend(stage.layer)
+            if stage.stale(effective, n_rows):
+                stage.rebuild(effective, max(int(n_rows), self.batch_size), self.n_buffers)
+
+    # ------------------------------------------------------------- dispatch
+    def _decision_batch(self, x: np.ndarray, ordinal: int) -> np.ndarray:
+        """Head support values for one batch, streamed through the stages."""
+        representation = x
+        for stage in self._stages:
+            representation = stage.layer.input_spec.validate_batch(representation)
+            representation = stage.forward(representation, ordinal)
+        return self.head.decision_function(representation)
+
+    def _stream_into(self, out: np.ndarray, stream: BatchStream, proba: bool) -> np.ndarray:
+        """Drive one stream, scattering per-batch results into ``out``."""
+        for batch in stream:
+            self._ensure_capacity(batch.size)
+            decision = self._decision_batch(batch.x, batch.ordinal)
+            if proba:
+                out[batch.indices] = row_softmax(decision)
+            else:
+                out[batch.indices] = np.argmax(decision, axis=1)
+        return out
+
+    # ------------------------------------------------------------ front end
+    def _as_stream(self, source: Source) -> BatchStream:
+        if isinstance(source, BatchStream):
+            if source.drop_last and source.n_samples % source.batch_size != 0:
+                raise DataError(
+                    "cannot stream predictions from a drop_last stream: the "
+                    "tail rows would never receive a prediction"
+                )
+            return source
+        x = np.asarray(source)
+        if x.ndim != 2:
+            raise DataError(f"predict_stream expects a 2-D matrix, got shape {x.shape}")
+        return BatchStream(x, batch_size=self.batch_size)
+
+    def _output(self, n_rows: int, proba: bool) -> np.ndarray:
+        if proba:
+            return np.empty((n_rows, self.head.n_classes), dtype=np.float64)
+        return np.empty(n_rows, dtype=np.int64)
+
+    def _stream(self, source: Source, proba: bool) -> np.ndarray:
+        stream = self._as_stream(source)
+        n = stream.n_samples
+        if n == 0:
+            return self._output(0, proba)
+        uniform = self._uniform_backend()
+        comm = getattr(uniform, "comm", None)
+        if (
+            isinstance(uniform, DistributedBackend)
+            and comm is not None
+            and comm.size > 1
+            and not isinstance(source, BatchStream)
+        ):
+            return self._stream_sharded(stream.x, comm, proba)
+        return self._stream_into(self._output(n, proba), stream, proba)
+
+    def _stream_sharded(self, x: np.ndarray, comm, proba: bool) -> np.ndarray:
+        """Shard rows over the communicator ranks; gather results once.
+
+        Each rank streams only its contiguous block of rows through its own
+        :class:`BatchStream`; the per-rank outputs are padded to a common
+        shard length and combined with a single ``allgather`` — one
+        collective per call regardless of input length.
+        """
+        n = x.shape[0]
+        shards = split_ranks(n, comm.size)
+        width = max(hi - lo for lo, hi in shards)
+        n_cols = self.head.n_classes if proba else 1
+        padded: List[np.ndarray] = []
+        for lo, hi in shards:
+            rank_out = np.zeros((width, n_cols), dtype=np.float64)
+            if hi > lo:
+                part = self._output(hi - lo, proba)
+                self._stream_into(
+                    part, BatchStream(x[lo:hi], batch_size=self.batch_size), proba
+                )
+                rank_out[: hi - lo] = part.reshape(hi - lo, n_cols)
+            padded.append(rank_out)
+        gathered = comm.allgather(padded)
+        trimmed = [g[: hi - lo] for g, (lo, hi) in zip(gathered, shards)]
+        stacked = np.concatenate(trimmed, axis=0)
+        if proba:
+            return stacked
+        return stacked[:, 0].astype(np.int64)
+
+    def predict_stream(self, source: Source) -> np.ndarray:
+        """Hard class predictions ``(n_samples,)`` for a streamed source.
+
+        ``source`` is either a 2-D feature matrix (streamed in
+        ``batch_size`` chunks; rank-sharded on a distributed backend) or a
+        prebuilt :class:`BatchStream` (its own batching — including shuffle
+        order — is respected, and results are scattered back to source
+        order via the batch indices).
+        """
+        return self._stream(source, proba=False)
+
+    def predict_proba_stream(self, source: Source) -> np.ndarray:
+        """Class-probability matrix ``(n_samples, n_classes)``, streamed."""
+        return self._stream(source, proba=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"StreamingPredictor(backend={self.backend.name}, "
+            f"batch_size={self.batch_size}, stages={len(self._stages)}, "
+            f"workspace={self.workspace_nbytes() / 1e6:.2f} MB)"
+        )
+
+
+def predict_stream(network, source: Source, batch_size: int = 1024, backend=None) -> np.ndarray:
+    """One-shot helper: hard predictions for ``source`` at O(batch) memory."""
+    predictor = StreamingPredictor(network, batch_size=batch_size, backend=backend)
+    return predictor.predict_stream(source)
+
+
+def predict_proba_stream(
+    network, source: Source, batch_size: int = 1024, backend=None
+) -> np.ndarray:
+    """One-shot helper: class probabilities for ``source`` at O(batch) memory."""
+    predictor = StreamingPredictor(network, batch_size=batch_size, backend=backend)
+    return predictor.predict_proba_stream(source)

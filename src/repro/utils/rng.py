@@ -11,7 +11,7 @@ do not overlap).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Iterable, List, Sequence, Union
 
 import numpy as np
 

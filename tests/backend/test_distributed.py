@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.backend.distributed import DistributedTrainer, LocalComm, split_ranks
-from repro.core import BCPNNHyperParameters, InputSpec, StructuralPlasticityLayer
+from repro.core import BCPNNHyperParameters, StructuralPlasticityLayer
 from repro.exceptions import BackendError, DataError
 from repro.utils.rng import as_rng
 

@@ -1,6 +1,5 @@
 """Integration tests for the paper-experiment sweeps (tiny configurations)."""
 
-import numpy as np
 
 from repro.experiments import (
     run_capacity_sweep,
