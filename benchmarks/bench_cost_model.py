@@ -46,8 +46,10 @@ def test_bench_cost_model_tracks_measurement(benchmark, bench_higgs_data):
     measured_ratio = measured[200] / max(measured[50], 1e-9)
     predicted_ratio = predicted[200] / predicted[50]
     print()
-    print(f"measured epoch time:   50 MCUs {measured[50]*1e3:.1f} ms, 200 MCUs {measured[200]*1e3:.1f} ms "
-          f"(ratio {measured_ratio:.2f})")
+    print(
+        f"measured epoch time:   50 MCUs {measured[50] * 1e3:.1f} ms, "
+        f"200 MCUs {measured[200] * 1e3:.1f} ms (ratio {measured_ratio:.2f})"
+    )
     print(f"predicted FLOPs ratio: {predicted_ratio:.2f}")
 
     # Capacity scaling: more minicolumns must cost more time, and the measured

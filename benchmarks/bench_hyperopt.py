@@ -9,7 +9,13 @@ untuned default.
 import pytest
 
 from repro.experiments import HiggsExperimentConfig, train_and_evaluate
-from repro.hyperopt import FloatParameter, HaltonSearch, IntParameter, LogFloatParameter, SearchSpace
+from repro.hyperopt import (
+    FloatParameter,
+    HaltonSearch,
+    IntParameter,
+    LogFloatParameter,
+    SearchSpace,
+)
 
 
 @pytest.mark.benchmark(group="hyperopt")

@@ -7,10 +7,13 @@ configuration (280 input units, 1x300 hidden units, batch 256).
 
 The module also compares the execution engine's *fused* training step
 (one dispatch, preallocated workspace — :mod:`repro.engine`) against the
-seed's allocate-per-batch composition of the same kernels, times the
-*streaming inference* path (:mod:`repro.serving`) per backend, and emits
-the machine-readable ``BENCH_kernels.json`` at the repository root so the
-perf trajectory of both hot paths is tracked from PR to PR.
+seed's allocate-per-batch composition of the same kernels, times that
+fused step on every registered backend (``fused_training_backends``),
+times the *streaming inference* path (:mod:`repro.serving`) per backend,
+measures per-transport allreduce throughput of the :mod:`repro.comm`
+communicator subsystem (``comm_throughput``), and emits the
+machine-readable ``BENCH_kernels.json`` at the repository root so the
+perf trajectory of every hot path is tracked from PR to PR.
 
 Run standalone with ``python benchmarks/bench_kernels.py`` to regenerate
 the JSON without pytest; ``--quick`` shrinks the measurement for CI, and
@@ -214,6 +217,63 @@ def measure_fused_vs_unfused(repeats=5, inner=20):
     }
 
 
+TRAINING_BACKENDS = ("numpy", "parallel", "distributed", "float32")
+
+
+def measure_fused_training_backends(backends=TRAINING_BACKENDS, repeats=5, inner=20):
+    """Per-backend seconds of the complete fused training step.
+
+    Every backend runs the identical engine-dispatched step (trace→weight
+    refresh + fused forward/statistics/EMA through one preallocated
+    workspace) so the numbers compare dispatch + kernel cost across the
+    registered compute backends (ROADMAP: per-backend fused *training*
+    timings complementing the serving throughputs).
+    """
+    x, mask, p_i, p_j, p_ij = _training_step_problem()
+    taupdt = 0.01
+    results = {}
+    for name in backends:
+        backend = get_backend(name)
+        traces = _TraceBuffers(p_i, p_j, p_ij)
+        engine = LayerEngine(backend, ExecutionPlan(N_INPUT, tuple(HIDDEN_SIZES), BATCH))
+        weight_buf = np.empty((N_INPUT, N_HIDDEN))
+        bias_buf = np.empty(N_HIDDEN)
+
+        def step(
+            backend=backend,
+            traces=traces,
+            engine=engine,
+            weight_buf=weight_buf,
+            bias_buf=bias_buf,
+        ):
+            backend.traces_to_weights(
+                traces.p_i,
+                traces.p_j,
+                traces.p_ij,
+                out_weights=weight_buf,
+                out_bias=bias_buf,
+            )
+            engine.fused_update(x, weight_buf, bias_buf, mask, 1.0, traces, taupdt)
+
+        seconds = _time_loop(step, repeats=repeats, inner=inner)
+        results[name] = {
+            "seconds_per_batch": seconds,
+            "batches_per_second": 1.0 / max(seconds, 1e-12),
+            "workspace_bytes": engine.workspace.nbytes(),
+        }
+        backend.close()
+    return {
+        "config": {
+            "n_input": N_INPUT,
+            "n_hidden": N_HIDDEN,
+            "batch_size": BATCH,
+            "repeats": repeats,
+            "inner_iterations": inner,
+        },
+        "backends": results,
+    }
+
+
 SERVING_BACKENDS = ("numpy", "parallel", "distributed", "float32")
 
 
@@ -325,6 +385,28 @@ def test_bench_fused_training_step(benchmark, kernel_data):
     assert activations.shape == (BATCH, N_HIDDEN)
 
 
+def test_fused_training_measured_on_every_backend():
+    """The fused training step must run (and be timed) on every backend."""
+    outcome = measure_fused_training_backends(repeats=2, inner=5)
+    for name in TRAINING_BACKENDS:
+        entry = outcome["backends"][name]
+        assert entry["seconds_per_batch"] > 0
+        assert entry["workspace_bytes"] > 0
+
+
+def test_comm_throughput_measured_on_every_transport():
+    """Every stdlib transport must complete the allreduce timing loop."""
+    from repro.comm.benchmark import measure_comm_throughput
+
+    outcome = measure_comm_throughput(
+        transports=("serial", "thread", "process"), ranks=2, repeats=3, warmup=1, timeout=60.0
+    )
+    by_name = {row["transport"]: row for row in outcome["transports"]}
+    for name in ("serial", "thread", "process"):
+        assert "error" not in by_name[name], by_name[name]
+        assert by_name[name]["seconds_per_allreduce"] > 0
+
+
 def test_streaming_inference_throughput_recorded():
     """The serving path must stream every backend.
 
@@ -357,16 +439,26 @@ def main(argv=None):
     )
     args = parser.parse_args(argv)
 
+    from repro.comm.benchmark import measure_comm_throughput
+
     if args.quick:
         fused = measure_fused_vs_unfused(repeats=3, inner=10)
+        training = measure_fused_training_backends(repeats=3, inner=10)
         serving = measure_streaming_inference(n_samples=4096, repeats=2)
+        comm = measure_comm_throughput(ranks=2, repeats=10, warmup=2)
     else:
         fused = measure_fused_vs_unfused()
+        training = measure_fused_training_backends()
         serving = measure_streaming_inference()
-    path = write_bench_json(
-        {"fused_vs_unfused": fused, "streaming_inference": serving}, path=args.json
-    )
-    print(json.dumps({"fused_vs_unfused": fused, "streaming_inference": serving}, indent=2))
+        comm = measure_comm_throughput(ranks=2, repeats=30, warmup=5)
+    sections = {
+        "fused_vs_unfused": fused,
+        "fused_training_backends": training,
+        "streaming_inference": serving,
+        "comm_throughput": comm,
+    }
+    path = write_bench_json(sections, path=args.json)
+    print(json.dumps(sections, indent=2))
     print(f"wrote {path}")
     if args.check_speedup is not None and fused["speedup"] < args.check_speedup:
         print(

@@ -26,6 +26,7 @@ from repro.version import __version__
 from repro import (
     backend,
     baselines,
+    comm,
     core,
     datasets,
     engine,

@@ -9,8 +9,10 @@ this package provides:
 * :class:`~repro.backend.parallel.ParallelBackend` — batch-parallel trace
   accumulation over worker processes with shared-memory arrays, standing in
   for the OpenMP/threaded CPU backend.
-* :mod:`~repro.backend.distributed` — an in-process MPI-style communicator
-  plus a data-parallel trainer, standing in for the MPI backend.
+* :mod:`~repro.backend.distributed` — the data-parallel layer over
+  :mod:`repro.comm`: a rank-sharded simulation backend plus the SPMD
+  :class:`~repro.backend.distributed.DistributedTrainer` that runs real
+  thread/process/MPI ranks, standing in for the MPI backend.
 * :class:`~repro.backend.lowprec.LowPrecisionBackend` — float16 / posit-style
   quantisation wrapper, standing in for the FPGA reduced-precision backend.
 

@@ -1,25 +1,30 @@
-"""Simulated-MPI data-parallel training.
+"""Data-parallel BCPNN training over the :mod:`repro.comm` transports.
 
 StreamBrain's MPI backend exploits the fact that BCPNN learning is *local*:
 each rank accumulates probability statistics on its own shard of the batch
 and the shards are combined with a single allreduce — there is no gradient
-to backpropagate across ranks (Section II-B).  mpi4py is not available in
-this environment, so this module provides:
+to backpropagate across ranks (Section II-B).  This module maps that
+algorithm onto the :class:`~repro.comm.Communicator` interface:
 
-* :class:`LocalComm` — an in-process communicator implementing the handful
-  of collectives data-parallel BCPNN needs (``allreduce``, ``allgather``,
-  ``bcast``, ``barrier``) over per-rank NumPy arrays.  It is deterministic
-  and runs everywhere, which also makes the reduction algebra unit-testable.
-* :class:`DistributedTrainer` — shards every global batch over the ranks,
-  reduces the per-rank sufficient statistics exactly, and applies a single
-  trace update.  Because the reduction is exact, training with ``R`` ranks
-  produces bit-for-bit (up to floating point summation order) the same
-  traces as the serial run — the invariance test in
-  ``tests/backend/test_distributed.py`` checks precisely this.
+* :class:`DistributedBackend` — a :class:`~repro.backend.base.Backend` that
+  *simulates* rank-sharding inside one process using the communicator's
+  driver-side combine helpers; useful for testing the reduction algebra and
+  for the ``backend="mpi"``/``"distributed"`` registry names.
+* :class:`DistributedTrainer` — real data-parallel training: an SPMD program
+  (:func:`train_layer_program`) launched through ``comm.run`` where every
+  rank owns an identical layer replica, computes the sufficient statistics
+  of its shard of each global batch, and applies the update from **one
+  packed allreduce per batch**.  Rank 0 runs inline in the driver, so the
+  caller's layer object is trained in place.  Because the reduction is
+  exact, training with ``R`` ranks produces bit-for-bit (up to floating
+  point summation order) the same traces as the serial run — on the serial,
+  thread and process transports alike (the invariance tests in
+  ``tests/backend/test_distributed.py`` and ``tests/comm`` check this).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -27,8 +32,8 @@ import numpy as np
 
 from repro import kernels
 from repro.backend.base import Backend
+from repro.comm import Communicator, LocalComm, split_ranks
 from repro.exceptions import BackendError, DataError
-from repro.utils.arrays import split_into_chunks
 from repro.utils.logging import get_logger
 
 logger = get_logger(__name__)
@@ -39,96 +44,26 @@ __all__ = [
     "DistributedTrainer",
     "split_ranks",
     "ShardStatistics",
+    "train_layer_program",
+    "resolve_backend_name",
 ]
-
-_REDUCTIONS = {
-    "sum": lambda arrays: np.sum(arrays, axis=0),
-    "mean": lambda arrays: np.mean(arrays, axis=0),
-    "max": lambda arrays: np.max(arrays, axis=0),
-    "min": lambda arrays: np.min(arrays, axis=0),
-}
-
-
-def split_ranks(n_samples: int, n_ranks: int) -> List[Tuple[int, int]]:
-    """Static block partitioning of ``n_samples`` rows over ``n_ranks``."""
-    if n_ranks <= 0:
-        raise BackendError("n_ranks must be positive")
-    return split_into_chunks(n_samples, n_ranks)
-
-
-class LocalComm:
-    """In-process stand-in for an MPI communicator.
-
-    The collectives operate on *lists of per-rank arrays* (index = rank).
-    They return what every rank would observe after the MPI call, so code
-    written against this interface maps one-to-one onto mpi4py calls.
-    """
-
-    def __init__(self, size: int) -> None:
-        if size <= 0:
-            raise BackendError("communicator size must be positive")
-        self.size = int(size)
-        self.collective_calls: Dict[str, int] = {"allreduce": 0, "allgather": 0, "bcast": 0, "barrier": 0}
-        self.bytes_communicated = 0
-
-    # ----------------------------------------------------------- validation
-    def _check_contributions(self, contributions: Sequence[np.ndarray], op_name: str) -> List[np.ndarray]:
-        if len(contributions) != self.size:
-            raise BackendError(
-                f"{op_name} expected {self.size} per-rank contributions, got {len(contributions)}"
-            )
-        arrays = [np.asarray(c, dtype=np.float64) for c in contributions]
-        shapes = {a.shape for a in arrays}
-        if len(shapes) != 1:
-            raise BackendError(f"{op_name} contributions have mismatched shapes: {shapes}")
-        return arrays
-
-    # ----------------------------------------------------------- collectives
-    def allreduce(self, contributions: Sequence[np.ndarray], op: str = "sum") -> np.ndarray:
-        """Combine per-rank arrays; every rank receives the same result."""
-        if op not in _REDUCTIONS:
-            raise BackendError(f"unknown reduction '{op}'; available: {sorted(_REDUCTIONS)}")
-        arrays = self._check_contributions(contributions, "allreduce")
-        self.collective_calls["allreduce"] += 1
-        self.bytes_communicated += sum(a.nbytes for a in arrays)
-        return _REDUCTIONS[op](arrays)
-
-    def allgather(self, contributions: Sequence[np.ndarray]) -> List[np.ndarray]:
-        """Every rank receives the list of all contributions."""
-        arrays = self._check_contributions(contributions, "allgather")
-        self.collective_calls["allgather"] += 1
-        self.bytes_communicated += sum(a.nbytes for a in arrays) * self.size
-        return [a.copy() for a in arrays]
-
-    def bcast(self, value: np.ndarray, root: int = 0) -> List[np.ndarray]:
-        """Broadcast the root's array to all ranks (returned as a per-rank list)."""
-        if not 0 <= root < self.size:
-            raise BackendError(f"root {root} out of range for size {self.size}")
-        arr = np.asarray(value, dtype=np.float64)
-        self.collective_calls["bcast"] += 1
-        self.bytes_communicated += arr.nbytes * (self.size - 1)
-        return [arr.copy() for _ in range(self.size)]
-
-    def barrier(self) -> None:
-        """No-op synchronisation point (kept for call-site parity with MPI)."""
-        self.collective_calls["barrier"] += 1
-
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"LocalComm(size={self.size})"
 
 
 class DistributedBackend(Backend):
-    """Data-parallel compute backend over the simulated MPI communicator.
+    """Rank-sharded compute backend over a communicator's combine algebra.
 
     Every kernel partitions the batch rows over ``comm.size`` ranks, computes
     rank-local results, and combines the sufficient statistics with a single
     allreduce — the same reduction algebra :class:`DistributedTrainer` uses,
     but packaged behind the :class:`Backend` interface so the execution
     engine (and therefore ``Network(backend="mpi")``) can stream batches
-    through it end-to-end.  The forward pass needs no communication (each
-    rank computes activations for its own rows); only the trace statistics
-    are reduced, which is the paper's "communication scales with the model,
-    not the batch" property.
+    through it end-to-end.  The sharding is simulated in-process through the
+    communicator's driver-side combine helpers (real process-parallel
+    training/serving goes through ``comm.run`` instead — see
+    :class:`DistributedTrainer` and :mod:`repro.serving`).  The forward pass
+    needs no communication (each rank computes activations for its own
+    rows); only the trace statistics are reduced, which is the paper's
+    "communication scales with the model, not the batch" property.
 
     Numerics match the NumPy reference up to floating-point summation order
     (the per-rank partial sums are added in a different order than one fused
@@ -139,9 +74,11 @@ class DistributedBackend(Backend):
     precision = "float64"
     supports_parallel = True
 
-    def __init__(self, n_ranks: Optional[int] = None, comm: Optional[LocalComm] = None) -> None:
+    def __init__(self, n_ranks: Optional[int] = None, comm: Optional[Communicator] = None) -> None:
         super().__init__()
         if comm is not None:
+            if not isinstance(comm, Communicator):
+                raise BackendError("comm must be a repro.comm.Communicator")
             if n_ranks is not None and int(n_ranks) != comm.size:
                 raise BackendError("n_ranks disagrees with the supplied communicator size")
             self.comm = comm
@@ -220,10 +157,10 @@ class DistributedBackend(Backend):
             sum_a.append(as_.sum(axis=0))
             sum_outer.append(xs.T @ as_)
             counts.append(np.asarray([float(hi - lo)]))
-        total = float(self.comm.allreduce(counts, op="sum")[0])
-        mean_x = self.comm.allreduce(sum_x, op="sum") / total
-        mean_a = self.comm.allreduce(sum_a, op="sum") / total
-        mean_outer = self.comm.allreduce(sum_outer, op="sum") / total
+        total = float(self.comm.reduce_parts(counts, op="sum")[0])
+        mean_x = self.comm.reduce_parts(sum_x, op="sum") / total
+        mean_a = self.comm.reduce_parts(sum_a, op="sum") / total
+        mean_outer = self.comm.reduce_parts(sum_outer, op="sum") / total
         return mean_x, mean_a, mean_outer
 
     def traces_to_weights(
@@ -276,25 +213,245 @@ class DistributedEpochReport:
     allreduce_calls: int
     bytes_communicated: int
     swaps: int = 0
-    extra: Dict[str, float] = field(default_factory=dict)
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+# --------------------------------------------------------------------------
+# The SPMD training program (runs on every rank through ``comm.run``).
+# --------------------------------------------------------------------------
+
+def _generator_from_state(state: Dict[str, object]) -> np.random.Generator:
+    """Rebuild a NumPy generator from a shipped ``bit_generator.state``."""
+    bit_generator = getattr(np.random, str(state["bit_generator"]))()
+    bit_generator.state = state
+    return np.random.Generator(bit_generator)
+
+
+def resolve_backend_name(spec, backend) -> Optional[str]:
+    """A registry-resolvable name for a backend choice, or ``None``.
+
+    Worker ranks rebuild model replicas in other threads/processes, so a
+    live backend *instance* cannot be shipped — but its registry name can.
+    ``spec`` is the constructor-supplied backend spec (string, instance or
+    ``None``); ``backend`` is the resolved instance (or ``None``).  Returns
+    a name :func:`repro.backend.registry.get_backend` accepts, preferring
+    the explicit spec string, then the instance's ``name``, then its
+    ``precision`` (the registry key for the low-precision wrappers).
+    """
+    from repro.backend.registry import list_backends
+
+    if isinstance(spec, str):
+        return spec
+    if backend is None:
+        return None
+    names = set(list_backends())
+    for candidate in (getattr(backend, "name", None), getattr(backend, "precision", None)):
+        if candidate in names:
+            return candidate
+    return None
+
+
+def _replica_from_spec(spec: Dict[str, object], rng: np.random.Generator):
+    """Construct a worker-rank layer replica from a config-only spec.
+
+    Only small configuration crosses the process boundary; the layer-sized
+    trace/mask arrays are broadcast afterwards through the communicator's
+    shared-memory path (see :func:`train_layer_program`).  ``rng`` must use
+    the same bit-generator type as rank 0's layer so the subsequent in-place
+    state synchronisation is well defined.
+    """
+    from repro.core.hyperparams import BCPNNHyperParameters
+    from repro.core.layers import InputSpec, StructuralPlasticityLayer
+
+    layer = StructuralPlasticityLayer(
+        n_hypercolumns=int(spec["n_hypercolumns"]),
+        n_minicolumns=int(spec["n_minicolumns"]),
+        hyperparams=BCPNNHyperParameters.from_dict(dict(spec["hyperparams"])),
+        backend=spec.get("backend"),
+        seed=rng,
+        name=str(spec["name"]),
+    )
+    layer.build(InputSpec([int(s) for s in spec["input_sizes"]]))
+    layer.batches_trained = int(spec["batches_trained"])
+    return layer
+
+
+def _sync_replica(comm: Communicator, layer) -> None:
+    """Make every rank's replica bit-identical to rank 0's layer.
+
+    Broadcasts the traces, the structural-plasticity mask and the RNG state
+    (the plasticity rule shares the layer generator, so synchronising it
+    keeps epoch-boundary mask swaps identical across ranks).
+    """
+    layer.traces.p_i[:] = comm.bcast(layer.traces.p_i, root=0)
+    layer.traces.p_j[:] = comm.bcast(layer.traces.p_j, root=0)
+    layer.traces.p_ij[:] = comm.bcast(layer.traces.p_ij, root=0)
+    layer.plasticity.mask[:] = comm.bcast(layer.plasticity.mask, root=0)
+    layer._refresh_mask()
+    layer.refresh_weights()
+
+
+def train_layer_program(
+    comm: Communicator,
+    layer,
+    x: Optional[np.ndarray],
+    options: Dict[str, object],
+) -> Dict[str, object]:
+    """One rank's share of data-parallel hidden-layer training.
+
+    Every rank holds an identical layer replica (rank 0: the driver's live
+    layer, in place; workers: rebuilt from ``options["spec"]`` and
+    synchronised by broadcast).  Each global batch is block-partitioned over
+    the ranks; each rank computes the sufficient statistics of its shard
+    and the packed statistics vector ``[count, Σx, Σa, Σ(xᵀa)]`` is combined
+    with **one allreduce per batch** — communication scales with the trace
+    size, never with the batch.  The reduced update is applied identically
+    on every rank, so the replicas never drift.
+
+    ``options["mode"]``:
+
+    * ``"rate"`` — statistics of the raw rate activations (the historical
+      :class:`DistributedTrainer` semantics, used by experiment E9);
+    * ``"competitive"`` — mirrors ``StructuralPlasticityLayer.train_batch``:
+      first-batch marginal calibration (from the *global* batch mean) plus
+      the configured competition rule.  Deterministic competition modes
+      ("softmax") are rank-invariant; stochastic modes draw shard-shaped
+      noise and are statistically, not bitwise, equivalent across rank
+      counts.
+    """
+    rank, size = comm.rank, comm.size
+    x = comm.bcast(x, root=0)
+    is_replica = layer is None
+    if is_replica:
+        layer = _replica_from_spec(
+            options["spec"], _generator_from_state(options["rng_layer_state"])
+        )
+    # In-place state reset (never a new Generator object: the plasticity rule
+    # shares the layer's generator) makes every replica's draw stream match
+    # rank 0's exactly — calibration jitter and mask swaps stay identical.
+    layer._rng.bit_generator.state = options["rng_layer_state"]
+    _sync_replica(comm, layer)
+
+    shuffle_rng = np.random.default_rng(int(options["shuffle_seed"]))
+    epochs = int(options["epochs"])
+    batch_size = int(options["batch_size"])
+    shuffle = bool(options["shuffle"])
+    mode = str(options.get("mode", "rate"))
+    competitive = mode == "competitive"
+
+    n = x.shape[0]
+    taupdt = float(layer.hyperparams.taupdt)
+    n_input = layer.traces.n_input
+    n_hidden = layer.traces.n_hidden
+    stats_len = 1 + n_input + n_hidden + n_input * n_hidden
+    packed = np.empty(stats_len, dtype=np.float64)
+    mean_entropy: List[float] = []
+    epoch_logs: List[Dict[str, float]] = []
+    total_batches = 0
+    total_swaps = 0
+
+    for epoch in range(epochs):
+        started = time.perf_counter()
+        order = shuffle_rng.permutation(n) if shuffle else np.arange(n)
+        mean_entropy.clear()
+        for start in range(0, n, batch_size):
+            batch_idx = order[start : start + batch_size]
+            lo, hi = split_ranks(batch_idx.shape[0], size)[rank]
+            local = x[batch_idx[lo:hi]]
+            if competitive and layer.batches_trained == 0:
+                # Global first-batch marginals for the trace calibration —
+                # one extra packed allreduce, only ever on the first batch.
+                head = np.empty(1 + n_input, dtype=np.float64)
+                head[0] = float(local.shape[0])
+                head[1:] = local.sum(axis=0) if local.shape[0] else 0.0
+                reduced_head = comm.allreduce(head, op="sum")
+                layer.traces.calibrate_marginals(
+                    mean_x=reduced_head[1:] / reduced_head[0], jitter=0.02, rng=layer._rng
+                )
+                layer.refresh_weights()
+            if hi > lo:
+                activations = layer.forward_raw(local)
+                if competitive:
+                    activations = layer._training_activity(activations)
+                    with np.errstate(divide="ignore", invalid="ignore"):
+                        ent = -np.sum(
+                            activations * np.log(np.clip(activations, 1e-12, 1.0)), axis=1
+                        )
+                    mean_entropy.append(float(np.mean(ent)))
+                packed[0] = float(hi - lo)
+                packed[1 : 1 + n_input] = local.sum(axis=0)
+                packed[1 + n_input : 1 + n_input + n_hidden] = activations.sum(axis=0)
+                packed[1 + n_input + n_hidden :] = (local.T @ activations).ravel()
+            else:
+                packed[:] = 0.0
+            reduced = comm.allreduce(packed, op="sum")
+            count = reduced[0]
+            layer.traces.apply_statistics(
+                reduced[1 : 1 + n_input] / count,
+                reduced[1 + n_input : 1 + n_input + n_hidden] / count,
+                reduced[1 + n_input + n_hidden :].reshape(n_input, n_hidden) / count,
+                taupdt,
+            )
+            layer.refresh_weights()
+            if competitive:
+                layer.batches_trained += 1
+            total_batches += 1
+        swaps = layer.end_epoch(epoch)
+        total_swaps += int(swaps)
+        if competitive:
+            # Stochastic competition modes draw shard-shaped noise, which
+            # desynchronises the shared layer generator across ranks and can
+            # make the epoch-boundary mask swaps diverge.  Re-imposing rank
+            # 0's traces/mask here bounds any divergence to a single epoch
+            # (deterministic modes broadcast already-identical state).
+            _sync_replica(comm, layer)
+        log: Dict[str, float] = {
+            "swaps": float(swaps),
+            "batches": float(total_batches),
+            "seconds": time.perf_counter() - started,
+        }
+        if competitive:
+            log["mean_activation_entropy"] = (
+                float(np.mean(mean_entropy)) if mean_entropy else 0.0
+            )
+        epoch_logs.append(log)
+
+    if is_replica:
+        layer.backend.close()  # replica-owned pools/buffers die with the program
+    return {
+        "rank": rank,
+        "global_batches": total_batches,
+        "swaps": total_swaps,
+        "epoch_logs": epoch_logs,
+        "allreduce_calls": int(comm.collective_calls["allreduce"]),
+        "bytes_communicated": int(comm.bytes_communicated),
+    }
 
 
 class DistributedTrainer:
     """Data-parallel trainer for the unsupervised BCPNN hidden layer.
 
-    The trainer is duck-typed against :class:`repro.core.layers.StructuralPlasticityLayer`:
-    it requires ``layer.forward_raw``, ``layer.traces``, ``layer.refresh_weights``,
-    ``layer.end_epoch`` and ``layer.hyperparams``.
+    The trainer launches :func:`train_layer_program` through
+    ``comm.run`` — rank 0 executes inline in the driver (training the
+    caller's layer object in place), the transport supplies the other ranks
+    (threads, OS processes, or MPI ranks).  The trainer is duck-typed
+    against :class:`repro.core.layers.StructuralPlasticityLayer`: it
+    requires ``layer.forward_raw``, ``layer.traces``,
+    ``layer.refresh_weights``, ``layer.end_epoch`` and ``layer.hyperparams``.
 
     Parameters
     ----------
     comm:
-        A :class:`LocalComm` (or API-compatible communicator wrapper).
+        Any :class:`repro.comm.Communicator` (``SerialComm``, ``ThreadComm``,
+        ``ProcessComm`` or ``MPIComm``).
     """
 
-    def __init__(self, comm: LocalComm) -> None:
-        if not isinstance(comm, LocalComm):
-            raise BackendError("DistributedTrainer requires a LocalComm instance")
+    def __init__(self, comm: Communicator) -> None:
+        if not isinstance(comm, Communicator):
+            raise BackendError(
+                "DistributedTrainer requires a repro.comm.Communicator "
+                "(SerialComm, ThreadComm, ProcessComm or MPIComm)"
+            )
         self.comm = comm
 
     # ------------------------------------------------------------ training
@@ -307,76 +464,68 @@ class DistributedTrainer:
         rng: np.random.Generator,
         shuffle: bool = True,
         on_epoch_end: Optional[Callable[[int, Dict[str, float]], None]] = None,
+        mode: str = "rate",
     ) -> DistributedEpochReport:
         """Train ``layer`` on ``x`` with rank-sharded batches.
 
         Every global batch is partitioned into ``comm.size`` shards; each
-        rank computes its shard's sufficient statistics with the layer's own
-        backend; the statistics are allreduce-summed and applied as one trace
-        update — numerically identical to serial training over the same
-        global batches.
+        rank computes its shard's sufficient statistics and the packed
+        statistics are combined with a single allreduce per batch —
+        numerically identical to serial training over the same global
+        batches (up to floating-point summation order).
+
+        ``on_epoch_end`` is invoked on the driver after the program
+        completes (the callback cannot cross a process boundary), in epoch
+        order, with the rank-0 epoch logs.
         """
-        x = np.asarray(x, dtype=np.float64)
+        x = np.ascontiguousarray(x, dtype=np.float64)
         if x.ndim != 2:
             raise DataError("x must be a 2-D activation matrix")
+        if x.shape[0] == 0:
+            raise DataError("cannot train on an empty batch")
         if epochs < 0:
             raise DataError("epochs must be non-negative")
         if batch_size <= 0:
             raise DataError("batch_size must be positive")
+        if mode not in ("rate", "competitive"):
+            raise DataError(f"unknown training mode '{mode}'")
         n = x.shape[0]
-        taupdt = layer.hyperparams.taupdt
-        total_batches = 0
-        total_swaps = 0
-        for epoch in range(epochs):
-            order = rng.permutation(n) if shuffle else np.arange(n)
-            for start in range(0, n, batch_size):
-                batch_idx = order[start : start + batch_size]
-                batch = x[batch_idx]
-                stats = self._sharded_statistics(layer, batch)
-                layer.traces.apply_statistics(stats[0], stats[1], stats[2], taupdt)
-                layer.refresh_weights()
-                total_batches += 1
-            swaps = layer.end_epoch(epoch)
-            total_swaps += swaps
-            if on_epoch_end is not None:
-                on_epoch_end(epoch, {"swaps": float(swaps), "batches": float(total_batches)})
+        spec = {
+            "n_hypercolumns": layer.n_hypercolumns,
+            "n_minicolumns": layer.n_minicolumns,
+            "hyperparams": layer.hyperparams.to_dict(),
+            "input_sizes": list(layer.input_spec.hypercolumn_sizes),
+            "name": layer.name,
+            "batches_trained": int(layer.batches_trained),
+            # Worker replicas must compute their shards on the same compute
+            # backend as rank 0, or the reduction mixes precisions.
+            "backend": resolve_backend_name(layer._backend_spec, layer.backend),
+        }
+        options = {
+            "spec": spec,
+            "epochs": int(epochs),
+            "batch_size": int(batch_size),
+            "shuffle": bool(shuffle),
+            "mode": mode,
+            # Drawing the seed consumes the caller's generator, so repeated
+            # calls with one rng get fresh, still-deterministic shuffles.
+            "shuffle_seed": int(rng.integers(2**63)),
+            "rng_layer_state": layer._rng.bit_generator.state,
+        }
+        rank_args: List[tuple] = [(layer, x, options)]
+        rank_args += [(None, None, options) for _ in range(1, self.comm.size)]
+        results = self.comm.run(train_layer_program, rank_args)
+        report = results[0]
+        if on_epoch_end is not None:
+            for epoch, log in enumerate(report["epoch_logs"]):
+                on_epoch_end(epoch, dict(log))
         return DistributedEpochReport(
             epochs=epochs,
-            global_batches=total_batches,
+            global_batches=int(report["global_batches"]),
             ranks=self.comm.size,
             samples=n,
             allreduce_calls=self.comm.collective_calls["allreduce"],
             bytes_communicated=self.comm.bytes_communicated,
-            swaps=total_swaps,
+            swaps=int(report["swaps"]),
+            extra={"epoch_logs": report["epoch_logs"]},
         )
-
-    # ------------------------------------------------------------ internals
-    def _sharded_statistics(self, layer, batch: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Compute global batch statistics by reducing per-rank shard sums."""
-        shards = split_ranks(batch.shape[0], self.comm.size)
-        sum_x_parts: List[np.ndarray] = []
-        sum_a_parts: List[np.ndarray] = []
-        sum_outer_parts: List[np.ndarray] = []
-        counts: List[np.ndarray] = []
-        n_input = layer.traces.n_input
-        n_hidden = layer.traces.n_hidden
-        for lo, hi in shards:
-            if hi <= lo:
-                sum_x_parts.append(np.zeros(n_input))
-                sum_a_parts.append(np.zeros(n_hidden))
-                sum_outer_parts.append(np.zeros((n_input, n_hidden)))
-                counts.append(np.zeros(1))
-                continue
-            shard = batch[lo:hi]
-            activations = layer.forward_raw(shard)
-            sum_x_parts.append(shard.sum(axis=0))
-            sum_a_parts.append(activations.sum(axis=0))
-            sum_outer_parts.append(shard.T @ activations)
-            counts.append(np.asarray([float(hi - lo)]))
-        total = float(self.comm.allreduce(counts, op="sum")[0])
-        if total <= 0:
-            raise DataError("cannot train on an empty batch")
-        mean_x = self.comm.allreduce(sum_x_parts, op="sum") / total
-        mean_a = self.comm.allreduce(sum_a_parts, op="sum") / total
-        mean_outer = self.comm.allreduce(sum_outer_parts, op="sum") / total
-        return mean_x, mean_a, mean_outer

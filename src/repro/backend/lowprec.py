@@ -139,7 +139,9 @@ class LowPrecisionBackend(Backend):
             workspace=workspace,
         )
         self.stats.forward_calls += 1
-        self.stats.elements_processed += int(np.asarray(x).shape[0]) * int(np.asarray(weights).shape[1])
+        self.stats.elements_processed += int(np.asarray(x).shape[0]) * int(
+            np.asarray(weights).shape[1]
+        )
         # Re-normalise after quantisation so each hypercolumn still sums to 1.
         quantised = self.quantize(activations)
         if out is not None and quantised is not out:

@@ -157,7 +157,9 @@ class MLPBaseline(BaselineClassifier):
                     if drop_masks[layer] is not None:
                         upstream = upstream * drop_masks[layer]
                     local = upstream * grad_fn(pre_list[layer])
-                    grads_w[layer] = post_list[layer].T @ local + self.weight_decay * self.weights_[layer]
+                    grads_w[layer] = (
+                        post_list[layer].T @ local + self.weight_decay * self.weights_[layer]
+                    )
                     grads_b[layer] = local.sum(axis=0)
                     if layer > 0:
                         upstream = local @ self.weights_[layer].T

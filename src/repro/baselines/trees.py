@@ -58,7 +58,9 @@ class RegressionTree:
         Number of candidate thresholds (feature quantiles) per feature.
     """
 
-    def __init__(self, max_depth: int = 3, min_samples_leaf: int = 10, max_thresholds: int = 16) -> None:
+    def __init__(
+        self, max_depth: int = 3, min_samples_leaf: int = 10, max_thresholds: int = 16
+    ) -> None:
         if max_depth < 1:
             raise ConfigurationError("max_depth must be >= 1")
         if min_samples_leaf < 1:
@@ -112,11 +114,15 @@ class RegressionTree:
             # Candidate split positions: after index i (1-based counts).
             if n > self.max_thresholds:
                 positions = np.unique(
-                    np.linspace(self.min_samples_leaf, n - self.min_samples_leaf, self.max_thresholds).astype(int)
+                    np.linspace(
+                        self.min_samples_leaf, n - self.min_samples_leaf, self.max_thresholds
+                    ).astype(int)
                 )
             else:
                 positions = np.arange(self.min_samples_leaf, n - self.min_samples_leaf + 1)
-            positions = positions[(positions >= self.min_samples_leaf) & (positions <= n - self.min_samples_leaf)]
+            positions = positions[
+                (positions >= self.min_samples_leaf) & (positions <= n - self.min_samples_leaf)
+            ]
             if positions.size == 0:
                 continue
             # Skip positions where the value does not change (no valid threshold).
@@ -174,7 +180,9 @@ class DecisionStump(RegressionTree):
     """A depth-1 regression tree (classic boosting weak learner)."""
 
     def __init__(self, min_samples_leaf: int = 10, max_thresholds: int = 16) -> None:
-        super().__init__(max_depth=1, min_samples_leaf=min_samples_leaf, max_thresholds=max_thresholds)
+        super().__init__(
+            max_depth=1, min_samples_leaf=min_samples_leaf, max_thresholds=max_thresholds
+        )
 
 
 class DecisionTreeBaseline(BaselineClassifier):
@@ -188,7 +196,9 @@ class DecisionTreeBaseline(BaselineClassifier):
 
     name = "decision-tree"
 
-    def __init__(self, max_depth: int = 6, min_samples_leaf: int = 20, max_thresholds: int = 16, seed=None) -> None:
+    def __init__(
+        self, max_depth: int = 6, min_samples_leaf: int = 20, max_thresholds: int = 16, seed=None
+    ) -> None:
         super().__init__()
         self.max_depth = int(max_depth)
         self.min_samples_leaf = int(min_samples_leaf)

@@ -16,6 +16,11 @@ Four entry points are installed (see ``pyproject.toml``):
 
 All are also reachable as ``python -m repro.cli <command>``, and all accept
 ``--json PATH`` to additionally write the results as a JSON report.
+
+``train``, ``predict``, ``sweep`` and ``benchmark`` additionally accept
+``--comm {serial,thread,process,mpi}`` and ``--ranks N`` to run
+data-parallel training / process-sharded serving / the comm-throughput
+benchmark over a :mod:`repro.comm` transport.
 """
 
 from __future__ import annotations
@@ -55,9 +60,47 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--quiet", action="store_true", help="suppress progress logging")
 
 
+def _add_comm(parser: argparse.ArgumentParser) -> None:
+    """``--comm``/``--ranks``: select a repro.comm transport and size."""
+    parser.add_argument(
+        "--comm",
+        choices=["serial", "thread", "process", "mpi"],
+        default=None,
+        help=(
+            "communicator transport for data-parallel execution "
+            "(serial: single rank; thread: in-process ranks; process: real OS "
+            "processes over shared memory; mpi: mpi4py when installed)"
+        ),
+    )
+    parser.add_argument(
+        "--ranks",
+        type=int,
+        default=None,
+        help="number of communicator ranks (default 1; implies --comm thread when > 1)",
+    )
+
+
+def _build_comm(args: argparse.Namespace):
+    """Resolve the ``--comm``/``--ranks`` flags into a communicator (or None).
+
+    Returns ``None`` when neither flag was given, keeping the historical
+    single-process code paths untouched.  ``--ranks N`` without ``--comm``
+    defaults to the thread transport.
+    """
+    from repro.comm import get_communicator
+
+    if args.comm is None and args.ranks is None:
+        return None
+    ranks = int(args.ranks) if args.ranks is not None else 1
+    transport = args.comm or ("thread" if ranks > 1 else "serial")
+    return get_communicator(transport, ranks=ranks)
+
+
 def _finish(result: Dict[str, object], args: argparse.Namespace) -> int:
     if args.json:
-        sanitised = {k: v for k, v in result.items() if k not in ("network", "masks", "mask_evolution")}
+        sanitised = {
+            k: v for k, v in result.items() if k not in ("network", "masks", "mask_evolution")
+        }
         dump_json_report(sanitised, args.json)
     return 0
 
@@ -71,11 +114,19 @@ def main_train(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--hcus", type=int, default=1, help="number of hidden hypercolumns")
     parser.add_argument("--mcus", type=int, default=150, help="minicolumns per hypercolumn")
     parser.add_argument("--density", type=float, default=0.4, help="receptive-field density")
-    parser.add_argument("--head", choices=["sgd", "bcpnn"], default="sgd", help="classification head")
-    parser.add_argument("--events", type=int, default=None, help="number of events (default: scale)")
+    parser.add_argument(
+        "--head", choices=["sgd", "bcpnn"], default="sgd", help="classification head"
+    )
+    parser.add_argument(
+        "--events", type=int, default=None, help="number of events (default: scale)"
+    )
     parser.add_argument("--epochs", type=int, default=None, help="hidden-layer epochs")
-    parser.add_argument("--backend", type=str, default="numpy", help=f"backend ({', '.join(list_backends())})")
-    parser.add_argument("--higgs-path", type=str, default=None, help="path to a real HIGGS.csv[.gz]")
+    parser.add_argument(
+        "--backend", type=str, default="numpy", help=f"backend ({', '.join(list_backends())})"
+    )
+    parser.add_argument(
+        "--higgs-path", type=str, default=None, help="path to a real HIGGS.csv[.gz]"
+    )
     parser.add_argument(
         "--save-model",
         type=str,
@@ -84,6 +135,7 @@ def main_train(argv: Optional[List[str]] = None) -> int:
         help="save the trained network as a .npz archive (consumed by repro-predict)",
     )
     _add_common(parser)
+    _add_comm(parser)
     args = parser.parse_args(argv)
     if not args.quiet:
         enable_console_logging()
@@ -104,10 +156,20 @@ def main_train(argv: Optional[List[str]] = None) -> int:
     data = prepare_higgs_data(
         n_events=config.n_events, n_bins=config.n_bins, seed=args.seed, path=args.higgs_path
     )
-    result = train_and_evaluate(config, data=data)
+    comm = _build_comm(args)
+    try:
+        result = train_and_evaluate(config, data=data, comm=comm)
+    finally:
+        if comm is not None:
+            comm.close()
+    ranks_note = ""
+    if comm is not None:
+        result["comm"] = {"transport": comm.transport, "ranks": int(comm.size)}
+        ranks_note = f"  ranks={comm.size} ({comm.transport})"
     print(
         f"accuracy={result['accuracy']:.4f}  auc={result['auc']:.4f}  "
         f"log_loss={result['log_loss']:.4f}  train_time={result['train_seconds']:.1f}s"
+        + ranks_note
     )
     if args.save_model:
         from repro.core import save_network
@@ -141,6 +203,7 @@ def main_sweep(argv: Optional[List[str]] = None) -> int:
         help=f"compute backend for the sweep ({', '.join(list_backends())})",
     )
     _add_common(parser)
+    _add_comm(parser)
     args = parser.parse_args(argv)
     if not args.quiet:
         enable_console_logging()
@@ -149,6 +212,13 @@ def main_sweep(argv: Optional[List[str]] = None) -> int:
     if args.experiment == "precision":
         # The precision ablation *is* a backend sweep; --backend is ignored.
         result = runner(scale=scale, seed=args.seed)
+    elif args.experiment == "distributed":
+        # The distributed sweep compares rank counts on one comm transport;
+        # --ranks caps the sweep, --comm picks the transport.
+        kwargs = {"transport": args.comm or "thread"}
+        if args.ranks is not None:
+            kwargs["rank_counts"] = (1, int(args.ranks))
+        result = runner(scale=scale, seed=args.seed, backend=args.backend, **kwargs)
     else:
         result = runner(scale=scale, seed=args.seed, backend=args.backend)
     print(result["table"])
@@ -163,11 +233,14 @@ def main_benchmark(argv: Optional[List[str]] = None) -> int:
         description="Analytical BCPNN cost model plus backend kernel timings.",
     )
     parser.add_argument("--batch", type=int, default=256, help="batch size")
-    parser.add_argument("--inputs", type=int, default=280, help="input units (28 features x 10 bins)")
+    parser.add_argument(
+        "--inputs", type=int, default=280, help="input units (28 features x 10 bins)"
+    )
     parser.add_argument("--mcus", type=int, default=300, help="minicolumns per hypercolumn")
     parser.add_argument("--hcus", type=int, default=4, help="hidden hypercolumns")
     parser.add_argument("--repeats", type=int, default=5, help="timing repetitions")
     _add_common(parser)
+    _add_comm(parser)
     args = parser.parse_args(argv)
     if not args.quiet:
         enable_console_logging()
@@ -251,6 +324,27 @@ def main_benchmark(argv: Optional[List[str]] = None) -> int:
         "fused_vs_unfused": fused_rows,
         "table": table + "\n" + fused_table,
     }
+
+    # Per-transport collective throughput (opted in with --comm/--ranks):
+    # the payload is the trace matrix one data-parallel batch allreduces.
+    if args.comm is not None or args.ranks is not None:
+        from repro.comm.benchmark import measure_comm_throughput
+
+        transports = (args.comm,) if args.comm else ("serial", "thread", "process")
+        comm_result = measure_comm_throughput(
+            transports=transports,
+            ranks=int(args.ranks) if args.ranks else 2,
+            shape=(args.inputs + 1, n_hidden),
+            repeats=args.repeats * 4,
+        )
+        comm_table = format_table(
+            comm_result["transports"],
+            precision=6,
+            title="Comm transport allreduce throughput",
+        )
+        print(comm_table)
+        result["comm_throughput"] = comm_result
+        result["table"] = result["table"] + "\n" + comm_table
     return _finish(result, args)
 
 
@@ -312,21 +406,29 @@ def main_predict(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--batch-size", type=int, default=1024, help="rows per streamed batch")
     parser.add_argument("--proba", action="store_true", help="also emit class probabilities")
     _add_common(parser)
+    _add_comm(parser)
     args = parser.parse_args(argv)
     if not args.quiet:
         enable_console_logging()
 
     network = load_network(args.model)
     x = _load_feature_matrix(args.input)
-    predictor = StreamingPredictor(network, batch_size=args.batch_size, backend=args.backend)
+    comm = _build_comm(args)
+    predictor = StreamingPredictor(
+        network, batch_size=args.batch_size, backend=args.backend, comm=comm
+    )
 
     start = time.perf_counter()
-    if args.proba:
-        proba = predictor.predict_proba_stream(x)
-        predictions = np.argmax(proba, axis=1)
-    else:
-        proba = None
-        predictions = predictor.predict_stream(x)
+    try:
+        if args.proba:
+            proba = predictor.predict_proba_stream(x)
+            predictions = np.argmax(proba, axis=1)
+        else:
+            proba = None
+            predictions = predictor.predict_stream(x)
+    finally:
+        if comm is not None:
+            comm.close()
     elapsed = time.perf_counter() - start
 
     if args.output:
@@ -339,11 +441,12 @@ def main_predict(argv: Optional[List[str]] = None) -> int:
         write_numeric_csv(args.output, matrix, header=header)
 
     rows_per_second = x.shape[0] / max(elapsed, 1e-9)
+    comm_note = f", ranks={comm.size} ({comm.transport})" if comm is not None else ""
     print(
         f"predicted {x.shape[0]} rows in {elapsed:.3f}s "
         f"({rows_per_second:,.0f} rows/s, batch_size={args.batch_size}, "
         f"backend={predictor.backend.name}, "
-        f"workspace={predictor.workspace_nbytes() / 1e6:.2f} MB)"
+        f"workspace={predictor.workspace_nbytes() / 1e6:.2f} MB{comm_note})"
         + (f"; wrote {args.output}" if args.output else "")
     )
     result: Dict[str, object] = {
@@ -353,9 +456,13 @@ def main_predict(argv: Optional[List[str]] = None) -> int:
         "batch_size": int(args.batch_size),
         "backend": predictor.backend.name,
         "workspace_bytes": int(predictor.workspace_nbytes()),
-        "class_counts": {int(c): int(n) for c, n in zip(*np.unique(predictions, return_counts=True))},
+        "class_counts": {
+            int(c): int(n) for c, n in zip(*np.unique(predictions, return_counts=True))
+        },
         "output": args.output,
     }
+    if comm is not None:
+        result["comm"] = {"transport": comm.transport, "ranks": int(comm.size)}
     return _finish(result, args)
 
 

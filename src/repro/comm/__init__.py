@@ -1,0 +1,51 @@
+"""``repro.comm`` — the multi-process communicator subsystem.
+
+The paper's data-parallel BCPNN needs exactly one allreduce of sufficient
+statistics per batch, so the whole distributed stack is written against a
+tiny MPI-shaped :class:`~repro.comm.base.Communicator` interface with four
+interchangeable transports:
+
+============  ====================================================================
+transport      implementation
+============  ====================================================================
+``serial``     :class:`SerialComm` — size 1, collectives are copies; the
+               reference for rank-invariance tests.
+``thread``     :class:`ThreadComm` — in-process ranks on daemon threads with
+               real barrier rendezvous (also provides the legacy driver-side
+               ``LocalComm`` list semantics).
+``process``    :class:`ProcessComm` — persistent OS-process worker pool;
+               collectives move NumPy arrays through ``shared_memory`` with
+               zero pickling of layer-sized data.
+``mpi``        :class:`MPIComm` — mpi4py adapter, available when mpi4py is
+               importable (``HAVE_MPI``).
+============  ====================================================================
+
+Entry points: :func:`get_communicator` resolves ``--comm``-style specs;
+:meth:`Communicator.run` launches an SPMD program (rank 0 runs inline in the
+driver); :mod:`repro.comm.tasks` holds reusable module-level SPMD programs.
+"""
+
+from repro.comm.base import Communicator, REDUCE_OPS, split_ranks
+from repro.comm.factory import get_communicator, list_transports
+from repro.comm.mpi import HAVE_MPI, MPIComm
+from repro.comm.process import ProcessComm
+from repro.comm.serial import SerialComm
+from repro.comm.thread import ThreadComm
+
+#: Backwards-compatible alias: the old simulated-MPI ``LocalComm`` exposed the
+#: driver-side list collectives that :class:`ThreadComm` still provides.
+LocalComm = ThreadComm
+
+__all__ = [
+    "Communicator",
+    "SerialComm",
+    "ThreadComm",
+    "ProcessComm",
+    "MPIComm",
+    "LocalComm",
+    "HAVE_MPI",
+    "REDUCE_OPS",
+    "split_ranks",
+    "get_communicator",
+    "list_transports",
+]

@@ -1,0 +1,198 @@
+"""The :class:`Communicator` interface: MPI-shaped collectives for every transport.
+
+The paper's scaling story is that local BCPNN learning needs only sparse
+collectives — one allreduce of sufficient statistics per batch — so the whole
+distributed stack can be written against a tiny MPI-like surface and remain
+transport-agnostic.  This module defines that surface:
+
+* **SPMD collectives** (``allreduce``, ``allgather``, ``bcast``, ``barrier``,
+  ``scatter_rows``): called symmetrically by every rank from inside a
+  :meth:`Communicator.run` program, exactly like their mpi4py counterparts.
+  ``allgather`` supports ragged per-rank shapes (the header travels with the
+  payload), so callers never pad.
+* **rank-0 program launch** (:meth:`Communicator.run`): the driver process is
+  rank 0 and executes the program inline; the transport supplies the other
+  ranks (threads, OS processes, or nothing for the serial transport).  This
+  is the moral equivalent of ``mpirun`` for environments without one.
+* **driver-side combine helpers** (:meth:`reduce_parts`,
+  :meth:`gather_parts`): the legacy ``LocalComm`` surface — deterministic
+  rank-ordered reductions over *lists of per-rank contributions* — kept so
+  the simulated-sharding :class:`~repro.backend.distributed.DistributedBackend`
+  runs unchanged on any transport.  For convenience ``allreduce``/``allgather``
+  dispatch on input type: a list/tuple means the legacy driver-side mode, an
+  array means the SPMD mode.
+
+Determinism contract: every transport reduces contributions in rank order
+(0, 1, …, size-1), so results are bit-for-bit reproducible for a fixed rank
+count and match the serial run up to floating-point summation order.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import BackendError
+from repro.utils.arrays import split_into_chunks
+
+__all__ = ["Communicator", "REDUCE_OPS", "split_ranks"]
+
+#: Driver-side reductions over stacked per-rank contributions (rank order).
+REDUCE_OPS: Dict[str, Callable[[Sequence[np.ndarray]], np.ndarray]] = {
+    "sum": lambda arrays: np.sum(arrays, axis=0),
+    "mean": lambda arrays: np.mean(arrays, axis=0),
+    "max": lambda arrays: np.max(arrays, axis=0),
+    "min": lambda arrays: np.min(arrays, axis=0),
+}
+
+
+def split_ranks(n_samples: int, n_ranks: int) -> List[Tuple[int, int]]:
+    """Static block partitioning of ``n_samples`` rows over ``n_ranks``."""
+    if n_ranks <= 0:
+        raise BackendError("n_ranks must be positive")
+    return split_into_chunks(n_samples, n_ranks)
+
+
+def _reduce_in_rank_order(parts: Sequence[np.ndarray], op: str) -> np.ndarray:
+    """Elementwise reduction of per-rank arrays, strictly in rank order."""
+    if op not in REDUCE_OPS:
+        raise BackendError(f"unknown reduction '{op}'; available: {sorted(REDUCE_OPS)}")
+    if op == "mean":
+        return _reduce_in_rank_order(parts, "sum") / float(len(parts))
+    combine = {"sum": np.add, "max": np.maximum, "min": np.minimum}[op]
+    out = np.array(parts[0], dtype=np.float64, copy=True)
+    for part in parts[1:]:
+        combine(out, part, out=out)
+    return out
+
+
+class Communicator(ABC):
+    """Abstract MPI-like communicator; one instance is one rank's view.
+
+    The object handed to user code *is* rank 0's view (the driver).  Inside
+    :meth:`run`, each rank receives its own view with the same interface, so
+    SPMD programs read identically across the serial, thread, process and
+    mpi4py transports.
+    """
+
+    #: Transport name ("serial", "thread", "process", "mpi").
+    transport: str = "abstract"
+
+    def __init__(self) -> None:
+        self.collective_calls: Dict[str, int] = {
+            "allreduce": 0,
+            "allgather": 0,
+            "bcast": 0,
+            "barrier": 0,
+            "scatter": 0,
+            "run": 0,
+        }
+        self.bytes_communicated = 0
+
+    # ------------------------------------------------------------- identity
+    @property
+    @abstractmethod
+    def rank(self) -> int:
+        """This view's rank (0 for the driver-held communicator)."""
+
+    @property
+    @abstractmethod
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+
+    # ------------------------------------------------------ SPMD collectives
+    @abstractmethod
+    def _allreduce_array(self, array: np.ndarray, op: str) -> np.ndarray:
+        """Combine this rank's ``array`` with every other rank's."""
+
+    @abstractmethod
+    def _allgather_array(self, array: np.ndarray) -> List[np.ndarray]:
+        """Every rank receives ``[rank0's array, ..., rankN-1's array]``."""
+
+    @abstractmethod
+    def bcast(self, array: Optional[np.ndarray], root: int = 0) -> np.ndarray:
+        """Every rank receives a copy of the root's array (non-roots pass
+        ``None`` or a placeholder; their argument is ignored)."""
+
+    @abstractmethod
+    def barrier(self) -> None:
+        """Block until every rank reaches the barrier."""
+
+    @abstractmethod
+    def scatter_rows(self, x: Optional[np.ndarray], root: int = 0) -> np.ndarray:
+        """Block-partition the root's 2-D row matrix; each rank receives its
+        contiguous shard (possibly 0 rows when ``n_samples < size``)."""
+
+    # --------------------------------------------------------- program launch
+    @abstractmethod
+    def run(self, fn: Callable, rank_args: Optional[Sequence[tuple]] = None) -> List[object]:
+        """Execute ``fn(view, *rank_args[rank])`` once per rank.
+
+        Rank 0 runs inline in the calling process/thread (so live objects in
+        its arguments stay live — e.g. the driver's model replica ends up
+        trained in place); the transport supplies the remaining ranks.
+        Returns the per-rank results in rank order.  ``fn`` must be a
+        module-level callable for the process transport (it crosses a
+        process boundary by reference).
+        """
+
+    # ------------------------------------------------------------ dispatchers
+    def allreduce(self, value, op: str = "sum"):
+        """SPMD allreduce of one array, or legacy combine of a per-rank list."""
+        if isinstance(value, (list, tuple)):
+            return self.reduce_parts(value, op)
+        return self._allreduce_array(np.asarray(value), op)
+
+    def allgather(self, value):
+        """SPMD allgather of one array, or legacy gather of a per-rank list."""
+        if isinstance(value, (list, tuple)):
+            return self.gather_parts(value)
+        return self._allgather_array(np.asarray(value))
+
+    # ----------------------------------------------- driver-side legacy mode
+    def _check_parts(self, parts: Sequence[np.ndarray], op_name: str) -> List[np.ndarray]:
+        if len(parts) != self.size:
+            raise BackendError(
+                f"{op_name} expected {self.size} per-rank contributions, got {len(parts)}"
+            )
+        arrays = [np.asarray(p, dtype=np.float64) for p in parts]
+        shapes = {a.shape for a in arrays}
+        if len(shapes) != 1:
+            raise BackendError(f"{op_name} contributions have mismatched shapes: {shapes}")
+        return arrays
+
+    def reduce_parts(self, parts: Sequence[np.ndarray], op: str = "sum") -> np.ndarray:
+        """Deterministically combine a list of per-rank contributions.
+
+        This is the driver-side simulation mode (the old ``LocalComm``
+        semantics): all contributions already live in the calling process and
+        are reduced in rank order without any transport involvement.
+        """
+        if op not in REDUCE_OPS:
+            raise BackendError(f"unknown reduction '{op}'; available: {sorted(REDUCE_OPS)}")
+        arrays = self._check_parts(parts, "allreduce")
+        self.collective_calls["allreduce"] += 1
+        self.bytes_communicated += sum(a.nbytes for a in arrays)
+        return REDUCE_OPS[op](arrays)
+
+    def gather_parts(self, parts: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Driver-side allgather: returns copies of the per-rank list."""
+        arrays = self._check_parts(parts, "allgather")
+        self.collective_calls["allgather"] += 1
+        self.bytes_communicated += sum(a.nbytes for a in arrays) * self.size
+        return [a.copy() for a in arrays]
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Release transport resources (worker pools, shared memory)."""
+
+    def __enter__(self) -> "Communicator":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(transport={self.transport!r}, size={self.size})"

@@ -1,0 +1,71 @@
+"""Per-transport collective throughput measurement.
+
+Used by ``benchmarks/bench_kernels.py`` (the ``comm_throughput`` section of
+``BENCH_kernels.json``) and by ``repro benchmark --comm ... --ranks ...`` so
+the communicator subsystem lands with a tracked perf trajectory alongside
+the compute kernels.  The payload defaults to the Higgs-sized trace matrix
+(the array data-parallel training allreduces once per batch), so the figure
+is directly the per-batch communication cost of each transport.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.comm import tasks
+from repro.comm.factory import get_communicator
+from repro.exceptions import BackendError
+
+__all__ = ["measure_comm_throughput"]
+
+
+def measure_comm_throughput(
+    transports: Sequence[str] = ("serial", "thread", "process"),
+    ranks: int = 2,
+    shape: Sequence[int] = (281, 300),
+    repeats: int = 20,
+    warmup: int = 3,
+    timeout: Optional[float] = None,
+) -> Dict[str, object]:
+    """Best-case allreduce latency/bandwidth for each transport.
+
+    Every transport runs the same SPMD loop (:func:`repro.comm.tasks.allreduce_loop`)
+    over a ``shape`` float64 payload at ``ranks`` ranks (the serial transport
+    is always measured at one rank — it has no peers by construction).
+    """
+    rows: List[Dict[str, object]] = []
+    for transport in transports:
+        n_ranks = 1 if transport == "serial" else int(ranks)
+        kwargs = {}
+        if timeout is not None and transport in ("thread", "process"):
+            kwargs["timeout"] = timeout
+        comm = get_communicator(transport, ranks=n_ranks, **kwargs)
+        try:
+            results = comm.run(
+                tasks.allreduce_loop,
+                [(tuple(shape), repeats, warmup)] * comm.size,
+            )
+            rank0 = results[0]
+            seconds = float(rank0["seconds_per_call"])
+            nbytes = float(rank0["nbytes"])
+            rows.append(
+                {
+                    "transport": transport,
+                    "ranks": n_ranks,
+                    "seconds_per_allreduce": seconds,
+                    "payload_mbytes": nbytes / 1e6,
+                    "mbytes_per_second": nbytes * n_ranks / max(seconds, 1e-12) / 1e6,
+                }
+            )
+        except BackendError as exc:  # pragma: no cover - constrained sandboxes
+            rows.append({"transport": transport, "ranks": n_ranks, "error": str(exc)})
+        finally:
+            comm.close()
+    return {
+        "config": {
+            "shape": [int(s) for s in shape],
+            "ranks": int(ranks),
+            "repeats": int(repeats),
+        },
+        "transports": rows,
+    }

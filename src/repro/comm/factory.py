@@ -1,0 +1,65 @@
+"""Transport selection: resolve ``--comm``-style specs into communicators."""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.comm.base import Communicator
+from repro.comm.mpi import HAVE_MPI, MPIComm
+from repro.comm.process import ProcessComm
+from repro.comm.serial import SerialComm
+from repro.comm.thread import ThreadComm
+from repro.exceptions import BackendError
+
+__all__ = ["get_communicator", "list_transports"]
+
+CommSpec = Union[str, Communicator, None]
+
+
+def get_communicator(spec: CommSpec = None, ranks: int = 1, **kwargs) -> Communicator:
+    """Resolve a transport name (or pass through an instance) to a communicator.
+
+    Parameters
+    ----------
+    spec:
+        ``None``/"serial" (rank-0 no-op), "thread"/"local" (in-process ranks
+        with barrier rendezvous), "process" (real OS processes over shared
+        memory), "mpi" (mpi4py adapter, when importable), or an existing
+        :class:`Communicator` instance (returned unchanged; ``ranks`` must
+        then agree or be 1).
+    ranks:
+        Communicator size for the thread/process transports.
+    kwargs:
+        Forwarded to the transport constructor (e.g. ``timeout=``,
+        ``start_method=`` for the process transport).
+    """
+    if isinstance(spec, Communicator):
+        if ranks not in (1, spec.size):
+            raise BackendError(
+                f"ranks={ranks} disagrees with the supplied communicator size {spec.size}"
+            )
+        return spec
+    if spec is None or spec == "serial":
+        if ranks > 1:
+            raise BackendError("the serial transport is single-rank; use 'thread' or 'process'")
+        return SerialComm()
+    if not isinstance(spec, str):
+        raise BackendError(
+            f"comm must be a transport name, a Communicator or None, got {type(spec).__name__}"
+        )
+    key = spec.lower()
+    if key in ("thread", "local"):
+        return ThreadComm(int(ranks), **kwargs)
+    if key == "process":
+        return ProcessComm(int(ranks), **kwargs)
+    if key == "mpi":
+        return MPIComm(**kwargs)
+    raise BackendError(f"unknown comm transport '{spec}'; available: {list_transports()}")
+
+
+def list_transports() -> List[str]:
+    """Names of the constructible transports in this environment."""
+    names = ["serial", "thread", "process"]
+    if HAVE_MPI:  # pragma: no cover - mpi4py absent in CI
+        names.append("mpi")
+    return names

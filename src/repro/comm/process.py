@@ -1,0 +1,530 @@
+"""The process transport: real OS processes, shared-memory collectives.
+
+``ProcessComm`` is the communicator that turns the simulated-MPI story into
+actual hardware parallelism with nothing but the standard library:
+
+* a **persistent worker pool** — ``size - 1`` long-lived worker processes
+  spawned once at construction (the driver itself is rank 0), each running a
+  task loop, so repeated :meth:`run` calls pay no fork/spawn cost after the
+  first;
+* **shared-memory collectives** — every rank owns a
+  ``multiprocessing.shared_memory`` data slot plus a row in a fixed control
+  block (generation counter, byte count, dtype code, shape).  A collective
+  is: write your contribution into your slot, barrier, read the peers' slots
+  directly out of shared memory (reducing in rank order), barrier.  Layer-
+  sized arrays therefore cross process boundaries with **zero pickling** —
+  only the tiny task descriptors of :meth:`run` travel through queues;
+* **crash/timeout safety** — every rendezvous uses a bounded barrier wait, a
+  dead or wedged worker breaks the barrier, and the failure surfaces as a
+  :class:`~repro.exceptions.BackendError` on all surviving ranks instead of
+  a hang.  The barrier is reset afterwards so the pool stays usable.
+
+Slots grow on demand: when a contribution outgrows its slot the owning rank
+creates a replacement segment under a new generation number; readers notice
+the generation bump in the control block and re-attach lazily.  Ragged
+``allgather`` needs no padding because shapes travel in the control block.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import traceback
+import uuid
+from multiprocessing import get_context
+from multiprocessing.shared_memory import SharedMemory
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.comm.base import Communicator, _reduce_in_rank_order, split_ranks
+from repro.exceptions import BackendError
+
+__all__ = ["ProcessComm"]
+
+_DTYPES: Tuple[np.dtype, ...] = tuple(
+    np.dtype(d) for d in ("float64", "float32", "float16", "int64", "int32", "uint8", "bool")
+)
+_DTYPE_CODES: Dict[np.dtype, int] = {d: i for i, d in enumerate(_DTYPES)}
+_MAX_DIMS = 8
+# Control-block row: [generation, nbytes, dtype code, ndim, shape[0..7]].
+_HEADER_INTS = 4 + _MAX_DIMS
+_HEADER_BYTES = _HEADER_INTS * 8
+
+
+def _attach(name: str) -> SharedMemory:
+    """Attach to an existing segment.
+
+    Attaching re-registers the segment with the resource tracker (CPython
+    issue 39959), but the workers inherit the driver's tracker process, so
+    the registration dedupes against the creator's and the single unlink at
+    :meth:`ProcessComm.close` unregisters it exactly once.  Explicitly
+    unregistering here would instead poison the shared cache.
+    """
+    return SharedMemory(name=name, create=False)
+
+
+class _ShmPeer:
+    """One rank's shared-memory endpoint (driver and workers alike)."""
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        session: str,
+        barrier,
+        timeout: float,
+        min_slot_bytes: int,
+        control: Optional[SharedMemory] = None,
+    ) -> None:
+        self._rank = rank
+        self._size = size
+        self._session = session
+        self._barrier = barrier
+        self._timeout = float(timeout)
+        self._min_slot_bytes = int(min_slot_bytes)
+        self._control = control if control is not None else _attach(f"{session}ctl")
+        self._headers = np.ndarray((size, _HEADER_INTS), dtype=np.int64, buffer=self._control.buf)
+        self._own_slot: Optional[SharedMemory] = None
+        self._own_gen = 0
+        self._peers: Dict[int, Tuple[int, SharedMemory]] = {}
+
+    #: Worker peers always run inside a program; the driver (ProcessComm)
+    #: toggles this in :meth:`ProcessComm.run` so a driver-side SPMD
+    #: collective (which would block until the timeout — no program is
+    #: running on the workers) fails fast instead.
+    _in_program = True
+
+    # ------------------------------------------------------------ rendezvous
+    def _wait(self) -> None:
+        if not self._in_program and self._size > 1:
+            raise BackendError(
+                "SPMD collectives on a size>1 communicator must be called from "
+                "inside run(); for driver-side combines use reduce_parts()/"
+                "gather_parts() (or pass a list of per-rank contributions)"
+            )
+        try:
+            self._barrier.wait(self._timeout)
+        except threading.BrokenBarrierError as exc:
+            raise BackendError(
+                "process collective rendezvous broke (a rank crashed or timed "
+                f"out after {self._timeout}s)"
+            ) from exc
+
+    # ----------------------------------------------------------- slot plumbing
+    def _slot_name(self, rank: int, gen: int) -> str:
+        return f"{self._session}d{rank}g{gen}"
+
+    def _publish(self, array: np.ndarray) -> np.ndarray:
+        """Write this rank's contribution into its slot + control row."""
+        arr = np.ascontiguousarray(array)
+        code = _DTYPE_CODES.get(arr.dtype)
+        if code is None:
+            raise BackendError(
+                f"unsupported collective dtype {arr.dtype}; supported: "
+                f"{[str(d) for d in _DTYPES]}"
+            )
+        if arr.ndim > _MAX_DIMS:
+            raise BackendError(f"collective arrays are limited to {_MAX_DIMS} dimensions")
+        if self._own_slot is None or self._own_slot.size < arr.nbytes:
+            # Round the capacity up to the next power of two so a sequence of
+            # slowly growing messages does not reallocate the slot every call.
+            capacity = self._min_slot_bytes
+            while capacity < arr.nbytes:
+                capacity *= 2
+            new_gen = self._own_gen + 1
+            replacement = SharedMemory(
+                create=True, size=capacity, name=self._slot_name(self._rank, new_gen)
+            )
+            if self._own_slot is not None:
+                self._own_slot.close()
+                try:
+                    self._own_slot.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+            self._own_slot, self._own_gen = replacement, new_gen
+        header = self._headers[self._rank]
+        header[0] = self._own_gen
+        header[1] = arr.nbytes
+        header[2] = code
+        header[3] = arr.ndim
+        header[4 : 4 + _MAX_DIMS] = 0
+        header[4 : 4 + arr.ndim] = arr.shape
+        if arr.nbytes:
+            dst = np.ndarray(arr.shape, dtype=arr.dtype, buffer=self._own_slot.buf)
+            dst[...] = arr
+        return arr
+
+    def _fetch(self, rank: int, rows: Optional[Tuple[int, int]] = None) -> np.ndarray:
+        """Copy rank ``rank``'s published contribution out of shared memory."""
+        header = self._headers[rank]
+        gen, nbytes, code, ndim = (int(header[i]) for i in range(4))
+        if gen <= 0:
+            raise BackendError(f"rank {rank} published no contribution")
+        shape = tuple(int(s) for s in header[4 : 4 + ndim])
+        dtype = _DTYPES[code]
+        if rank == self._rank and self._own_slot is not None:
+            shm = self._own_slot
+        else:
+            cached = self._peers.get(rank)
+            if cached is None or cached[0] != gen:
+                if cached is not None:
+                    cached[1].close()
+                shm = _attach(self._slot_name(rank, gen))
+                self._peers[rank] = (gen, shm)
+            shm = self._peers[rank][1]
+        if nbytes == 0:
+            view = np.empty(shape, dtype=dtype)
+        else:
+            view = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+        if rows is not None:
+            view = view[rows[0] : rows[1]]
+        return np.array(view, copy=True)
+
+    def _close_peer_attachments(self) -> None:
+        for _, shm in self._peers.values():
+            shm.close()
+        self._peers.clear()
+
+    def _release(self) -> None:
+        self._close_peer_attachments()
+        if self._own_slot is not None:
+            self._own_slot.close()
+            try:
+                self._own_slot.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            self._own_slot = None
+        # Drop the numpy view over the control buffer before closing it, or
+        # mmap.close() raises BufferError("exported pointers exist").
+        self._headers = None
+        self._control.close()
+
+
+class _ProcessCollectives(_ShmPeer):
+    """SPMD collectives over the shared-memory slots (all ranks)."""
+
+    def _allreduce_array(self, array: np.ndarray, op: str) -> np.ndarray:
+        local = self._publish(array)
+        self._wait()
+        parts = [local if r == self._rank else self._fetch(r) for r in range(self._size)]
+        out = _reduce_in_rank_order(parts, op)
+        self._wait()
+        self.collective_calls["allreduce"] += 1
+        self.bytes_communicated += local.nbytes * self._size
+        return out
+
+    def _allgather_array(self, array: np.ndarray) -> List[np.ndarray]:
+        local = self._publish(array)
+        self._wait()
+        parts = [
+            np.array(local, copy=True) if r == self._rank else self._fetch(r)
+            for r in range(self._size)
+        ]
+        self._wait()
+        self.collective_calls["allgather"] += 1
+        self.bytes_communicated += sum(p.nbytes for p in parts)
+        return parts
+
+    def bcast(self, array: Optional[np.ndarray], root: int = 0) -> np.ndarray:
+        if not 0 <= root < self._size:
+            raise BackendError(f"root {root} out of range for size {self._size}")
+        if self._rank == root:
+            if array is None:
+                raise BackendError("bcast root must provide an array")
+            local = self._publish(np.asarray(array))
+            self._wait()
+            out = np.array(local, copy=True)
+        else:
+            self._wait()
+            out = self._fetch(root)
+        self._wait()
+        self.collective_calls["bcast"] += 1
+        self.bytes_communicated += out.nbytes
+        return out
+
+    def barrier(self) -> None:
+        self.collective_calls["barrier"] += 1
+        self._wait()
+
+    def scatter_rows(self, x: Optional[np.ndarray], root: int = 0) -> np.ndarray:
+        if not 0 <= root < self._size:
+            raise BackendError(f"root {root} out of range for size {self._size}")
+        if self._rank == root:
+            x = np.asarray(x)
+            if x is None or x.ndim != 2:
+                raise BackendError("scatter_rows root must provide a 2-D matrix")
+            local = self._publish(x)
+            self._wait()
+            lo, hi = split_ranks(local.shape[0], self._size)[self._rank]
+            out = np.array(local[lo:hi], copy=True)
+        else:
+            self._wait()
+            header = self._headers[root]
+            n_rows = int(header[4])
+            lo, hi = split_ranks(n_rows, self._size)[self._rank]
+            out = self._fetch(root, rows=(lo, hi))
+        self._wait()
+        self.collective_calls["scatter"] += 1
+        self.bytes_communicated += out.nbytes
+        return out
+
+
+class _ProcessRankView(_ProcessCollectives, Communicator):
+    """Per-rank handle constructed inside each worker process."""
+
+    transport = "process"
+
+    def __init__(
+        self, rank: int, size: int, session: str, barrier, timeout: float, min_slot_bytes: int
+    ) -> None:
+        Communicator.__init__(self)
+        _ShmPeer.__init__(self, rank, size, session, barrier, timeout, min_slot_bytes)
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def run(self, fn: Callable, rank_args: Optional[Sequence[tuple]] = None) -> List[object]:
+        raise BackendError("run() cannot be nested inside an SPMD program")
+
+
+def _worker_main(
+    rank: int,
+    size: int,
+    session: str,
+    barrier,
+    task_queue,
+    result_queue,
+    timeout: float,
+    min_slot_bytes: int,
+) -> None:
+    """Task loop of one persistent worker process."""
+    view = _ProcessRankView(rank, size, session, barrier, timeout, min_slot_bytes)
+    result_queue.put(("ready", rank, True, None))
+    try:
+        while True:
+            item = task_queue.get()
+            if item is None:
+                break
+            task_id, fn, args = item
+            try:
+                out = fn(view, *args)
+                result_queue.put((task_id, rank, True, out))
+            except BaseException:  # noqa: BLE001 - relayed to the driver
+                try:
+                    barrier.abort()
+                except Exception:  # pragma: no cover - barrier already broken
+                    pass
+                result_queue.put((task_id, rank, False, traceback.format_exc()))
+    finally:
+        view._release()  # noqa: SLF001 - worker-side cleanup of its own peer
+
+
+class ProcessComm(_ProcessCollectives, Communicator):
+    """Multi-process communicator; the driver process is rank 0.
+
+    Parameters
+    ----------
+    size:
+        Total number of ranks (``size - 1`` worker processes are spawned).
+    timeout:
+        Bound, in seconds, on every collective rendezvous and on result
+        collection; a worker crash or wedge surfaces as a
+        :class:`~repro.exceptions.BackendError` within this bound.
+    start_method:
+        ``multiprocessing`` start method.  The default ``"spawn"`` gives
+        workers a clean interpreter (no inherited BLAS thread state); pass
+        ``"fork"`` on POSIX for faster pool start-up.
+    min_slot_bytes:
+        Initial capacity of each rank's shared-memory slot; slots grow
+        automatically when a contribution outgrows them.
+    """
+
+    transport = "process"
+
+    def __init__(
+        self,
+        size: int,
+        timeout: float = 120.0,
+        start_method: str = "spawn",
+        min_slot_bytes: int = 1 << 20,
+    ) -> None:
+        Communicator.__init__(self)
+        if size <= 0:
+            raise BackendError("communicator size must be positive")
+        self._closed = False
+        self._in_program = False
+        self._task_counter = 0
+        ctx = get_context(start_method)
+        session = f"rcomm{os.getpid():x}{uuid.uuid4().hex[:8]}"
+        barrier = ctx.Barrier(size) if size > 1 else threading.Barrier(1)
+        control = SharedMemory(create=True, size=max(1, size * _HEADER_BYTES), name=f"{session}ctl")
+        control.buf[: size * _HEADER_BYTES] = b"\x00" * (size * _HEADER_BYTES)
+        _ShmPeer.__init__(self, 0, int(size), session, barrier, timeout, min_slot_bytes, control)
+        self._task_queues = [ctx.Queue() for _ in range(size - 1)]
+        self._result_queue = ctx.Queue() if size > 1 else None
+        self._workers = [
+            ctx.Process(
+                target=_worker_main,
+                args=(
+                    rank,
+                    size,
+                    session,
+                    barrier,
+                    self._task_queues[rank - 1],
+                    self._result_queue,
+                    timeout,
+                    min_slot_bytes,
+                ),
+                daemon=True,
+                name=f"comm-rank{rank}",
+            )
+            for rank in range(1, size)
+        ]
+        for worker in self._workers:
+            worker.start()
+        try:
+            self._collect("ready", expect=size - 1, deadline=max(timeout, 60.0))
+        except BackendError:
+            self.close()
+            raise
+
+    @property
+    def rank(self) -> int:
+        return 0
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    # --------------------------------------------------------- program launch
+    def run(self, fn: Callable, rank_args: Optional[Sequence[tuple]] = None) -> List[object]:
+        if self._closed:
+            raise BackendError("communicator has been closed")
+        size = self.size
+        if rank_args is None:
+            rank_args = [()] * size
+        if len(rank_args) != size:
+            raise BackendError(
+                f"run expected {size} per-rank argument tuples, got {len(rank_args)}"
+            )
+        self.collective_calls["run"] += 1
+        if size == 1:
+            return [fn(self, *rank_args[0])]
+
+        self._task_counter += 1
+        task_id = self._task_counter
+        for rank in range(1, size):
+            self._task_queues[rank - 1].put((task_id, fn, tuple(rank_args[rank])))
+
+        local_error: Optional[BaseException] = None
+        local_result: object = None
+        self._in_program = True
+        try:
+            local_result = fn(self, *rank_args[0])
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            local_error = exc
+            try:
+                self._barrier.abort()
+            except Exception:  # pragma: no cover - barrier already broken
+                pass
+        finally:
+            self._in_program = False
+
+        # Workers can lag rank 0 by at most one rendezvous timeout plus their
+        # local epilogue, so the collection deadline tracks the comm timeout.
+        remote = self._collect(task_id, expect=size - 1, deadline=self._timeout + 5.0)
+        if getattr(self._barrier, "broken", False):
+            try:
+                self._barrier.reset()
+            except Exception:  # pragma: no cover - irrecoverable barrier
+                pass
+
+        failures = {rank: payload for rank, (ok, payload) in remote.items() if not ok}
+        if local_error is not None and not isinstance(local_error, BackendError):
+            raise local_error
+        if failures:
+            rank, text = sorted(failures.items())[0]
+            raise BackendError(f"worker rank {rank} failed:\n{text}")
+        if local_error is not None:
+            raise local_error
+        results = [local_result] + [remote[rank][1] for rank in range(1, size)]
+        return results
+
+    def _collect(self, task_id, expect: int, deadline: float) -> Dict[int, Tuple[bool, object]]:
+        """Drain ``expect`` result messages for ``task_id`` from the workers.
+
+        Polls in short slices so a dead worker is detected promptly instead
+        of burning the whole deadline on a queue read that can never succeed.
+        """
+        import time as _time
+        from queue import Empty
+
+        got: Dict[int, Tuple[bool, object]] = {}
+        give_up_at = _time.monotonic() + deadline
+        while len(got) < expect:
+            try:
+                msg_id, rank, ok, payload = self._result_queue.get(timeout=0.25)
+            except Empty:
+                dead = [
+                    worker.name
+                    for index, worker in enumerate(self._workers, start=1)
+                    if index not in got and not worker.is_alive()
+                ]
+                if dead:
+                    raise BackendError(
+                        f"worker process(es) died without reporting a result: {dead}"
+                    ) from None
+                if _time.monotonic() > give_up_at:
+                    raise BackendError(
+                        f"timed out after {deadline}s waiting for worker results"
+                    ) from None
+                continue
+            if msg_id != task_id:
+                continue  # stale result from an aborted task
+            got[rank] = (ok, payload)
+        return got
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for queue in self._task_queues:
+            try:
+                queue.put(None)
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+            if worker.is_alive():  # pragma: no cover - wedged worker
+                worker.terminate()
+                worker.join(timeout=1.0)
+        # Best-effort cleanup of worker slots a crashed worker left behind.
+        for rank in range(1, self._size):
+            gen = int(self._headers[rank][0])
+            if gen > 0:
+                try:
+                    stale = _attach(self._slot_name(rank, gen))
+                    stale.close()
+                    stale.unlink()
+                except FileNotFoundError:
+                    pass
+                except Exception:  # pragma: no cover - already cleaned up
+                    pass
+        self._release()
+        try:
+            self._control.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def __del__(self) -> None:  # pragma: no cover - gc-timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,109 @@
+"""Module-level SPMD tasks shared by the tests, benchmarks and diagnostics.
+
+The process transport ships :meth:`~repro.comm.Communicator.run` functions to
+worker processes *by reference* (module + qualified name), so any function
+that crosses the process boundary must live at module scope in an importable
+module.  The generic tasks here serve three audiences:
+
+* the comm test-suite (collective semantics checks, failure injection),
+* the comm throughput benchmark (:mod:`repro.comm.benchmark`),
+* quick interactive smoke tests (``SerialComm().run(tasks.echo_rank)``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict
+
+import numpy as np
+
+__all__ = [
+    "echo_rank",
+    "collective_checks",
+    "allreduce_loop",
+    "crash_rank",
+    "stall_rank",
+]
+
+
+def echo_rank(comm) -> Dict[str, int]:
+    """Smallest possible SPMD program: report this rank's identity."""
+    return {"rank": comm.rank, "size": comm.size, "pid": os.getpid()}
+
+
+def collective_checks(comm, n_rows: int = 10, n_cols: int = 3) -> Dict[str, object]:
+    """Exercise every collective; return what this rank observed.
+
+    Each rank contributes arrays derived from its rank number so the driver
+    can assert exact expected values for any transport and any size.
+    """
+    rank, size = comm.rank, comm.size
+    reduced = comm.allreduce(np.full(n_cols, float(rank)), op="sum")
+    maxed = comm.allreduce(np.full(n_cols, float(rank)), op="max")
+    gathered = comm.allgather(np.arange(rank + 1, dtype=np.float64))  # ragged on purpose
+    payload = np.arange(n_cols, dtype=np.float64) if rank == 0 else None
+    broadcast = comm.bcast(payload, root=0)
+    matrix = np.arange(n_rows * n_cols, dtype=np.float64).reshape(n_rows, n_cols)
+    shard = comm.scatter_rows(matrix if rank == 0 else None, root=0)
+    comm.barrier()
+    ints = comm.allgather(np.array([rank], dtype=np.int64))
+    return {
+        "rank": rank,
+        "size": size,
+        "reduced": reduced,
+        "maxed": maxed,
+        "gathered_sizes": [int(g.shape[0]) for g in gathered],
+        "broadcast": broadcast,
+        "shard": shard,
+        "int_ranks": [int(g[0]) for g in ints],
+    }
+
+
+def allreduce_loop(
+    comm, shape, repeats: int = 20, warmup: int = 3, dtype: str = "float64"
+) -> Dict[str, float]:
+    """Time ``repeats`` allreduces of one ``shape`` array on this rank.
+
+    Returns the best per-call wall time observed on this rank; the driver
+    reads rank 0's figure (all ranks are barrier-synchronised, so rank 0's
+    time is the collective's time).
+    """
+    arr = np.full(shape, float(comm.rank + 1), dtype=np.dtype(dtype))
+    expected = float(sum(range(1, comm.size + 1)))
+    for _ in range(warmup):
+        out = comm.allreduce(arr, op="sum")
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        out = comm.allreduce(arr, op="sum")
+        best = min(best, time.perf_counter() - start)
+    if not np.allclose(out, expected):  # correctness guard on every rank
+        raise AssertionError(f"allreduce produced {out.flat[0]!r}, expected {expected!r}")
+    return {"rank": comm.rank, "seconds_per_call": best, "nbytes": float(arr.nbytes)}
+
+
+def crash_rank(comm, victim: int = 1) -> int:
+    """Failure injection: hard-kill ``victim`` mid-rendezvous.
+
+    Only meaningful on the process transport — ``os._exit`` would take the
+    whole interpreter down on the serial/thread transports.  The surviving
+    ranks block in a barrier the victim never reaches, which must surface as
+    a :class:`~repro.exceptions.BackendError`, not a hang.
+    """
+    if comm.rank == victim:
+        os._exit(17)
+    comm.barrier()
+    return comm.rank
+
+
+def stall_rank(comm, victim: int = 1, seconds: float = 3600.0) -> int:
+    """Failure injection: ``victim`` sleeps through the rendezvous.
+
+    The other ranks' barrier wait must time out (transport ``timeout``) and
+    raise a :class:`~repro.exceptions.BackendError` instead of hanging.
+    """
+    if comm.rank == victim:
+        time.sleep(seconds)
+    comm.barrier()
+    return comm.rank

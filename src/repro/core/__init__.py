@@ -17,7 +17,12 @@ from repro.core.layers import InputSpec, StructuralPlasticityLayer
 from repro.core.heads import BCPNNClassifier, SGDClassifier
 from repro.core.network import Network
 from repro.core.training import History, TrainingCallback, EpochResult
-from repro.core.serialization import save_network, load_network
+from repro.core.serialization import (
+    load_network,
+    network_from_bytes,
+    network_to_bytes,
+    save_network,
+)
 from repro.core import kernels, schedules
 
 __all__ = [
@@ -35,6 +40,8 @@ __all__ = [
     "EpochResult",
     "save_network",
     "load_network",
+    "network_to_bytes",
+    "network_from_bytes",
     "kernels",
     "schedules",
 ]

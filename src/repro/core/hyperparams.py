@@ -127,7 +127,9 @@ class BCPNNHyperParameters:
 
     @classmethod
     def from_dict(cls, values: Dict[str, float]) -> "BCPNNHyperParameters":
-        known = {f: values[f] for f in cls.__dataclass_fields__ if f in values}  # type: ignore[attr-defined]
+        known = {  # type: ignore[attr-defined]
+            f: values[f] for f in cls.__dataclass_fields__ if f in values
+        }
         unknown = set(values) - set(known)
         if unknown:
             raise ConfigurationError(f"unknown hyper-parameters: {sorted(unknown)}")

@@ -136,8 +136,20 @@ class Network:
         schedule: Optional[TrainingSchedule] = None,
         callbacks: Optional[List[TrainingCallback]] = None,
         verbose: bool = False,
+        comm=None,
     ) -> History:
-        """Train the network; returns the training :class:`History`."""
+        """Train the network; returns the training :class:`History`.
+
+        ``comm`` (a :class:`repro.comm.Communicator`) switches the hidden
+        layers to data-parallel training: every rank holds an identical
+        layer replica, each global batch is sharded over the ranks, and the
+        sufficient statistics are combined with one allreduce per batch (see
+        :class:`repro.backend.distributed.DistributedTrainer`).  Training is
+        rank-invariant across the serial/thread/process transports (bit for
+        bit up to floating-point summation order) for deterministic
+        competition modes.  The classification head is small and trains on
+        the driver as usual.
+        """
         schedule = schedule or TrainingSchedule()
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 2:
@@ -158,7 +170,12 @@ class Network:
         # ------------------------------------------- phase 1: hidden layers
         representation = x
         for layer in self.hidden_layers:
-            self._train_hidden_layer(layer, representation, schedule, callback_list, verbose)
+            if comm is not None:
+                self._train_hidden_layer_comm(
+                    layer, representation, schedule, comm, callback_list, verbose
+                )
+            else:
+                self._train_hidden_layer(layer, representation, schedule, callback_list, verbose)
             representation = layer.forward(representation)
 
         # -------------------------------------------- phase 2: classification
@@ -230,6 +247,70 @@ class Network:
                     f"entropy={metrics['mean_activation_entropy']:.3f} swaps={swaps} "
                     f"({duration:.2f}s)"
                 )
+
+    def _train_hidden_layer_comm(
+        self,
+        layer: StructuralPlasticityLayer,
+        x: np.ndarray,
+        schedule: TrainingSchedule,
+        comm,
+        callbacks: CallbackList,
+        verbose: bool,
+    ) -> None:
+        """Data-parallel hidden-layer phase over a :mod:`repro.comm` transport.
+
+        Delegates to :class:`~repro.backend.distributed.DistributedTrainer`
+        in ``"competitive"`` mode (first-batch calibration + the configured
+        competition rule — the same semantics as the serial
+        ``train_batch`` path).  Epoch callbacks fire on the driver after the
+        SPMD program completes, in epoch order.
+        """
+        from repro.backend.distributed import DistributedTrainer
+
+        trainer = DistributedTrainer(comm)
+
+        def record(epoch: int, logs: Dict[str, float]) -> None:
+            metrics = {
+                "mean_activation_entropy": float(logs.get("mean_activation_entropy", 0.0)),
+                "mask_swaps": float(logs.get("swaps", 0.0)),
+                "density": float(layer.hyperparams.density),
+                "ranks": float(comm.size),
+            }
+            record_ = EpochResult(
+                "hidden", layer.name, epoch, float(logs.get("seconds", 0.0)), metrics
+            )
+            self.history.append(record_)
+            callbacks.on_epoch_end(
+                {
+                    "phase": "hidden",
+                    "layer": layer,
+                    "layer_name": layer.name,
+                    "epoch": epoch,
+                    "network": self,
+                    "metrics": metrics,
+                }
+            )
+            if verbose:  # pragma: no cover - console convenience
+                print(
+                    f"[hidden:{layer.name}] epoch {epoch + 1}/{schedule.hidden_epochs} "
+                    f"entropy={metrics['mean_activation_entropy']:.3f} "
+                    f"swaps={int(metrics['mask_swaps'])} ranks={comm.size} "
+                    f"({logs.get('seconds', 0.0):.2f}s)"
+                )
+
+        # Derive a per-phase shuffle stream from the network RNG (advancing
+        # it, so stacked layers do not reuse one permutation sequence).
+        shuffle_rng = as_rng(int(self._rng.integers(2**63)))
+        trainer.train_layer(
+            layer,
+            x,
+            epochs=schedule.hidden_epochs,
+            batch_size=schedule.batch_size,
+            rng=shuffle_rng,
+            shuffle=schedule.shuffle,
+            on_epoch_end=record,
+            mode="competitive",
+        )
 
     def _train_head(
         self,
@@ -379,11 +460,17 @@ class Network:
                 f"density={layer.hyperparams.density:.0%} [{built}]"
             )
         if self.head is not None:
-            lines.append(f"  {self.head.name}: {type(self.head).__name__} ({self.head.n_classes} classes)")
+            lines.append(
+                f"  {self.head.name}: {type(self.head).__name__} "
+                f"({self.head.n_classes} classes)"
+            )
         else:
             lines.append("  <no classification head>")
         lines.append("=" * 60)
         return "\n".join(lines)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"Network(name={self.name!r}, hidden={len(self.hidden_layers)}, fitted={self._fitted})"
+        return (
+            f"Network(name={self.name!r}, hidden={len(self.hidden_layers)}, "
+            f"fitted={self._fitted})"
+        )

@@ -7,6 +7,7 @@ shipped, reloaded and evaluated without retraining.
 
 from __future__ import annotations
 
+import io
 import json
 from pathlib import Path
 from typing import Dict, List, Union
@@ -18,7 +19,7 @@ from repro.core.layers import StructuralPlasticityLayer
 from repro.core.network import Network
 from repro.exceptions import SerializationError
 
-__all__ = ["save_network", "load_network"]
+__all__ = ["save_network", "load_network", "network_to_bytes", "network_from_bytes"]
 
 _FORMAT_VERSION = 1
 
@@ -29,17 +30,15 @@ _ARRAY_KEYS = {
 }
 
 
-def save_network(network: Network, path: Union[str, Path]) -> Path:
-    """Serialise a fitted (or at least built) network to ``path`` (.npz)."""
-    path = Path(path)
-    if path.suffix != ".npz":
-        path = path.with_suffix(".npz")
+def _network_payload(network: Network) -> Dict[str, np.ndarray]:
+    """Flatten a network into the npz keyword payload (header + arrays)."""
     layer_states: List[Dict[str, object]] = []
     arrays: Dict[str, np.ndarray] = {}
     for index, layer in enumerate(network.layers):
         if not getattr(layer, "is_built", False):
             raise SerializationError(
-                f"layer {getattr(layer, 'name', index)} is not built; train or build the network first"
+                f"layer {getattr(layer, 'name', index)} is not built; "
+                "train or build the network first"
             )
         state = layer.state_dict()
         kind = state["kind"]
@@ -56,16 +55,36 @@ def save_network(network: Network, path: Union[str, Path]) -> Path:
         "fitted": bool(network.is_fitted),
         "layers": layer_states,
     }
+    arrays["header"] = np.frombuffer(
+        json.dumps(header, default=_json_default).encode("utf-8"), dtype=np.uint8
+    )
+    return arrays
+
+
+def save_network(network: Network, path: Union[str, Path]) -> Path:
+    """Serialise a fitted (or at least built) network to ``path`` (.npz)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    payload = _network_payload(network)
     path.parent.mkdir(parents=True, exist_ok=True)
     try:
-        np.savez_compressed(
-            path,
-            header=np.frombuffer(json.dumps(header, default=_json_default).encode("utf-8"), dtype=np.uint8),
-            **arrays,
-        )
+        np.savez_compressed(path, **payload)
     except OSError as exc:
         raise SerializationError(f"failed to write {path}: {exc}") from exc
     return path
+
+
+def network_to_bytes(network: Network) -> bytes:
+    """Serialise a network to an in-memory npz blob.
+
+    Used by the process-transport serving path to broadcast a model to
+    worker ranks through shared memory (as a ``uint8`` array) instead of
+    pickling live layer objects across the process boundary.
+    """
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **_network_payload(network))
+    return buffer.getvalue()
 
 
 def _json_default(value):
@@ -90,7 +109,24 @@ def load_network(path: Union[str, Path]) -> Network:
             arrays = {key: archive[key] for key in archive.files if key != "header"}
     except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
         raise SerializationError(f"failed to read {path}: {exc}") from exc
+    return _network_from_state(header, arrays, source=str(path))
 
+
+def network_from_bytes(blob: bytes) -> Network:
+    """Reconstruct a network from a :func:`network_to_bytes` blob."""
+    try:
+        with np.load(io.BytesIO(bytes(blob)), allow_pickle=False) as archive:
+            header_bytes = bytes(archive["header"].tobytes())
+            header = json.loads(header_bytes.decode("utf-8"))
+            arrays = {key: archive[key] for key in archive.files if key != "header"}
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"failed to read network blob: {exc}") from exc
+    return _network_from_state(header, arrays, source="<bytes>")
+
+
+def _network_from_state(
+    header: Dict[str, object], arrays: Dict[str, np.ndarray], source: str
+) -> Network:
     if header.get("format_version") != _FORMAT_VERSION:
         raise SerializationError(
             f"unsupported model format version {header.get('format_version')!r}"
@@ -102,7 +138,7 @@ def load_network(path: Union[str, Path]) -> Network:
         for key in _ARRAY_KEYS.get(kind, []):
             array_key = f"layer{index}.{key}"
             if array_key not in arrays:
-                raise SerializationError(f"missing array {array_key} in {path}")
+                raise SerializationError(f"missing array {array_key} in {source}")
             state[key] = arrays[array_key]
         layer = _instantiate_layer(kind, state)
         layer.load_state_dict(state)

@@ -180,7 +180,9 @@ class ProbabilityTraces:
         )
 
     # ------------------------------------------------------------ averaging
-    def merge_(self, others: Sequence["ProbabilityTraces"], weights: Sequence[float] = None) -> None:
+    def merge_(
+        self, others: Sequence["ProbabilityTraces"], weights: Sequence[float] = None
+    ) -> None:
         """In-place weighted average of this trace set with ``others``.
 
         This is the allreduce operation of data-parallel BCPNN training: each

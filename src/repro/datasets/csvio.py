@@ -76,7 +76,8 @@ def read_numeric_csv(
             width = len(values)
         elif len(values) != width:
             raise DataError(
-                f"inconsistent column count in {path}: row {count} has {len(values)}, expected {width}"
+                f"inconsistent column count in {path}: row {count} has "
+                f"{len(values)}, expected {width}"
             )
         buffer.append(values)
         count += 1

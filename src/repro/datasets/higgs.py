@@ -259,7 +259,8 @@ class SyntheticHiggsGenerator:
 
         # Lepton smearing.
         lepton_rec = kin.four_vector(
-            kin.pt(lepton) * np.maximum(rng.normal(1.0, self.lepton_energy_resolution, size=n), 0.2),
+            kin.pt(lepton)
+            * np.maximum(rng.normal(1.0, self.lepton_energy_resolution, size=n), 0.2),
             kin.eta(lepton),
             kin.phi(lepton),
             _M_LEPTON,
@@ -267,7 +268,12 @@ class SyntheticHiggsGenerator:
 
         # Jet smearing + optional pileup replacement of one light jet.
         jets = [self._smear_jet(j) for j in b_jets] + [self._smear_jet(j) for j in light_jets]
-        is_b = [np.ones(n, dtype=bool), np.ones(n, dtype=bool), np.zeros(n, dtype=bool), np.zeros(n, dtype=bool)]
+        is_b = [
+            np.ones(n, dtype=bool),
+            np.ones(n, dtype=bool),
+            np.zeros(n, dtype=bool),
+            np.zeros(n, dtype=bool),
+        ]
         replace = rng.random(n) < self.pileup_jet_fraction
         if np.any(replace):
             pileup = self._pileup_jet(n)
@@ -434,7 +440,9 @@ def make_higgs_splits(
     dataset = load_higgs(n_samples=n_samples, path=path, seed=rng)
     if balanced:
         dataset = balanced_subsample(dataset, rng=rng)
-    train, rest = train_test_split(dataset, test_fraction + validation_fraction, rng=rng, stratify=True)
+    train, rest = train_test_split(
+        dataset, test_fraction + validation_fraction, rng=rng, stratify=True
+    )
     if validation_fraction > 0:
         rel = test_fraction / (test_fraction + validation_fraction)
         validation, test = train_test_split(rest, rel, rng=rng, stratify=True)

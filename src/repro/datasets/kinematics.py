@@ -34,7 +34,9 @@ __all__ = [
 ]
 
 
-def four_vector(pt_: np.ndarray, eta_: np.ndarray, phi_: np.ndarray, m: np.ndarray = 0.0) -> np.ndarray:
+def four_vector(
+    pt_: np.ndarray, eta_: np.ndarray, phi_: np.ndarray, m: np.ndarray = 0.0
+) -> np.ndarray:
     """Build ``(E, px, py, pz)`` four-vectors from collider coordinates.
 
     ``pt`` is the transverse momentum, ``eta`` the pseudorapidity, ``phi``

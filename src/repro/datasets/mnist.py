@@ -30,7 +30,9 @@ GLYPH_SIZE = 20
 
 # Stroke descriptions per digit on a unit square [0,1]^2: each stroke is a
 # pair of endpoints; arcs are approximated by polylines.
-def _circle(cx: float, cy: float, r: float, n: int = 12, start: float = 0.0, stop: float = 2 * np.pi):
+def _circle(
+    cx: float, cy: float, r: float, n: int = 12, start: float = 0.0, stop: float = 2 * np.pi
+):
     angles = np.linspace(start, stop, n)
     pts = [(cx + r * np.cos(a), cy + r * np.sin(a)) for a in angles]
     return list(zip(pts[:-1], pts[1:]))
@@ -68,7 +70,9 @@ class SyntheticDigits:
         RNG seed.
     """
 
-    def __init__(self, noise: float = 0.08, jitter: int = 3, thickness: float = 1.4, seed=None) -> None:
+    def __init__(
+        self, noise: float = 0.08, jitter: int = 3, thickness: float = 1.4, seed=None
+    ) -> None:
         if noise < 0:
             raise DataError("noise must be non-negative")
         if jitter < 0:

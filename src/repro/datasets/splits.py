@@ -42,10 +42,15 @@ def train_test_split(
                 continue
             cls_idx = rng.permutation(cls_idx)
             n_test = int(round(cls_idx.size * test_fraction))
-            n_test = min(max(n_test, 1 if cls_idx.size > 1 else 0), cls_idx.size - 1) if cls_idx.size > 1 else 0
+            if cls_idx.size > 1:
+                n_test = min(max(n_test, 1), cls_idx.size - 1)
+            else:
+                n_test = 0
             test_idx.append(cls_idx[:n_test])
             train_idx.append(cls_idx[n_test:])
-        test_indices = rng.permutation(np.concatenate(test_idx)) if test_idx else np.empty(0, np.int64)
+        test_indices = (
+            rng.permutation(np.concatenate(test_idx)) if test_idx else np.empty(0, np.int64)
+        )
         train_indices = rng.permutation(np.concatenate(train_idx))
     else:
         order = rng.permutation(n)

@@ -82,7 +82,10 @@ def run_capacity_sweep(
             "mcus", "hcus", "accuracy_mean", "accuracy_std", "auc_mean",
             "train_seconds_mean", "train_seconds_std",
         ],
-        title=f"Fig. 3 reproduction: capacity sweep (density={density:.0%}, head={head}, scale={scale.name})",
+        title=(
+            f"Fig. 3 reproduction: capacity sweep "
+            f"(density={density:.0%}, head={head}, scale={scale.name})"
+        ),
     )
     return {
         "experiment": "fig3_capacity",

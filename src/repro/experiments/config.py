@@ -81,7 +81,8 @@ FULL_SCALE = ExperimentScale(
 def get_scale(name: Optional[str] = None) -> ExperimentScale:
     """Resolve the experiment scale from an explicit name or ``REPRO_FULL``."""
     if name is None:
-        name = "full" if os.environ.get("REPRO_FULL", "").strip() in ("1", "true", "yes") else "small"
+        full = os.environ.get("REPRO_FULL", "").strip() in ("1", "true", "yes")
+        name = "full" if full else "small"
     name = name.lower()
     if name == "small":
         return SMALL_SCALE

@@ -1,12 +1,13 @@
-"""Experiment E9: data-parallel (simulated MPI) training ablation.
+"""Experiment E9: data-parallel training ablation over the comm transports.
 
 BCPNN's local learning means data-parallel training only exchanges
-probability-trace statistics (one allreduce per batch).  This experiment
-trains the same hidden layer serially and with 2/4/8 simulated ranks and
-verifies that (a) the learned traces are numerically equivalent and (b) the
-communication volume grows with the trace size, not with the batch size —
-the property the paper uses to argue BCPNN "scales horizontally without the
-limiting factor on communication" (Section II-B).
+probability-trace statistics (one packed allreduce per batch).  This
+experiment trains the same hidden layer serially and with 2/4/8 ranks on a
+selectable :mod:`repro.comm` transport — in-process threads or real OS
+processes — and verifies that (a) the learned traces are numerically
+equivalent and (b) the communication volume grows with the trace size, not
+with the batch size — the property the paper uses to argue BCPNN "scales
+horizontally without the limiting factor on communication" (Section II-B).
 """
 
 from __future__ import annotations
@@ -15,7 +16,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.backend.distributed import DistributedTrainer, LocalComm
+from repro.backend.distributed import DistributedTrainer
+from repro.comm import get_communicator
 from repro.core import BCPNNHyperParameters, InputSpec, StructuralPlasticityLayer
 from repro.experiments.config import ExperimentScale, get_scale
 from repro.experiments.higgs_pipeline import HiggsData, prepare_higgs_data
@@ -49,6 +51,7 @@ def run_distributed_equivalence(
     data: Optional[HiggsData] = None,
     seed: int = 0,
     backend: str = "numpy",
+    transport: str = "thread",
 ) -> Dict[str, object]:
     """Compare serial vs. rank-sharded training of one hidden layer.
 
@@ -56,7 +59,9 @@ def run_distributed_equivalence(
     runs are comparable.  Returns per-rank-count rows with the maximum trace
     deviation from the serial reference and the communication volume.
     ``backend`` selects the *compute* backend each rank uses for its local
-    shard arithmetic (the sharding itself is the trainer's job).
+    shard arithmetic; ``transport`` selects the :mod:`repro.comm` transport
+    carrying the per-batch allreduce ("serial" is only valid for one rank,
+    "thread" runs in-process ranks, "process" real OS processes).
     """
     scale = scale or get_scale()
     if data is None:
@@ -64,31 +69,39 @@ def run_distributed_equivalence(
     x = data.x_train
     input_spec = data.input_spec
 
-    # Serial reference (rank count 1 path, trained through the same trainer).
+    # Serial reference (single rank, trained through the same SPMD program).
     reference_layer = _fresh_layer(input_spec, n_minicolumns, seed=seed + 1, backend=backend)
-    reference_trainer = DistributedTrainer(LocalComm(1))
-    reference_trainer.train_layer(
-        reference_layer, x, epochs=epochs, batch_size=batch_size, rng=as_rng(seed + 2), shuffle=True
-    )
+    with get_communicator("serial") as reference_comm:
+        DistributedTrainer(reference_comm).train_layer(
+            reference_layer, x, epochs=epochs, batch_size=batch_size,
+            rng=as_rng(seed + 2), shuffle=True,
+        )
 
     rows: List[Dict[str, object]] = []
     for ranks in rank_counts:
-        comm = LocalComm(int(ranks))
-        layer = _fresh_layer(input_spec, n_minicolumns, seed=seed + 1, backend=backend)
-        trainer = DistributedTrainer(comm)
-        report = trainer.train_layer(
-            layer, x, epochs=epochs, batch_size=batch_size, rng=as_rng(seed + 2), shuffle=True
-        )
-        max_dev = float(
-            max(
-                np.max(np.abs(layer.traces.p_i - reference_layer.traces.p_i)),
-                np.max(np.abs(layer.traces.p_j - reference_layer.traces.p_j)),
-                np.max(np.abs(layer.traces.p_ij - reference_layer.traces.p_ij)),
+        # A single rank needs no transport machinery; larger counts use the
+        # requested transport (the factory rejects ranks > 1 on "serial").
+        spec = "serial" if int(ranks) == 1 else transport
+        comm = get_communicator(spec, ranks=int(ranks))
+        try:
+            layer = _fresh_layer(input_spec, n_minicolumns, seed=seed + 1, backend=backend)
+            trainer = DistributedTrainer(comm)
+            report = trainer.train_layer(
+                layer, x, epochs=epochs, batch_size=batch_size, rng=as_rng(seed + 2), shuffle=True
             )
-        )
+            max_dev = float(
+                max(
+                    np.max(np.abs(layer.traces.p_i - reference_layer.traces.p_i)),
+                    np.max(np.abs(layer.traces.p_j - reference_layer.traces.p_j)),
+                    np.max(np.abs(layer.traces.p_ij - reference_layer.traces.p_ij)),
+                )
+            )
+        finally:
+            comm.close()
         rows.append(
             {
                 "ranks": int(ranks),
+                "transport": comm.transport,
                 "max_trace_deviation": max_dev,
                 "allreduce_calls": int(report.allreduce_calls),
                 "mbytes_communicated": float(report.bytes_communicated) / 1e6,
@@ -96,17 +109,27 @@ def run_distributed_equivalence(
                 "equivalent": bool(max_dev < 1e-8),
             }
         )
-        logger.info("distributed ranks=%d max deviation=%.2e", ranks, max_dev)
+        logger.info(
+            "distributed transport=%s ranks=%d max deviation=%.2e", comm.transport, ranks, max_dev
+        )
 
     table = format_table(
         rows,
-        columns=["ranks", "max_trace_deviation", "allreduce_calls", "mbytes_communicated", "equivalent"],
+        columns=[
+            "ranks",
+            "transport",
+            "max_trace_deviation",
+            "allreduce_calls",
+            "mbytes_communicated",
+            "equivalent",
+        ],
         precision=10,
         title="E9: data-parallel trace-reduction equivalence",
     )
     return {
         "experiment": "distributed_equivalence",
         "backend": backend,
+        "transport": transport,
         "rows": rows,
         "table": table,
         "all_equivalent": all(r["equivalent"] for r in rows),

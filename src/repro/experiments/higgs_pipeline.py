@@ -30,7 +30,13 @@ from repro.utils.rng import as_rng
 
 logger = get_logger(__name__)
 
-__all__ = ["HiggsData", "prepare_higgs_data", "build_higgs_network", "train_and_evaluate", "repeated_runs"]
+__all__ = [
+    "HiggsData",
+    "prepare_higgs_data",
+    "build_higgs_network",
+    "train_and_evaluate",
+    "repeated_runs",
+]
 
 
 @dataclass
@@ -101,7 +107,9 @@ def build_higgs_network(config: HiggsExperimentConfig, seed_offset: int = 0) -> 
         )
     )
     if config.head == "sgd":
-        network.add(SGDClassifier(n_classes=2, learning_rate=0.1, seed=config.seed + seed_offset + 2))
+        network.add(
+            SGDClassifier(n_classes=2, learning_rate=0.1, seed=config.seed + seed_offset + 2)
+        )
     else:
         network.add(BCPNNClassifier(n_classes=2))
     return network
@@ -112,11 +120,14 @@ def train_and_evaluate(
     data: Optional[HiggsData] = None,
     callbacks: Optional[List[TrainingCallback]] = None,
     seed_offset: int = 0,
+    comm=None,
 ) -> Dict[str, object]:
     """Train one network and report accuracy, AUC and timing.
 
     Returns a dict with keys ``accuracy``, ``auc``, ``log_loss``,
     ``train_seconds``, ``train_accuracy``, ``network`` and ``config``.
+    ``comm`` (a :class:`repro.comm.Communicator`) switches hidden-layer
+    training to the data-parallel path (see ``Network.fit``).
     """
     if data is None:
         data = prepare_higgs_data(
@@ -130,6 +141,7 @@ def train_and_evaluate(
         input_spec=data.input_spec,
         schedule=config.schedule(),
         callbacks=callbacks,
+        comm=comm,
     )
     train_seconds = time.perf_counter() - start
     evaluation = network.evaluate(data.x_test, data.y_test)

@@ -64,7 +64,9 @@ def run_insitu_experiment(
     # Train once *with* and once *without* the adaptor to quantify overhead.
     network_plain = build_higgs_network(config)
     start = time.perf_counter()
-    network_plain.fit(data.x_train, data.y_train, input_spec=data.input_spec, schedule=config.schedule())
+    network_plain.fit(
+        data.x_train, data.y_train, input_spec=data.input_spec, schedule=config.schedule()
+    )
     plain_seconds = time.perf_counter() - start
 
     network = build_higgs_network(config)

@@ -14,7 +14,12 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.experiments.config import ExperimentScale, HiggsExperimentConfig, get_scale
-from repro.experiments.higgs_pipeline import HiggsData, prepare_higgs_data, repeated_runs, train_and_evaluate
+from repro.experiments.higgs_pipeline import (
+    HiggsData,
+    prepare_higgs_data,
+    repeated_runs,
+    train_and_evaluate,
+)
 from repro.instrumentation.reports import format_table
 from repro.utils.logging import get_logger
 

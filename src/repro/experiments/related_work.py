@@ -99,7 +99,12 @@ def run_related_work_comparison(
             "auc": evaluation.get("auc", float("nan")),
             "train_seconds": train_seconds,
         }
-        logger.info("baseline %s: accuracy=%.4f auc=%.4f", name, evaluation["accuracy"], evaluation.get("auc", float("nan")))
+        logger.info(
+            "baseline %s: accuracy=%.4f auc=%.4f",
+            name,
+            evaluation["accuracy"],
+            evaluation.get("auc", float("nan")),
+        )
 
     table = format_comparison(
         results,

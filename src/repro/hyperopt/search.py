@@ -24,7 +24,14 @@ from repro.utils.rng import as_rng
 
 logger = get_logger(__name__)
 
-__all__ = ["Trial", "SearchResult", "RandomSearch", "HaltonSearch", "EvolutionarySearch", "SuccessiveHalving"]
+__all__ = [
+    "Trial",
+    "SearchResult",
+    "RandomSearch",
+    "HaltonSearch",
+    "EvolutionarySearch",
+    "SuccessiveHalving",
+]
 
 Objective = Callable[[Dict[str, object]], float]
 
@@ -86,7 +93,9 @@ class SearchResult:
 class _BaseSearch:
     """Shared trial-evaluation plumbing."""
 
-    def __init__(self, space: SearchSpace, seed=None, ignore_failures: bool = False, journal=None) -> None:
+    def __init__(
+        self, space: SearchSpace, seed=None, ignore_failures: bool = False, journal=None
+    ) -> None:
         if not isinstance(space, SearchSpace):
             raise SearchError("space must be a SearchSpace")
         self.space = space
@@ -95,7 +104,11 @@ class _BaseSearch:
         self.journal = journal
 
     def _evaluate(
-        self, objective: Objective, config: Dict[str, object], index: int, budget: Optional[float] = None
+        self,
+        objective: Objective,
+        config: Dict[str, object],
+        index: int,
+        budget: Optional[float] = None,
     ) -> Trial:
         start = time.perf_counter()
         failed = False
@@ -111,7 +124,14 @@ class _BaseSearch:
             score = -math.inf
             failed = True
         duration = time.perf_counter() - start
-        trial = Trial(index=index, config=dict(config), score=score, duration_seconds=duration, budget=budget, failed=failed)
+        trial = Trial(
+            index=index,
+            config=dict(config),
+            score=score,
+            duration_seconds=duration,
+            budget=budget,
+            failed=failed,
+        )
         if self.journal is not None:
             self.journal.record(trial)
         return trial

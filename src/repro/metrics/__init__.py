@@ -14,7 +14,13 @@ from repro.metrics.classification import (
     classification_report,
     log_loss,
 )
-from repro.metrics.roc import roc_curve, roc_auc, rank_auc, precision_recall_curve, average_precision
+from repro.metrics.roc import (
+    roc_curve,
+    roc_auc,
+    rank_auc,
+    precision_recall_curve,
+    average_precision,
+)
 from repro.metrics.ams import ams_score, best_ams_threshold
 from repro.metrics.calibration import calibration_curve, expected_calibration_error, brier_score
 

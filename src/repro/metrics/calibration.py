@@ -32,7 +32,9 @@ def _validate(y_true, probabilities) -> Tuple[np.ndarray, np.ndarray]:
     return y_true.astype(np.float64), probs
 
 
-def calibration_curve(y_true, probabilities, n_bins: int = 10) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+def calibration_curve(
+    y_true, probabilities, n_bins: int = 10
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Return ``(bin_centers, observed_frequency, bin_counts)``.
 
     Bins with no samples get ``observed_frequency = nan`` and ``count = 0``.

@@ -8,12 +8,15 @@ preallocated (optionally double-buffered)
 :class:`~repro.engine.LayerWorkspace` buffers, so bulk prediction performs
 zero per-batch layer-sized allocations.
 
-When the resolved backend is a
-:class:`~repro.backend.distributed.DistributedBackend`, the input rows are
-sharded over the communicator ranks and the per-rank predictions (or class
-probabilities) are combined with a **single** gather at the end — the same
-"communication scales with the model, not the data" property the training
-path exploits.
+Passing ``comm=`` (a :class:`repro.comm.Communicator`) shards each call
+over *real* ranks — worker threads or OS processes — via
+``scatter_rows`` + one ragged ``allgather``; the model reaches process
+ranks once per call as a broadcast npz blob through shared memory.  The
+older in-process simulation (a
+:class:`~repro.backend.distributed.DistributedBackend` backend) sharding
+rows with a single driver-side gather is still supported.  Both exploit
+the same "communication scales with the model, not the data" property the
+training path uses.
 
 Entry points:
 

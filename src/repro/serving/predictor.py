@@ -10,21 +10,30 @@ performs zero layer-sized allocations.  Per-backend numerics are identical to
 ``Network.predict`` up to the backend's declared precision (bit-for-bit on
 the NumPy backend — ``tests/serving`` enforces both).
 
-Sharding: when the resolved backend is a
-:class:`~repro.backend.distributed.DistributedBackend`, the input rows are
-block-partitioned over the communicator ranks; each rank streams only its
-shard and the per-rank outputs are combined with a **single**
-``allgather`` — one collective per call, independent of the number of
-batches.
+Sharding comes in two flavours:
+
+* ``comm=`` (a :class:`repro.comm.Communicator`): **real multi-rank
+  serving** — the rows are scattered over the communicator ranks through
+  :meth:`~repro.comm.Communicator.scatter_rows`, every rank (worker
+  threads/processes included; rank 0 is the driver, inline) streams its
+  shard through its own replica, and the per-rank outputs are combined with
+  a **single** ``allgather`` — one gather per call, independent of the
+  number of batches.  On the process transport the model crosses the
+  process boundary once per call as a broadcast npz blob (shared memory, no
+  pickling of live layers).
+* a :class:`~repro.backend.distributed.DistributedBackend` backend: the
+  historical in-process simulation of the same row partitioning, kept for
+  the ``--backend distributed`` path.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.backend.distributed import DistributedBackend, split_ranks
+from repro.backend.distributed import DistributedBackend, resolve_backend_name, split_ranks
+from repro.comm import Communicator
 from repro.core.execution import BackendExecutionMixin
 from repro.datasets.stream import BatchStream
 from repro.engine import ExecutionPlan, LayerEngine
@@ -35,6 +44,46 @@ from repro.utils.validation import check_positive_int
 __all__ = ["StreamingPredictor", "predict_stream", "predict_proba_stream"]
 
 Source = Union[np.ndarray, BatchStream]
+
+
+def _predict_shard_program(
+    comm: Communicator,
+    predictor: Optional["StreamingPredictor"],
+    network,
+    x: Optional[np.ndarray],
+    blob: Optional[np.ndarray],
+    ship_model: bool,
+    batch_size: int,
+    backend_spec,
+    proba: bool,
+) -> Optional[np.ndarray]:
+    """One rank's share of comm-sharded bulk inference.
+
+    Rank 0 (the driver) streams its shard through the live predictor.
+    Worker ranks obtain the model one of two ways: thread ranks share the
+    driver's address space and read the live ``network`` directly (forward
+    passes never mutate layer state, and each rank owns its own engine
+    workspaces); process ranks receive it as a broadcast npz blob
+    (``ship_model=True``) and rebuild a local network — through shared
+    memory, never pickled.  The per-rank outputs are combined with one
+    ragged ``allgather`` (no padding needed — shapes travel with the
+    payload), and only rank 0 materialises the final result, so nothing
+    layer-sized is ever pickled back through the task queue.
+    """
+    if ship_model:
+        blob = comm.bcast(blob, root=0)
+    shard = comm.scatter_rows(x, root=0)
+    if predictor is None:
+        if network is None:
+            from repro.core.serialization import network_from_bytes
+
+            network = network_from_bytes(blob.tobytes())
+        predictor = StreamingPredictor(network, batch_size=batch_size, backend=backend_spec)
+    local = predictor._stream_local(shard, proba)
+    gathered = comm.allgather(local)
+    if comm.rank != 0:
+        return None
+    return np.concatenate(gathered, axis=0)
 
 
 class _LayerStage:
@@ -103,6 +152,11 @@ class StreamingPredictor(BackendExecutionMixin):
         computes.  Off by default: the sequential prediction loop consumes
         each batch immediately, so the second buffer would only double
         workspace memory.
+    comm:
+        Optional :class:`repro.comm.Communicator`.  With ``size > 1`` each
+        ``predict_stream``/``predict_proba_stream`` call scatters the rows
+        over the ranks (real threads or OS processes), streams every shard
+        concurrently and recombines the outputs with a single allgather.
     """
 
     #: ``BackendExecutionMixin.is_built`` reads ``traces``; the predictor has
@@ -115,6 +169,7 @@ class StreamingPredictor(BackendExecutionMixin):
         batch_size: int = 1024,
         backend=None,
         double_buffer: bool = False,
+        comm: Optional[Communicator] = None,
     ) -> None:
         head = getattr(network, "head", None)
         if head is None or not head.is_built:
@@ -122,8 +177,11 @@ class StreamingPredictor(BackendExecutionMixin):
         for layer in network.hidden_layers:
             if not layer.is_built:
                 raise NotFittedError(f"hidden layer '{layer.name}' has not been built")
+        if comm is not None and not isinstance(comm, Communicator):
+            raise DataError("comm must be a repro.comm.Communicator")
         self.network = network
         self.head = head
+        self.comm = comm
         self.batch_size = check_positive_int(batch_size, "batch_size")
         self.n_buffers = 2 if double_buffer else 1
         self.name = f"serving:{getattr(network, 'name', 'network')}"
@@ -228,6 +286,14 @@ class StreamingPredictor(BackendExecutionMixin):
         return np.empty(n_rows, dtype=np.int64)
 
     def _stream(self, source: Source, proba: bool) -> np.ndarray:
+        if self.comm is not None and self.comm.size > 1 and not isinstance(source, BatchStream):
+            x = np.asarray(source)
+            if x.ndim != 2:
+                raise DataError(f"predict_stream expects a 2-D matrix, got shape {x.shape}")
+            return self._stream_spmd(x, proba)
+        return self._stream_local(source, proba)
+
+    def _stream_local(self, source: Source, proba: bool) -> np.ndarray:
         stream = self._as_stream(source)
         n = stream.n_samples
         if n == 0:
@@ -242,6 +308,36 @@ class StreamingPredictor(BackendExecutionMixin):
         ):
             return self._stream_sharded(stream.x, comm, proba)
         return self._stream_into(self._output(n, proba), stream, proba)
+
+    def _stream_spmd(self, x: np.ndarray, proba: bool) -> np.ndarray:
+        """Scatter rows over the communicator ranks; gather outputs once.
+
+        Thread ranks read the driver's live network directly; process ranks
+        receive it as a broadcast npz blob (a ``uint8`` array moved through
+        shared memory, nothing layer-sized is pickled).  Each rank streams
+        its contiguous shard through a local predictor, and one ragged
+        ``allgather`` recombines the results in rank order.
+        """
+        comm = self.comm
+        ship_model = comm.transport == "process"
+        if ship_model:
+            from repro.core.serialization import network_to_bytes
+
+            blob = np.frombuffer(network_to_bytes(self.network), dtype=np.uint8)
+        else:
+            blob = None
+        backend_spec = resolve_backend_name(self._backend_spec, self._backend)
+        shared_network = None if ship_model else self.network
+        x = np.ascontiguousarray(x, dtype=np.float64)
+        rank_args: List[tuple] = [
+            (self, None, x, blob, ship_model, self.batch_size, backend_spec, proba)
+        ]
+        rank_args += [
+            (None, shared_network, None, None, ship_model, self.batch_size, backend_spec, proba)
+            for _ in range(1, comm.size)
+        ]
+        results = comm.run(_predict_shard_program, rank_args)
+        return results[0]
 
     def _stream_sharded(self, x: np.ndarray, comm, proba: bool) -> np.ndarray:
         """Shard rows over the communicator ranks; gather results once.
@@ -295,15 +391,17 @@ class StreamingPredictor(BackendExecutionMixin):
         )
 
 
-def predict_stream(network, source: Source, batch_size: int = 1024, backend=None) -> np.ndarray:
+def predict_stream(
+    network, source: Source, batch_size: int = 1024, backend=None, comm=None
+) -> np.ndarray:
     """One-shot helper: hard predictions for ``source`` at O(batch) memory."""
-    predictor = StreamingPredictor(network, batch_size=batch_size, backend=backend)
+    predictor = StreamingPredictor(network, batch_size=batch_size, backend=backend, comm=comm)
     return predictor.predict_stream(source)
 
 
 def predict_proba_stream(
-    network, source: Source, batch_size: int = 1024, backend=None
+    network, source: Source, batch_size: int = 1024, backend=None, comm=None
 ) -> np.ndarray:
     """One-shot helper: class probabilities for ``source`` at O(batch) memory."""
-    predictor = StreamingPredictor(network, batch_size=batch_size, backend=backend)
+    predictor = StreamingPredictor(network, batch_size=batch_size, backend=backend, comm=comm)
     return predictor.predict_proba_stream(source)

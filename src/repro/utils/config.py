@@ -125,7 +125,9 @@ def load_json_config(path: Union[str, Path]) -> FrozenConfig:
     return FrozenConfig(data)
 
 
-def dump_json_config(config: Union[FrozenConfig, Mapping[str, Any]], path: Union[str, Path]) -> Path:
+def dump_json_config(
+    config: Union[FrozenConfig, Mapping[str, Any]], path: Union[str, Path]
+) -> Path:
     """Write a configuration mapping as pretty-printed JSON."""
     path = Path(path)
     data = config.to_dict() if isinstance(config, FrozenConfig) else dict(config)

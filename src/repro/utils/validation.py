@@ -75,7 +75,9 @@ def check_positive_int(value, name: str, *, minimum: int = 1) -> int:
     return value
 
 
-def check_fraction(value, name: str, *, inclusive_low: bool = True, inclusive_high: bool = True) -> float:
+def check_fraction(
+    value, name: str, *, inclusive_low: bool = True, inclusive_high: bool = True
+) -> float:
     """Validate a fraction-style hyper-parameter in ``[0, 1]``."""
     try:
         value = float(value)

@@ -115,7 +115,10 @@ def receptive_field_summary(
             overlaps.append(float(inter / union) if union > 0 else 0.0)
     mean_overlap = float(np.mean(overlaps)) if overlaps else 0.0
 
-    names = list(feature_names) if feature_names is not None else [f"feature_{i}" for i in range(n_features)]
+    if feature_names is not None:
+        names = list(feature_names)
+    else:
+        names = [f"feature_{i}" for i in range(n_features)]
     if len(names) != n_features:
         raise VisualizationError("feature_names length does not match the mask width")
     order = np.argsort(-usage_per_feature)

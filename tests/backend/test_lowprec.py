@@ -62,7 +62,9 @@ class TestLowPrecisionBackend:
         lowprec = LowPrecisionBackend("float64").forward(x, weights, bias, mask, sizes)
         assert np.allclose(lowprec, reference)
 
-    @pytest.mark.parametrize("precision,tol", [("float32", 1e-5), ("float16", 5e-2), ("posit16", 5e-2)])
+    @pytest.mark.parametrize(
+        "precision,tol", [("float32", 1e-5), ("float16", 5e-2), ("posit16", 5e-2)]
+    )
     def test_quantised_forward_close_to_reference(self, problem, precision, tol):
         x, weights, bias, mask, sizes = problem
         reference = NumpyBackend().forward(x, weights, bias, mask, sizes)

@@ -36,7 +36,8 @@ class TestMLP:
 
     def test_deep_network_trains(self):
         X, y = _xor_data(seed=1)
-        model = MLPBaseline(hidden_layers=(16, 16, 16), epochs=60, learning_rate=0.05, seed=0).fit(X, y)
+        model = MLPBaseline(hidden_layers=(16, 16, 16), epochs=60, learning_rate=0.05, seed=0)
+        model.fit(X, y)
         assert model.evaluate(X, y)["accuracy"] > 0.85
 
     def test_probabilities_are_distributions(self):
@@ -48,7 +49,9 @@ class TestMLP:
 
     def test_tanh_activation_works(self):
         X, y = _xor_data(seed=3)
-        model = MLPBaseline(hidden_layers=(24,), activation="tanh", epochs=60, learning_rate=0.1, seed=0)
+        model = MLPBaseline(
+            hidden_layers=(24,), activation="tanh", epochs=60, learning_rate=0.1, seed=0
+        )
         model.fit(X, y)
         assert model.evaluate(X, y)["accuracy"] > 0.85
 

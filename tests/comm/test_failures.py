@@ -1,0 +1,88 @@
+"""Crash/timeout behaviour: worker failures surface as errors, never hangs.
+
+These tests deliberately break their own communicators, so every test
+constructs a fresh pool with a short rendezvous timeout.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.comm import ProcessComm, ThreadComm, tasks
+from repro.exceptions import BackendError
+
+
+def _boom(comm):
+    if comm.rank == 1:
+        raise ValueError("rank 1 exploded")
+    comm.barrier()
+    return comm.rank
+
+
+class TestProcessFailures:
+    def test_worker_crash_surfaces_backend_error(self):
+        """A hard-killed worker (os._exit) must not hang the driver."""
+        comm = ProcessComm(2, timeout=4.0)
+        try:
+            started = time.monotonic()
+            with pytest.raises(BackendError):
+                comm.run(tasks.crash_rank, [(1,), (1,)])
+            assert time.monotonic() - started < 60.0
+        finally:
+            comm.close()
+
+    def test_worker_timeout_surfaces_backend_error(self):
+        """A wedged worker breaks the rendezvous within the comm timeout."""
+        comm = ProcessComm(2, timeout=3.0)
+        try:
+            started = time.monotonic()
+            with pytest.raises(BackendError):
+                comm.run(tasks.stall_rank, [(1, 120.0), (1, 120.0)])
+            assert time.monotonic() - started < 60.0
+        finally:
+            comm.close()
+
+    def test_worker_exception_is_relayed_and_pool_survives(self):
+        """A Python-level worker exception reports rank + traceback text, and
+        the pool stays usable for the next program."""
+        comm = ProcessComm(2, timeout=10.0)
+        try:
+            with pytest.raises(BackendError, match="rank 1"):
+                comm.run(_boom)
+            results = comm.run(tasks.echo_rank)
+            assert [r["rank"] for r in results] == [0, 1]
+        finally:
+            comm.close()
+
+    def test_closed_comm_rejects_run(self):
+        comm = ProcessComm(2, timeout=10.0)
+        comm.close()
+        with pytest.raises(BackendError):
+            comm.run(tasks.echo_rank)
+
+
+class TestThreadFailures:
+    def test_rank_exception_propagates(self):
+        with ThreadComm(2) as comm:
+            with pytest.raises(ValueError, match="rank 1 exploded"):
+                comm.run(_boom)
+            # barrier was reset; the comm stays usable
+            results = comm.run(tasks.echo_rank)
+            assert [r["rank"] for r in results] == [0, 1]
+
+    def test_driver_rank_exception_propagates(self):
+        def fail_on_root(comm):
+            if comm.rank == 0:
+                raise RuntimeError("root failed")
+            comm.barrier()
+
+        with ThreadComm(2, timeout=10.0) as comm:
+            with pytest.raises(RuntimeError, match="root failed"):
+                comm.run(fail_on_root)
+
+    def test_unsupported_dtype_is_rejected_cleanly(self):
+        # complex payloads are not part of the shared-memory wire protocol
+        from repro.comm.process import _DTYPE_CODES
+
+        assert np.dtype(np.complex128) not in _DTYPE_CODES

@@ -1,0 +1,145 @@
+"""Rank-invariance of data-parallel training across every transport.
+
+The acceptance property of the subsystem: training over real OS processes
+(and threads) reproduces the serial traces bit-for-bit up to floating-point
+summation order — exactly the paper's claim for the MPI backend.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend.distributed import DistributedTrainer
+from repro.comm import ProcessComm, SerialComm, ThreadComm
+from repro.core import (
+    BCPNNClassifier,
+    BCPNNHyperParameters,
+    InputSpec,
+    Network,
+    StructuralPlasticityLayer,
+    TrainingSchedule,
+)
+from repro.experiments.distributed_experiment import run_distributed_equivalence
+from repro.utils.rng import as_rng
+
+ATOL = 1e-9
+
+
+def _one_hot(n, sizes, seed):
+    rng = np.random.default_rng(seed)
+    x = np.zeros((n, sum(sizes)))
+    offset = 0
+    for size in sizes:
+        winners = rng.integers(0, size, size=n)
+        x[np.arange(n), offset + winners] = 1.0
+        offset += size
+    return x
+
+
+def _train(comm, x, mode, seed=7):
+    hyperparams = BCPNNHyperParameters(taupdt=0.05, density=0.5, competition="softmax")
+    layer = StructuralPlasticityLayer(2, 6, hyperparams=hyperparams, seed=seed)
+    layer.build(InputSpec([4, 4, 4]))
+    DistributedTrainer(comm).train_layer(
+        layer, x, epochs=2, batch_size=64, rng=as_rng(5), shuffle=True, mode=mode
+    )
+    return layer
+
+
+class TestTrainerInvariance:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return _one_hot(256, [4, 4, 4], seed=0)
+
+    @pytest.fixture(scope="class")
+    def reference(self, data):
+        with SerialComm() as comm:
+            return {mode: _train(comm, data, mode) for mode in ("rate", "competitive")}
+
+    @pytest.mark.parametrize("mode", ["rate", "competitive"])
+    def test_thread_matches_serial(self, data, reference, mode):
+        with ThreadComm(3) as comm:
+            layer = _train(comm, data, mode)
+        ref = reference[mode]
+        assert np.allclose(layer.traces.p_ij, ref.traces.p_ij, atol=ATOL)
+        assert np.allclose(layer.traces.p_i, ref.traces.p_i, atol=ATOL)
+        assert np.array_equal(layer.plasticity.mask, ref.plasticity.mask)
+
+    @pytest.mark.parametrize("mode", ["rate", "competitive"])
+    def test_process_matches_serial(self, data, reference, mode, process_pool):
+        layer = _train(process_pool, data, mode)
+        ref = reference[mode]
+        assert np.allclose(layer.traces.p_ij, ref.traces.p_ij, atol=ATOL)
+        assert np.allclose(layer.traces.p_i, ref.traces.p_i, atol=ATOL)
+        assert np.array_equal(layer.plasticity.mask, ref.plasticity.mask)
+
+
+@pytest.fixture(scope="module")
+def process_pool():
+    comm = ProcessComm(2, timeout=120.0)
+    yield comm
+    comm.close()
+
+
+class TestNetworkFitComm:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        x = _one_hot(320, [4, 4, 4], seed=3)
+        y = (x[:, 0] + x[:, 4] > 1).astype(int)
+        return x, y
+
+    def _fit(self, comm, dataset):
+        x, y = dataset
+        hyperparams = BCPNNHyperParameters(taupdt=0.05, density=0.6, competition="softmax")
+        network = Network(seed=11, name="fit-comm")
+        network.add(StructuralPlasticityLayer(2, 5, hyperparams=hyperparams, seed=4))
+        network.add(BCPNNClassifier(n_classes=2))
+        schedule = TrainingSchedule(hidden_epochs=2, classifier_epochs=2, batch_size=64)
+        network.fit(x, y, input_spec=InputSpec([4, 4, 4]), schedule=schedule, comm=comm)
+        return network
+
+    def test_fit_is_rank_invariant_across_transports(self, dataset, process_pool):
+        x, _ = dataset
+        with SerialComm() as comm:
+            serial = self._fit(comm, dataset)
+        with ThreadComm(3) as comm:
+            threaded = self._fit(comm, dataset)
+        processed = self._fit(process_pool, dataset)
+        for other in (threaded, processed):
+            assert np.allclose(
+                serial.hidden_layers[0].traces.p_ij,
+                other.hidden_layers[0].traces.p_ij,
+                atol=ATOL,
+            )
+            assert np.array_equal(serial.predict(x), other.predict(x))
+
+    def test_fit_records_history_and_trains_head(self, dataset):
+        with ThreadComm(2) as comm:
+            network = self._fit(comm, dataset)
+        hidden = [r for r in network.history.records if r.phase == "hidden"]
+        assert len(hidden) == 2
+        assert all("mean_activation_entropy" in r.metrics for r in hidden)
+        assert network.is_fitted
+        x, y = dataset
+        assert network.evaluate(x, y)["accuracy"] > 0.5
+
+
+class TestExperimentAcrossTransports:
+    @pytest.fixture(scope="class")
+    def higgs(self):
+        from repro.experiments.higgs_pipeline import prepare_higgs_data
+
+        return prepare_higgs_data(n_events=600, seed=0)
+
+    @pytest.mark.parametrize("transport", ["thread", "process"])
+    def test_distributed_equivalence(self, higgs, transport):
+        result = run_distributed_equivalence(
+            rank_counts=(1, 2),
+            n_minicolumns=10,
+            epochs=1,
+            batch_size=128,
+            data=higgs,
+            seed=0,
+            transport=transport,
+        )
+        assert result["all_equivalent"], result["table"]
+        assert result["rows"][1]["transport"] == transport

@@ -109,4 +109,6 @@ class TestSGDClassifier:
         head.train_batch(hidden[:64], labels[:64])
         restored = SGDClassifier(n_classes=2, seed=11)
         restored.load_state_dict(head.state_dict())
-        assert np.allclose(restored.decision_function(hidden[:10]), head.decision_function(hidden[:10]))
+        assert np.allclose(
+            restored.decision_function(hidden[:10]), head.decision_function(hidden[:10])
+        )

@@ -128,7 +128,9 @@ class TestMutualInformation:
 
     def test_size_validation(self):
         with pytest.raises(DataError):
-            kernels.mutual_information_scores(np.ones(4) / 4, np.ones(2) / 2, np.ones((4, 2)) / 8, [3], [2])
+            kernels.mutual_information_scores(
+                np.ones(4) / 4, np.ones(2) / 2, np.ones((4, 2)) / 8, [3], [2]
+            )
 
 
 @given(

@@ -99,7 +99,9 @@ class TestLoaders:
     def test_load_higgs_from_real_style_file(self, tmp_path):
         # Write a tiny file in the UCI layout (label column first).
         synthetic = SyntheticHiggsGenerator(seed=0).sample(50)
-        matrix = np.concatenate([synthetic.labels[:, None].astype(float), synthetic.features], axis=1)
+        matrix = np.concatenate(
+            [synthetic.labels[:, None].astype(float), synthetic.features], axis=1
+        )
         path = write_numeric_csv(tmp_path / "HIGGS.csv.gz", matrix)
         data = load_higgs(n_samples=30, path=path)
         assert data.metadata["synthetic"] is False
@@ -119,6 +121,8 @@ class TestLoaders:
         assert total <= 1500
 
     def test_make_higgs_splits_with_validation(self):
-        splits = make_higgs_splits(n_samples=1200, test_fraction=0.2, validation_fraction=0.2, seed=3)
+        splits = make_higgs_splits(
+            n_samples=1200, test_fraction=0.2, validation_fraction=0.2, seed=3
+        )
         assert splits.validation is not None
         assert splits.validation.n_samples > 0

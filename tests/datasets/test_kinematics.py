@@ -85,7 +85,9 @@ class TestTwoBodyDecay:
 
     def test_forbidden_decay_rescales(self):
         rng = np.random.default_rng(3)
-        parent = kin.four_vector(np.array([10.0]), np.array([0.0]), np.array([0.0]), np.array([50.0]))
+        parent = kin.four_vector(
+            np.array([10.0]), np.array([0.0]), np.array([0.0]), np.array([50.0])
+        )
         d1, d2 = kin.two_body_decay(parent, np.array([40.0]), np.array([40.0]), rng)
         # Conservation still holds even though the daughter masses were reduced.
         assert np.allclose(d1 + d2, parent, rtol=1e-6)

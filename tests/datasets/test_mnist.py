@@ -29,7 +29,12 @@ class TestSyntheticDigits:
         margin = 7
         central = variance[margin:-margin, margin:-margin].mean()
         border = np.concatenate(
-            [variance[:3, :].ravel(), variance[-3:, :].ravel(), variance[:, :3].ravel(), variance[:, -3:].ravel()]
+            [
+                variance[:3, :].ravel(),
+                variance[-3:, :].ravel(),
+                variance[:, :3].ravel(),
+                variance[:, -3:].ravel(),
+            ]
         ).mean()
         assert central > 10 * (border + 1e-12)
 
@@ -97,7 +102,9 @@ class TestIdxReaders:
         images = rng.random((10, 28, 28))
         labels = np.array([0, 1, 2, 3, 4, 5, 6, 7, 8, 9])
         image_path, label_path = _write_idx(tmp_path, images, labels)
-        data = load_digits(n_samples=6, digits=(1, 3, 5), images_path=image_path, labels_path=label_path)
+        data = load_digits(
+            n_samples=6, digits=(1, 3, 5), images_path=image_path, labels_path=label_path
+        )
         assert data.metadata["synthetic"] is False
         assert set(np.unique(data.labels)) <= {0, 1, 2}
 

@@ -33,11 +33,21 @@ class TestTrainCli:
         with pytest.raises(Exception):
             main_train(["--backend", "cuda", "--events", "600", "--quiet"])
 
+    def test_train_with_thread_comm(self, capsys):
+        code = main_train(
+            ["--mcus", "10", "--events", "1000", "--epochs", "1", "--quiet",
+             "--comm", "thread", "--ranks", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accuracy=" in out and "ranks=2 (thread)" in out
+
 
 class TestBenchmarkCli:
     def test_benchmark_prints_tables(self, capsys):
         code = main_benchmark(
-            ["--batch", "64", "--inputs", "40", "--mcus", "20", "--hcus", "2", "--repeats", "2", "--quiet"]
+            ["--batch", "64", "--inputs", "40", "--mcus", "20", "--hcus", "2",
+             "--repeats", "2", "--quiet"]
         )
         assert code == 0
         out = capsys.readouterr().out
@@ -56,6 +66,18 @@ class TestSweepCli:
         out = capsys.readouterr().out
         assert "ranks" in out
         assert json_path.exists()
+
+    def test_distributed_sweep_with_comm_flags(self, capsys, tmp_path):
+        json_path = tmp_path / "sweep.json"
+        code = main_sweep(
+            ["distributed", "--quiet", "--comm", "thread", "--ranks", "2",
+             "--json", str(json_path)]
+        )
+        assert code == 0
+        report = json.loads(json_path.read_text())
+        assert report["all_equivalent"] is True
+        assert [row["ranks"] for row in report["rows"]] == [1, 2]
+        assert report["rows"][1]["transport"] == "thread"
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):

@@ -62,7 +62,10 @@ class TestReceptiveFieldSweep:
 class TestRelatedWork:
     def test_all_methods_present(self, tiny_scale, tiny_higgs_data):
         result = run_related_work_comparison(scale=tiny_scale, data=tiny_higgs_data, seed=0)
-        expected = {"bcpnn", "bcpnn+sgd", "logistic-regression", "shallow-nn", "boosted-trees", "deep-nn"}
+        expected = {
+            "bcpnn", "bcpnn+sgd", "logistic-regression", "shallow-nn",
+            "boosted-trees", "deep-nn",
+        }
         assert expected <= set(result["results"])
         for metrics in result["results"].values():
             assert 0.3 <= metrics["accuracy"] <= 1.0

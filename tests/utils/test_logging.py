@@ -33,7 +33,9 @@ class TestConsoleLogging:
         h2 = enable_console_logging(stream=stream)
         try:
             console_handlers = [
-                h for h in logging.getLogger("repro").handlers if getattr(h, "_repro_console", False)
+                h
+                for h in logging.getLogger("repro").handlers
+                if getattr(h, "_repro_console", False)
             ]
             assert len(console_handlers) == 1
         finally:
