@@ -107,6 +107,22 @@ class Backend:
     # backend gets a numerically-faithful fused path for free; subclasses
     # override them to exploit buffer reuse (NumPy), chunked parallelism
     # (parallel) or rank sharding (distributed).
+    #
+    # Two workspace conventions support the pipelined engine:
+    #
+    # * masked-product cache — a workspace-aware backend that computes the
+    #   ``weights * mask`` product into ``workspace.masked_weights`` must
+    #   honour ``workspace.masked_valid``: when the flag is set the cached
+    #   product is current (the engine clears it whenever the weight buffer
+    #   is refreshed or the mask object changes) and the multiply is
+    #   skipped; after writing the product the backend sets the flag.
+    #   Backends that never read ``masked_weights`` simply leave the flag
+    #   alone (they recompute, which is always correct).
+    # * scaled-mean convention — after ``update_traces`` with a workspace,
+    #   ``workspace.mean_x``/``mean_a`` hold the *taupdt-scaled* batch means
+    #   (``kernels.ema_update`` scales its inputs in place); the engine's
+    #   stale-weights accounting reads them to accumulate the applied trace
+    #   drift.
 
     def forward_into(
         self,
@@ -146,6 +162,11 @@ class Backend:
         """
         mean_x, mean_a, mean_outer = self.batch_statistics(x, a)
         kernels.ema_update(p_i, p_j, p_ij, mean_x, mean_a, mean_outer, taupdt)
+        if workspace is not None:
+            # Publish the taupdt-scaled means (ema_update scaled them in
+            # place) for the engine's stale-weights drift accounting.
+            np.copyto(workspace.mean_x, mean_x, casting="unsafe")
+            np.copyto(workspace.mean_a, mean_a, casting="unsafe")
 
     def fused_update(
         self,

@@ -119,7 +119,11 @@ class DistributedBackend(Backend):
                 out = np.empty((n_rows, weights.shape[1]), dtype=np.float64)
         if mask_expanded is not None:
             if workspace is not None:
-                effective = np.multiply(weights, mask_expanded, out=workspace.masked_weights)
+                if getattr(workspace, "masked_valid", False):
+                    effective = workspace.masked_weights
+                else:
+                    effective = np.multiply(weights, mask_expanded, out=workspace.masked_weights)
+                    workspace.masked_valid = True
             else:
                 effective = weights * mask_expanded
         else:
@@ -318,6 +322,22 @@ def train_layer_program(
       ("softmax") are rank-invariant; stochastic modes draw shard-shaped
       noise and are statistically, not bitwise, equivalent across rank
       counts.
+
+    Two engine-mirroring options keep the SPMD program aligned with the
+    pipelined serial path:
+
+    * ``options["weight_refresh_tol"]`` — stale-weights caching: the
+      per-batch ``traces_to_weights`` refresh is skipped while the
+      accumulated ``taupdt``-scaled marginal-trace drift stays under the
+      tolerance.  The drift is computed from the *reduced* statistics, which
+      are identical on every rank, so the refresh decisions — and therefore
+      the training — stay rank-invariant.  ``0`` refreshes every batch
+      (exact, the historical behaviour).
+    * ``options["pipeline"]`` — gather the *next* batch's local shard before
+      blocking on the current batch's allreduce, overlapping the gather with
+      the other ranks' compute skew.  Purely a scheduling change: the same
+      shards are reduced in the same order, so results are bitwise
+      unaffected.
     """
     rank, size = comm.rank, comm.size
     x = comm.bcast(x, root=0)
@@ -338,6 +358,8 @@ def train_layer_program(
     shuffle = bool(options["shuffle"])
     mode = str(options.get("mode", "rate"))
     competitive = mode == "competitive"
+    tol = float(options.get("weight_refresh_tol", 0.0))
+    pipelined = bool(options.get("pipeline", False))
 
     n = x.shape[0]
     taupdt = float(layer.hyperparams.taupdt)
@@ -349,15 +371,25 @@ def train_layer_program(
     epoch_logs: List[Dict[str, float]] = []
     total_batches = 0
     total_swaps = 0
+    # Accumulated taupdt-scaled marginal-trace drift since the last weight
+    # refresh (_sync_replica just refreshed, so the weights start fresh).
+    # Computed from reduced statistics only, hence identical on every rank.
+    staleness = 0.0
+    starts = list(range(0, n, batch_size))
+
+    def gather_shard(order: np.ndarray, start: int) -> np.ndarray:
+        batch_idx = order[start : start + batch_size]
+        lo, hi = split_ranks(batch_idx.shape[0], size)[rank]
+        return x[batch_idx[lo:hi]]
 
     for epoch in range(epochs):
         started = time.perf_counter()
         order = shuffle_rng.permutation(n) if shuffle else np.arange(n)
         mean_entropy.clear()
-        for start in range(0, n, batch_size):
-            batch_idx = order[start : start + batch_size]
-            lo, hi = split_ranks(batch_idx.shape[0], size)[rank]
-            local = x[batch_idx[lo:hi]]
+        pending_local: Optional[np.ndarray] = None
+        for index, start in enumerate(starts):
+            local = pending_local if pending_local is not None else gather_shard(order, start)
+            pending_local = None
             if competitive and layer.batches_trained == 0:
                 # Global first-batch marginals for the trace calibration —
                 # one extra packed allreduce, only ever on the first batch.
@@ -369,7 +401,7 @@ def train_layer_program(
                     mean_x=reduced_head[1:] / reduced_head[0], jitter=0.02, rng=layer._rng
                 )
                 layer.refresh_weights()
-            if hi > lo:
+            if local.shape[0] > 0:
                 activations = layer.forward_raw(local)
                 if competitive:
                     activations = layer._training_activity(activations)
@@ -378,24 +410,51 @@ def train_layer_program(
                             activations * np.log(np.clip(activations, 1e-12, 1.0)), axis=1
                         )
                     mean_entropy.append(float(np.mean(ent)))
-                packed[0] = float(hi - lo)
+                packed[0] = float(local.shape[0])
                 packed[1 : 1 + n_input] = local.sum(axis=0)
                 packed[1 + n_input : 1 + n_input + n_hidden] = activations.sum(axis=0)
                 packed[1 + n_input + n_hidden :] = (local.T @ activations).ravel()
             else:
                 packed[:] = 0.0
+            if pipelined and index + 1 < len(starts):
+                # Pipelining: gather the next batch's shard before blocking
+                # on the allreduce, so the copy overlaps other ranks' skew.
+                pending_local = gather_shard(order, starts[index + 1])
             reduced = comm.allreduce(packed, op="sum")
             count = reduced[0]
+            mean_x_red = reduced[1 : 1 + n_input] / count
+            mean_a_red = reduced[1 + n_input : 1 + n_input + n_hidden] / count
             layer.traces.apply_statistics(
-                reduced[1 : 1 + n_input] / count,
-                reduced[1 + n_input : 1 + n_input + n_hidden] / count,
+                mean_x_red,
+                mean_a_red,
                 reduced[1 + n_input + n_hidden :].reshape(n_input, n_hidden) / count,
                 taupdt,
             )
-            layer.refresh_weights()
+            if tol > 0.0 and taupdt < 1.0:
+                # Stale-weights caching, rank-invariant by construction: the
+                # drift is derived from the reduced (identical-everywhere)
+                # means and the post-update traces.  The applied max-norm
+                # marginal step is taupdt/(1-taupdt) * max|mean - p_new|.
+                drift = max(
+                    float(np.max(np.abs(mean_x_red - layer.traces.p_i))),
+                    float(np.max(np.abs(mean_a_red - layer.traces.p_j))),
+                )
+                staleness += drift * taupdt / (1.0 - taupdt)
+                if staleness > tol:
+                    layer.refresh_weights()
+                    staleness = 0.0
+            else:
+                layer.refresh_weights()
+                staleness = 0.0
             if competitive:
                 layer.batches_trained += 1
             total_batches += 1
+        if staleness > 0.0:
+            # The epoch boundary publishes weights (mask plasticity reads
+            # traces, but callbacks and the caller observe the layer), so
+            # flush any accumulated staleness here.
+            layer.refresh_weights()
+            staleness = 0.0
         swaps = layer.end_epoch(epoch)
         total_swaps += int(swaps)
         if competitive:
@@ -465,6 +524,8 @@ class DistributedTrainer:
         shuffle: bool = True,
         on_epoch_end: Optional[Callable[[int, Dict[str, float]], None]] = None,
         mode: str = "rate",
+        pipeline: bool = False,
+        weight_refresh_tol: float = 0.0,
     ) -> DistributedEpochReport:
         """Train ``layer`` on ``x`` with rank-sharded batches.
 
@@ -473,6 +534,12 @@ class DistributedTrainer:
         statistics are combined with a single allreduce per batch —
         numerically identical to serial training over the same global
         batches (up to floating-point summation order).
+
+        ``pipeline`` overlaps the next shard gather with the allreduce wait
+        (bitwise-neutral scheduling); ``weight_refresh_tol`` enables the
+        rank-invariant stale-weights caching (see
+        :func:`train_layer_program`), with ``0`` refreshing every batch
+        exactly as before.
 
         ``on_epoch_end`` is invoked on the driver after the program
         completes (the callback cannot cross a process boundary), in epoch
@@ -489,6 +556,8 @@ class DistributedTrainer:
             raise DataError("batch_size must be positive")
         if mode not in ("rate", "competitive"):
             raise DataError(f"unknown training mode '{mode}'")
+        if float(weight_refresh_tol) < 0.0:
+            raise DataError("weight_refresh_tol must be non-negative")
         n = x.shape[0]
         spec = {
             "n_hypercolumns": layer.n_hypercolumns,
@@ -507,6 +576,8 @@ class DistributedTrainer:
             "batch_size": int(batch_size),
             "shuffle": bool(shuffle),
             "mode": mode,
+            "pipeline": bool(pipeline),
+            "weight_refresh_tol": float(weight_refresh_tol),
             # Drawing the seed consumes the caller's generator, so repeated
             # calls with one rng get fresh, still-deterministic shuffles.
             "shuffle_seed": int(rng.integers(2**63)),

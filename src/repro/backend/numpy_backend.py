@@ -64,15 +64,21 @@ class NumpyBackend(Backend):
         n_rows = x.shape[0]
         support_buf = None
         masked_buf = None
+        reuse_masked = False
         if workspace is not None:
             support_buf = workspace.support[:n_rows]
             masked_buf = workspace.masked_weights if mask_expanded is not None else None
+            reuse_masked = masked_buf is not None and bool(
+                getattr(workspace, "masked_valid", False)
+            )
             if out is None:
                 out = workspace.activations[:n_rows]
         support = kernels.compute_support(
             x, weights, bias, mask_expanded, bias_gain,
-            out=support_buf, masked_scratch=masked_buf,
+            out=support_buf, masked_scratch=masked_buf, reuse_masked=reuse_masked,
         )
+        if masked_buf is not None:
+            workspace.masked_valid = True
         activations = kernels.hidden_activations(support, hidden_sizes, out=out)
         self.stats.forward_calls += 1
         self.stats.elements_processed += int(n_rows) * int(weights.shape[1])

@@ -118,6 +118,11 @@ class ParallelBackend(Backend):
         self.stats.elements_processed += int(n_rows) * int(weights.shape[1])
         if workspace is not None and out is None:
             out = workspace.activations[:n_rows]
+        reuse_masked = (
+            workspace is not None
+            and mask_expanded is not None
+            and bool(getattr(workspace, "masked_valid", False))
+        )
         if len(chunks) == 1:
             support_buf = workspace.support[:n_rows] if workspace is not None else None
             masked_buf = (
@@ -127,13 +132,19 @@ class ParallelBackend(Backend):
             )
             support = kernels.compute_support(
                 x, weights, bias, mask_expanded, bias_gain,
-                out=support_buf, masked_scratch=masked_buf,
+                out=support_buf, masked_scratch=masked_buf, reuse_masked=reuse_masked,
             )
+            if masked_buf is not None:
+                workspace.masked_valid = True
             return kernels.hidden_activations(support, hidden_sizes, out=out)
         # Pre-mask once; workers share the read-only result.
         if mask_expanded is not None:
             if workspace is not None:
-                effective = np.multiply(weights, mask_expanded, out=workspace.masked_weights)
+                if reuse_masked:
+                    effective = workspace.masked_weights
+                else:
+                    effective = np.multiply(weights, mask_expanded, out=workspace.masked_weights)
+                    workspace.masked_valid = True
             else:
                 effective = weights * mask_expanded
         else:

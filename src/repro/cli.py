@@ -21,6 +21,13 @@ All are also reachable as ``python -m repro.cli <command>``, and all accept
 ``--comm {serial,thread,process,mpi}`` and ``--ranks N`` to run
 data-parallel training / process-sharded serving / the comm-throughput
 benchmark over a :mod:`repro.comm` transport.
+
+``train``, ``sweep`` and ``benchmark`` accept ``--pipeline`` (overlapped
+double-buffered training loop; identical results) and
+``--weight-refresh-tol TOL`` (stale-weights caching: skip the per-batch
+``traces_to_weights`` refresh while the accumulated taupdt-scaled trace
+drift stays under TOL; 0 = exact); ``predict`` accepts ``--pipeline`` to
+overlap the hidden and head serving stages.
 """
 
 from __future__ import annotations
@@ -80,6 +87,30 @@ def _add_comm(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_pipeline(parser: argparse.ArgumentParser, default_tol: float = 0.0) -> None:
+    """``--pipeline``/``--weight-refresh-tol``: pipelined training options."""
+    parser.add_argument(
+        "--pipeline",
+        action="store_true",
+        help=(
+            "overlapped training loop: double-buffered engine workspaces, "
+            "prefetched batch gathers and off-thread monitoring reductions "
+            "(identical results, different work schedule)"
+        ),
+    )
+    parser.add_argument(
+        "--weight-refresh-tol",
+        type=float,
+        default=default_tol,
+        metavar="TOL",
+        help=(
+            "stale-weights tolerance: skip the per-batch traces_to_weights "
+            "refresh while the accumulated taupdt-scaled trace drift stays "
+            f"under TOL (0 = refresh every batch, exact; default {default_tol:g})"
+        ),
+    )
+
+
 def _build_comm(args: argparse.Namespace):
     """Resolve the ``--comm``/``--ranks`` flags into a communicator (or None).
 
@@ -136,6 +167,7 @@ def main_train(argv: Optional[List[str]] = None) -> int:
     )
     _add_common(parser)
     _add_comm(parser)
+    _add_pipeline(parser)
     args = parser.parse_args(argv)
     if not args.quiet:
         enable_console_logging()
@@ -152,6 +184,8 @@ def main_train(argv: Optional[List[str]] = None) -> int:
         batch_size=scale.batch_size,
         backend=args.backend,
         seed=args.seed,
+        pipeline=args.pipeline,
+        weight_refresh_tol=args.weight_refresh_tol,
     )
     data = prepare_higgs_data(
         n_events=config.n_events, n_bins=config.n_bins, seed=args.seed, path=args.higgs_path
@@ -204,13 +238,15 @@ def main_sweep(argv: Optional[List[str]] = None) -> int:
     )
     _add_common(parser)
     _add_comm(parser)
+    _add_pipeline(parser)
     args = parser.parse_args(argv)
     if not args.quiet:
         enable_console_logging()
     scale = get_scale(args.scale)
     runner = _SWEEPS[args.experiment]
     if args.experiment == "precision":
-        # The precision ablation *is* a backend sweep; --backend is ignored.
+        # The precision ablation *is* a backend sweep; --backend is ignored
+        # (and it measures numerics, so the pipeline flags do not apply).
         result = runner(scale=scale, seed=args.seed)
     elif args.experiment == "distributed":
         # The distributed sweep compares rank counts on one comm transport;
@@ -218,9 +254,22 @@ def main_sweep(argv: Optional[List[str]] = None) -> int:
         kwargs = {"transport": args.comm or "thread"}
         if args.ranks is not None:
             kwargs["rank_counts"] = (1, int(args.ranks))
-        result = runner(scale=scale, seed=args.seed, backend=args.backend, **kwargs)
+        result = runner(
+            scale=scale,
+            seed=args.seed,
+            backend=args.backend,
+            pipeline=args.pipeline,
+            weight_refresh_tol=args.weight_refresh_tol,
+            **kwargs,
+        )
     else:
-        result = runner(scale=scale, seed=args.seed, backend=args.backend)
+        result = runner(
+            scale=scale,
+            seed=args.seed,
+            backend=args.backend,
+            pipeline=args.pipeline,
+            weight_refresh_tol=args.weight_refresh_tol,
+        )
     print(result["table"])
     return _finish(result, args)
 
@@ -241,6 +290,11 @@ def main_benchmark(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--repeats", type=int, default=5, help="timing repetitions")
     _add_common(parser)
     _add_comm(parser)
+    # The benchmark defaults to the standard stale-weights tolerance so the
+    # pipelined table reflects the engine's shipped configuration; pass
+    # --weight-refresh-tol 0 explicitly to time the exact (pure-scheduling)
+    # pipelined mode.
+    _add_pipeline(parser, default_tol=0.01)
     args = parser.parse_args(argv)
     if not args.quiet:
         enable_console_logging()
@@ -325,6 +379,39 @@ def main_benchmark(argv: Optional[List[str]] = None) -> int:
         "table": table + "\n" + fused_table,
     }
 
+    # Pipelined training engine vs the serial fused loop (opted in with
+    # --pipeline): double-buffered workspaces, prefetched gathers,
+    # off-thread entropy and stale-weights caching at --weight-refresh-tol.
+    if args.pipeline:
+        from repro.instrumentation import measure_pipelined_training
+
+        tol = args.weight_refresh_tol
+        pipelined = measure_pipelined_training(
+            batch_size=args.batch,
+            n_minicolumns=args.mcus,
+            repeats=max(2, args.repeats // 2),
+            weight_refresh_tol=tol,
+        )
+        pipeline_rows = [
+            {
+                "path": "serial fused loop",
+                "seconds_per_batch": pipelined["serial_seconds_per_batch"],
+            },
+            {
+                "path": f"pipelined (tol={tol:g})",
+                "seconds_per_batch": pipelined["pipelined_seconds_per_batch"],
+            },
+        ]
+        pipeline_table = format_table(
+            pipeline_rows,
+            precision=6,
+            title=f"Pipelined training ({pipelined['speedup']:.2f}x, "
+            f"{pipelined['weight_refreshes']}/{pipelined['batches']} weight refreshes)",
+        )
+        print(pipeline_table)
+        result["pipelined_training"] = pipelined
+        result["table"] = result["table"] + "\n" + pipeline_table
+
     # Per-transport collective throughput (opted in with --comm/--ranks):
     # the payload is the trace matrix one data-parallel batch allreduces.
     if args.comm is not None or args.ranks is not None:
@@ -405,6 +492,14 @@ def main_predict(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--batch-size", type=int, default=1024, help="rows per streamed batch")
     parser.add_argument("--proba", action="store_true", help="also emit class probabilities")
+    parser.add_argument(
+        "--pipeline",
+        action="store_true",
+        help=(
+            "overlap the hidden stages of batch k with the head stage of "
+            "batch k-1 on a background thread (identical outputs)"
+        ),
+    )
     _add_common(parser)
     _add_comm(parser)
     args = parser.parse_args(argv)
@@ -415,7 +510,11 @@ def main_predict(argv: Optional[List[str]] = None) -> int:
     x = _load_feature_matrix(args.input)
     comm = _build_comm(args)
     predictor = StreamingPredictor(
-        network, batch_size=args.batch_size, backend=args.backend, comm=comm
+        network,
+        batch_size=args.batch_size,
+        backend=args.backend,
+        comm=comm,
+        pipeline=args.pipeline,
     )
 
     start = time.perf_counter()

@@ -45,6 +45,20 @@ class BackendExecutionMixin:
             get_backend(backend) if backend is not None else None
         )
         self._engine: Optional[LayerEngine] = None
+        # Engine construction options (see configure_execution): workspace
+        # ring depth and the stale-weights tolerance.  The defaults reproduce
+        # the historical behaviour exactly.
+        self._engine_options = {"n_buffers": 1, "weight_refresh_tol": 0.0}
+        # Monotonic counter bumped on every weight refresh.  Weights are
+        # mutated *in place*, so engines that are not this layer's own
+        # (serving stages hold their own engine per layer) key their cached
+        # weights*mask product on this token instead of buffer identity.
+        self._weights_token = 0
+
+    @property
+    def weights_token(self) -> int:
+        """Refresh generation of the in-place-mutated weight buffers."""
+        return self._weights_token
 
     @property
     def backend(self) -> Backend:
@@ -82,6 +96,28 @@ class BackendExecutionMixin:
             raise NotFittedError(f"layer '{self.name}' has not been built")
 
     # -------------------------------------------------------------- engine
+    def configure_execution(
+        self,
+        n_buffers: Optional[int] = None,
+        weight_refresh_tol: Optional[float] = None,
+    ) -> None:
+        """Set the engine options the next dispatches run with.
+
+        ``n_buffers`` sizes the workspace ring (2 = double buffering for the
+        pipelined training path); ``weight_refresh_tol`` enables the
+        engine's stale-weights caching (0 = exact, refresh every batch).
+        A change drops the current engine so the next dispatch rebuilds it
+        with the new options; passing the current values is a no-op.
+        """
+        options = dict(self._engine_options)
+        if n_buffers is not None:
+            options["n_buffers"] = int(n_buffers)
+        if weight_refresh_tol is not None:
+            options["weight_refresh_tol"] = float(weight_refresh_tol)
+        if options != self._engine_options:
+            self._engine_options = options
+            self._engine = None
+
     def engine_for(self, n_rows: int) -> LayerEngine:
         """The streaming engine for the current shape, sized for ``n_rows``.
 
@@ -100,7 +136,7 @@ class BackendExecutionMixin:
         ):
             previous = engine.plan.batch_size if engine is not None else 0
             plan = ExecutionPlan.for_traces(traces, max(int(n_rows), previous))
-            engine = LayerEngine(self.backend, plan)
+            engine = LayerEngine(self.backend, plan, **self._engine_options)
             self._engine = engine
         return engine
 
@@ -137,3 +173,21 @@ class BackendExecutionMixin:
             out_weights=out_w,
             out_bias=out_b,
         )
+        self._weights_token += 1
+        if self._engine is not None:
+            # Reset the stale-weights accumulator and invalidate the cached
+            # weights*mask products (the weight buffers just changed).
+            self._engine.note_weights_refreshed()
+
+    def flush_weights(self) -> None:
+        """Refresh weights iff trace updates were applied since the last
+        refresh.
+
+        The closing bracket of stale-weights training: call at a phase
+        boundary (end of a training phase, before handing the layer to
+        inference) so consumers of ``weights``/``bias`` always observe the
+        current traces.  A no-op when the weights are already fresh — in
+        particular after any ``weight_refresh_tol=0`` training.
+        """
+        if self.is_built and self._engine is not None and self._engine.weights_stale:
+            self.refresh_weights()

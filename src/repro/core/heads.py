@@ -98,7 +98,11 @@ class BCPNNClassifier(BackendExecutionMixin):
         engine = self.engine_for(hidden.shape[0])
         engine.update_traces(hidden, targets, self.traces, self.taupdt)
         self._batches_trained += 1
-        self.refresh_weights()
+        # Stale-weights caching (see StructuralPlasticityLayer.train_batch):
+        # refresh only once the accumulated trace drift exceeds the engine's
+        # tolerance — unconditionally at the default tolerance of 0.
+        if engine.should_refresh_weights():
+            self.refresh_weights()
 
     # ------------------------------------------------------------ inference
     def decision_function(self, hidden: np.ndarray) -> np.ndarray:

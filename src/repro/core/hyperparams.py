@@ -143,6 +143,18 @@ class TrainingSchedule:
     StreamBrain trains the hidden (unsupervised) layer for a number of
     epochs, then the classification head, optionally fine-tuning the head
     with SGD (the paper's "BCPNN+SGD" hybrid reaching 69.15% accuracy).
+
+    ``pipeline`` switches the hidden phase to the overlapped training loop
+    (:mod:`repro.engine.pipeline`): double-buffered engine workspaces, batch
+    gathers prefetched on a background thread, and the per-batch entropy
+    reduction running off the critical path.  Bit-for-bit identical results
+    (test-enforced) — only the schedule of the work changes.
+
+    ``weight_refresh_tol`` enables the engine's stale-weights caching: the
+    per-batch ``traces_to_weights`` refresh is skipped while the accumulated
+    ``taupdt``-scaled trace drift stays under the tolerance.  ``0`` (the
+    default) refreshes every batch — exact training; ``> 0`` trades bounded
+    weight staleness for throughput.
     """
 
     hidden_epochs: int = 5
@@ -153,8 +165,13 @@ class TrainingSchedule:
     sgd_learning_rate: float = 0.05
     sgd_momentum: float = 0.9
     sgd_weight_decay: float = 0.0
-    #: Batches the BatchStream may gather ahead of the consumer (0 = off).
+    #: Batches the BatchStream may gather ahead of the consumer (0 = off;
+    #: ``pipeline=True`` raises an effective floor of 2).
     prefetch_batches: int = 0
+    #: Overlapped hidden-phase training loop (double-buffered workspaces).
+    pipeline: bool = False
+    #: Stale-weights tolerance for the per-batch weight refresh (0 = exact).
+    weight_refresh_tol: float = 0.0
 
     def __post_init__(self) -> None:
         check_positive_int(self.hidden_epochs, "hidden_epochs", minimum=0)
@@ -168,6 +185,8 @@ class TrainingSchedule:
             raise ConfigurationError("sgd_momentum must be in [0, 1)")
         if self.sgd_weight_decay < 0:
             raise ConfigurationError("sgd_weight_decay must be non-negative")
+        if self.weight_refresh_tol < 0:
+            raise ConfigurationError("weight_refresh_tol must be non-negative")
 
     def replace(self, **overrides) -> "TrainingSchedule":
         return replace(self, **overrides)
@@ -183,4 +202,6 @@ class TrainingSchedule:
             "sgd_momentum": self.sgd_momentum,
             "sgd_weight_decay": self.sgd_weight_decay,
             "prefetch_batches": self.prefetch_batches,
+            "pipeline": self.pipeline,
+            "weight_refresh_tol": self.weight_refresh_tol,
         }

@@ -302,7 +302,12 @@ class StructuralPlasticityLayer(BackendExecutionMixin):
             taupdt,
             activity_fn=self._training_activity,
         )
-        self.refresh_weights()
+        # Stale-weights caching: the engine tracks the accumulated
+        # taupdt-scaled trace drift and only asks for the (log-heavy)
+        # traces_to_weights refresh once it exceeds the configured tolerance
+        # (always, at the default tolerance of 0).
+        if engine.should_refresh_weights():
+            self.refresh_weights()
         self.batches_trained += 1
         return activations
 

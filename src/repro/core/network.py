@@ -26,6 +26,11 @@ from repro.core.hyperparams import TrainingSchedule
 from repro.core.layers import InputSpec, StructuralPlasticityLayer
 from repro.core.training import CallbackList, EpochResult, History, TrainingCallback
 from repro.datasets.stream import BatchStream
+from repro.engine.pipeline import (
+    helper_threads_available,
+    mean_activation_entropy,
+    train_layer_pipelined,
+)
 from repro.exceptions import ConfigurationError, DataError, NotFittedError
 from repro.metrics.classification import accuracy as accuracy_metric
 from repro.metrics.classification import log_loss as log_loss_metric
@@ -137,6 +142,8 @@ class Network:
         callbacks: Optional[List[TrainingCallback]] = None,
         verbose: bool = False,
         comm=None,
+        pipeline: Optional[bool] = None,
+        weight_refresh_tol: Optional[float] = None,
     ) -> History:
         """Train the network; returns the training :class:`History`.
 
@@ -149,8 +156,25 @@ class Network:
         bit up to floating-point summation order) for deterministic
         competition modes.  The classification head is small and trains on
         the driver as usual.
+
+        ``pipeline`` / ``weight_refresh_tol`` override the corresponding
+        :class:`TrainingSchedule` fields: ``pipeline=True`` runs the hidden
+        phase through the overlapped double-buffered loop
+        (:mod:`repro.engine.pipeline`; identical results, different work
+        schedule — also honoured by the data-parallel SPMD program), and
+        ``weight_refresh_tol > 0`` enables stale-weights caching (skip the
+        per-batch ``traces_to_weights`` refresh while the accumulated
+        ``taupdt``-scaled trace drift stays under the tolerance; ``0`` is
+        bit-for-bit exact).
         """
         schedule = schedule or TrainingSchedule()
+        overrides = {}
+        if pipeline is not None:
+            overrides["pipeline"] = bool(pipeline)
+        if weight_refresh_tol is not None:
+            overrides["weight_refresh_tol"] = float(weight_refresh_tol)
+        if overrides:
+            schedule = schedule.replace(**overrides)
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 2:
             raise DataError("x must be a 2-D matrix")
@@ -192,15 +216,22 @@ class Network:
         """The minibatch stream for one training phase.
 
         Shares the network RNG with the stream so the per-epoch shuffle draws
-        reproduce the legacy ``fit`` batch order exactly.
+        reproduce the legacy ``fit`` batch order exactly.  Pipelined
+        training wants the gather thread, so ``pipeline=True`` raises the
+        prefetch depth to at least 2 — on machines where a helper thread
+        can actually overlap (prefetching never changes the batch order:
+        the permutation is drawn before the thread starts).
         """
+        prefetch = schedule.prefetch_batches
+        if schedule.pipeline and helper_threads_available():
+            prefetch = max(prefetch, 2)
         return BatchStream(
             x,
             y=y,
             batch_size=schedule.batch_size,
             shuffle=schedule.shuffle,
             rng=self._rng,
-            prefetch=schedule.prefetch_batches,
+            prefetch=prefetch,
         )
 
     def _train_hidden_layer(
@@ -211,21 +242,19 @@ class Network:
         callbacks: CallbackList,
         verbose: bool,
     ) -> None:
+        # Double buffering is only needed when the entropy reduction runs on
+        # the worker thread (batch k's activations must survive batch k+1's
+        # dispatch); the single-core degenerate schedule keeps one buffer.
+        overlap = schedule.pipeline and helper_threads_available()
+        layer.configure_execution(
+            n_buffers=2 if overlap else 1,
+            weight_refresh_tol=schedule.weight_refresh_tol,
+        )
         stream = self._batch_stream(x, None, schedule)
-        for epoch in range(schedule.hidden_epochs):
-            start = time.perf_counter()
-            batch_entropy = []
-            for batch in stream:
-                activations = layer.train_batch(batch.x)
-                # Mean per-HCU entropy of the activations: a cheap progress proxy
-                # for unsupervised training (lower = more specialised MCUs).
-                with np.errstate(divide="ignore", invalid="ignore"):
-                    ent = -np.sum(activations * np.log(np.clip(activations, 1e-12, 1.0)), axis=1)
-                batch_entropy.append(float(np.mean(ent)))
-            swaps = layer.end_epoch(epoch)
-            duration = time.perf_counter() - start
+
+        def emit(epoch: int, duration: float, entropy: float, swaps: int) -> None:
             metrics = {
-                "mean_activation_entropy": float(np.mean(batch_entropy)) if batch_entropy else 0.0,
+                "mean_activation_entropy": float(entropy),
                 "mask_swaps": float(swaps),
                 "density": float(layer.hyperparams.density),
             }
@@ -247,6 +276,47 @@ class Network:
                     f"entropy={metrics['mean_activation_entropy']:.3f} swaps={swaps} "
                     f"({duration:.2f}s)"
                 )
+
+        try:
+            if schedule.pipeline:
+                # Overlapped loop: entropy of batch k reduces on a worker
+                # thread while batch k+1 gathers (prefetch thread) and its
+                # fused dispatch runs — double-buffered workspaces keep
+                # batch k's activations valid throughout.
+                train_layer_pipelined(
+                    layer,
+                    stream,
+                    schedule.hidden_epochs,
+                    on_epoch_end=lambda epoch, logs: emit(
+                        epoch,
+                        logs["seconds"],
+                        logs["mean_activation_entropy"],
+                        int(logs["swaps"]),
+                    ),
+                )
+            else:
+                for epoch in range(schedule.hidden_epochs):
+                    start = time.perf_counter()
+                    batch_entropy = []
+                    for batch in stream:
+                        activations = layer.train_batch(batch.x)
+                        # Mean per-HCU entropy of the activations: a cheap
+                        # progress proxy for unsupervised training (lower =
+                        # more specialised MCUs).
+                        batch_entropy.append(mean_activation_entropy(activations))
+                    swaps = layer.end_epoch(epoch)
+                    duration = time.perf_counter() - start
+                    entropy = float(np.mean(batch_entropy)) if batch_entropy else 0.0
+                    emit(epoch, duration, entropy, swaps)
+        finally:
+            # Phase boundary: publish weights matching the final traces (a
+            # no-op unless stale-weights caching deferred a refresh), then
+            # restore the default execution contract — single-buffer engines
+            # (inference-sized workspaces must not be allocated twice) and
+            # exact per-batch refreshes, so later direct ``train_batch``
+            # callers get the historical refresh-every-batch semantics.
+            layer.flush_weights()
+            layer.configure_execution(n_buffers=1, weight_refresh_tol=0.0)
 
     def _train_hidden_layer_comm(
         self,
@@ -310,6 +380,8 @@ class Network:
             shuffle=schedule.shuffle,
             on_epoch_end=record,
             mode="competitive",
+            pipeline=schedule.pipeline,
+            weight_refresh_tol=schedule.weight_refresh_tol,
         )
 
     def _train_head(
@@ -324,7 +396,33 @@ class Network:
         epochs = schedule.classifier_epochs
         extra_sgd = schedule.sgd_epochs if isinstance(head, SGDClassifier) else 0
         total_epochs = epochs + extra_sgd
+        if isinstance(head, BCPNNClassifier):
+            head.configure_execution(weight_refresh_tol=schedule.weight_refresh_tol)
         stream = self._batch_stream(representation, y, schedule)
+        try:
+            self._run_head_epochs(
+                head, representation, y, stream, schedule, total_epochs, epochs,
+                callbacks, verbose,
+            )
+        finally:
+            if isinstance(head, BCPNNClassifier):
+                # Phase boundary: restore the exact refresh-every-batch
+                # contract for any later direct train_batch callers.
+                head.flush_weights()
+                head.configure_execution(weight_refresh_tol=0.0)
+
+    def _run_head_epochs(
+        self,
+        head: HeadLayer,
+        representation: np.ndarray,
+        y: np.ndarray,
+        stream: BatchStream,
+        schedule: TrainingSchedule,
+        total_epochs: int,
+        epochs: int,
+        callbacks: CallbackList,
+        verbose: bool,
+    ) -> None:
         for epoch in range(total_epochs):
             start = time.perf_counter()
             losses = []
@@ -335,6 +433,10 @@ class Network:
                     losses.append(head.train_batch(batch.x, batch.y, learning_rate=lr))
                 else:
                     head.train_batch(batch.x, batch.y)
+            if isinstance(head, BCPNNClassifier):
+                # Publish weights before the epoch metric pass (a no-op
+                # unless stale-weights caching deferred a refresh).
+                head.flush_weights()
             duration = time.perf_counter() - start
             train_pred = head.predict(representation)
             metrics: Dict[str, float] = {

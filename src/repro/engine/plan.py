@@ -11,6 +11,21 @@ per-batch arithmetic: one ``fused_update`` dispatch per training batch, one
 The engine is rebuilt only when something static changes (backend swapped,
 layer rebuilt with new sizes, batch larger than planned); remainder batches
 reuse leading slices of the same buffers.
+
+Two optional behaviours power the pipelined training path
+(:mod:`repro.engine.pipeline`):
+
+* ``n_buffers > 1`` — the engine owns a ring of workspaces and alternates
+  between them per dispatch, so the activations returned for batch ``k``
+  stay valid while batch ``k+1`` computes into the sibling buffer.  This is
+  the invariant a pipelined consumer (entropy reduction on a background
+  thread, an overlapped serving head stage) relies on.
+* ``weight_refresh_tol > 0`` — stale-weights caching: the engine accumulates
+  the ``taupdt``-scaled trace drift applied since the last
+  ``traces_to_weights`` refresh and reports through
+  :meth:`LayerEngine.should_refresh_weights` whether the accumulated drift
+  exceeded the tolerance.  ``tol = 0`` (the default) always refreshes —
+  bit-for-bit identical to refreshing after every batch.
 """
 
 from __future__ import annotations
@@ -73,22 +88,78 @@ class ExecutionPlan:
 class LayerEngine:
     """Streams batches of one layer's arithmetic through a compute backend.
 
-    The engine owns the workspace for its plan and forwards every dispatch to
-    the backend's fused, ``out=``-style primitives.  Buffers returned by
-    :meth:`forward` / :meth:`fused_update` are views into the workspace and
-    remain valid only until the next dispatch.
+    The engine owns the workspace(s) for its plan and forwards every dispatch
+    to the backend's fused, ``out=``-style primitives.  Buffers returned by
+    :meth:`forward` / :meth:`fused_update` are views into a workspace and
+    remain valid until that workspace's next dispatch — with ``n_buffers=1``
+    (the default) that is the very next dispatch, with ``n_buffers=2`` the
+    dispatch after it (double buffering).
+
+    Parameters
+    ----------
+    backend:
+        The compute backend dispatched to.
+    plan:
+        The static :class:`ExecutionPlan`.
+    n_buffers:
+        Number of workspaces in the ring (1 = classic single-buffer
+        behaviour, 2 = double buffering for pipelined consumers).
+    weight_refresh_tol:
+        Stale-weights tolerance.  ``0`` (default): refresh after every trace
+        update (exact, bit-for-bit the historical behaviour).  ``> 0``: the
+        engine accumulates the applied ``taupdt``-scaled drift of the
+        *marginal* traces since the last refresh and only asks for a
+        ``traces_to_weights`` refresh once the accumulated drift exceeds the
+        tolerance.  This is a heuristic staleness bound — marginal drift
+        tracks joint-trace drift closely for probability-normalised traces
+        but does not bound it — so ``tol > 0`` is approximate training
+        (validated to epsilon-accuracy by the E9 tests), while ``tol = 0``
+        is exact.
     """
 
-    def __init__(self, backend: Backend, plan: ExecutionPlan) -> None:
+    def __init__(
+        self,
+        backend: Backend,
+        plan: ExecutionPlan,
+        n_buffers: int = 1,
+        weight_refresh_tol: float = 0.0,
+    ) -> None:
         if not isinstance(backend, Backend):
             raise ConfigurationError("LayerEngine requires a Backend instance")
+        if int(n_buffers) < 1:
+            raise ConfigurationError("n_buffers must be at least 1")
+        if float(weight_refresh_tol) < 0.0:
+            raise ConfigurationError("weight_refresh_tol must be non-negative")
         self.backend = backend
         self.plan = plan
-        self.workspace = plan.allocate()
+        self.n_buffers = int(n_buffers)
+        self.weight_refresh_tol = float(weight_refresh_tol)
+        self.workspaces: Tuple[LayerWorkspace, ...] = tuple(
+            plan.allocate() for _ in range(self.n_buffers)
+        )
+        self._cursor = 0
+        # Stale-weights accounting: accumulated taupdt-scaled trace drift
+        # since the last traces_to_weights refresh.  Starts at infinity so a
+        # freshly built engine always requests an initial refresh.
+        self._staleness = float("inf")
+        self._weights_version = 0
+        # Per-workspace provenance of the cached weights*mask product:
+        # (weights object, mask object, weights version).  Holding the object
+        # references (not ids) makes the identity test immune to id reuse.
+        self._masked_src = [None] * self.n_buffers
 
     # ------------------------------------------------------------ capacity
+    @property
+    def workspace(self) -> LayerWorkspace:
+        """The workspace the *next* dispatch will write into."""
+        return self.workspaces[self._cursor]
+
+    def workspace_nbytes(self) -> int:
+        """Total bytes across every workspace in the ring."""
+        return sum(ws.nbytes() for ws in self.workspaces)
+
     def accommodates(self, n_rows: int) -> bool:
-        return self.workspace.accommodates(n_rows)
+        return self.workspaces[0].accommodates(n_rows)
 
     def matches(self, n_input: int, hidden_sizes: Tuple[int, ...]) -> bool:
         """Whether the plan still matches a layer's (possibly rebuilt) shape."""
@@ -96,7 +167,93 @@ class LayerEngine:
             int(s) for s in hidden_sizes
         )
 
+    # ------------------------------------------------------- stale weights
+    @property
+    def weights_stale(self) -> bool:
+        """Whether trace updates were applied since the last weight refresh."""
+        return self._staleness > 0.0
+
+    def should_refresh_weights(self) -> bool:
+        """Whether the accumulated trace drift warrants a weight refresh.
+
+        Always ``True`` at ``weight_refresh_tol = 0`` (exact mode).
+        """
+        if self.weight_refresh_tol <= 0.0:
+            return True
+        return self._staleness > self.weight_refresh_tol
+
+    def note_weights_refreshed(self) -> None:
+        """Record that the layer recomputed weights/bias from the traces.
+
+        Resets the staleness accumulator and invalidates every cached
+        ``weights * mask`` product (the weight buffers are mutated in
+        place, so the products no longer match).
+        """
+        self._staleness = 0.0
+        self._weights_version += 1
+
+    def _note_trace_update(self, ws: LayerWorkspace, traces, taupdt: float) -> None:
+        """Accumulate the drift one trace update applied.
+
+        After ``kernels.ema_update`` the workspace's ``mean_x``/``mean_a``
+        buffers hold the *taupdt-scaled* batch means and the traces hold the
+        post-update values, so the applied max-norm marginal drift is
+        ``max|scaled_mean - taupdt * p_new| / (1 - taupdt)``.
+        """
+        if self.weight_refresh_tol <= 0.0:
+            # Exact mode: no accounting needed beyond "an update happened".
+            self._staleness = float("inf")
+            return
+        t = float(taupdt)
+        if t >= 1.0:
+            self._staleness = float("inf")
+            return
+        drift_x = float(np.max(np.abs(ws.mean_x - t * traces.p_i)))
+        drift_a = float(np.max(np.abs(ws.mean_a - t * traces.p_j)))
+        self._staleness += max(drift_x, drift_a) / (1.0 - t)
+
     # ----------------------------------------------------------- dispatch
+    def _next_workspace(
+        self,
+        weights: Optional[np.ndarray],
+        mask_expanded: Optional[np.ndarray],
+        weights_token: Optional[int] = None,
+    ) -> LayerWorkspace:
+        """Advance the workspace ring and sync its masked-product cache.
+
+        A workspace's ``masked_weights`` buffer stays valid as long as the
+        same weight buffer (at the same refresh generation) and the same
+        mask object are dispatched; any change flips ``masked_valid`` off so
+        the backend recomputes the product (and re-marks it valid).
+
+        The weight buffers are mutated *in place* by refreshes, so buffer
+        identity alone cannot witness freshness.  Two generation counters
+        cover the two ownership cases: this engine's own ``_weights_version``
+        (bumped by :meth:`note_weights_refreshed` — the layer notifies its
+        own training engine) and the caller-supplied ``weights_token`` (the
+        layer-level refresh counter, passed by engines the layer does *not*
+        own, e.g. serving stages, so a refresh between predict calls
+        invalidates their cache too).
+        """
+        index = self._cursor
+        ws = self.workspaces[index]
+        self._cursor = (index + 1) % self.n_buffers
+        if mask_expanded is None:
+            ws.masked_valid = False
+            self._masked_src[index] = None
+            return ws
+        src = self._masked_src[index]
+        key = (weights, mask_expanded, self._weights_version, weights_token)
+        if (
+            src is None
+            or src[0] is not key[0]
+            or src[1] is not key[1]
+            or src[2:] != key[2:]
+        ):
+            ws.masked_valid = False
+            self._masked_src[index] = key
+        return ws
+
     def forward(
         self,
         x: np.ndarray,
@@ -104,9 +261,11 @@ class LayerEngine:
         bias: np.ndarray,
         mask_expanded: Optional[np.ndarray],
         bias_gain: float = 1.0,
+        weights_token: Optional[int] = None,
     ) -> np.ndarray:
-        """Hidden activations for a batch, written into the workspace."""
+        """Hidden activations for a batch, written into the next workspace."""
         n_rows = np.asarray(x).shape[0]
+        ws = self._next_workspace(weights, mask_expanded, weights_token)
         return self.backend.forward_into(
             x,
             weights,
@@ -114,8 +273,8 @@ class LayerEngine:
             mask_expanded,
             self.plan.hidden_sizes,
             bias_gain,
-            out=self.workspace.activations[:n_rows],
-            workspace=self.workspace,
+            out=ws.activations[:n_rows],
+            workspace=ws,
         )
 
     def fused_update(
@@ -134,6 +293,7 @@ class LayerEngine:
         Mutates ``traces`` in place and returns the forward activations (a
         workspace view).
         """
+        ws = self._next_workspace(weights, mask_expanded)
         activations = self.backend.fused_update(
             x,
             weights,
@@ -146,9 +306,10 @@ class LayerEngine:
             traces.p_ij,
             taupdt,
             activity_fn=activity_fn,
-            workspace=self.workspace,
+            workspace=ws,
         )
         traces.updates_seen += 1
+        self._note_trace_update(ws, traces, taupdt)
         return activations
 
     def update_traces(self, x: np.ndarray, a: np.ndarray, traces, taupdt: float) -> None:
@@ -157,10 +318,15 @@ class LayerEngine:
         This is the supervised-head path: the target activity is known ahead
         of time (one-hot labels), so no forward pass is dispatched.
         """
+        ws = self._next_workspace(None, None)
         self.backend.update_traces(
-            x, a, traces.p_i, traces.p_j, traces.p_ij, taupdt, workspace=self.workspace
+            x, a, traces.p_i, traces.p_j, traces.p_ij, taupdt, workspace=ws
         )
         traces.updates_seen += 1
+        self._note_trace_update(ws, traces, taupdt)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"LayerEngine(backend={self.backend.name}, plan={self.plan})"
+        return (
+            f"LayerEngine(backend={self.backend.name}, plan={self.plan}, "
+            f"n_buffers={self.n_buffers}, weight_refresh_tol={self.weight_refresh_tol})"
+        )

@@ -12,6 +12,17 @@ measured effect).
 The workspace is duck-typed on purpose: backends only touch the attribute
 names, so alternative workspace implementations (pinned host memory, device
 buffers) can be swapped in without changing the backend code.
+
+Two flags support the pipelined training engine (:mod:`repro.engine.plan`):
+
+* ``masked_valid`` — set by a backend after it writes the full
+  ``weights * mask`` product into ``masked_weights``; while the owning
+  :class:`~repro.engine.LayerEngine` keeps it ``True`` (weights not
+  refreshed, same mask object), workspace-aware backends skip the
+  per-batch masked multiply entirely.
+* after ``update_traces`` with a workspace, ``mean_x``/``mean_a`` hold the
+  **taupdt-scaled** batch means (``kernels.ema_update`` scales them in
+  place), which is what the engine's stale-weights accounting reads.
 """
 
 from __future__ import annotations
@@ -53,6 +64,9 @@ class LayerWorkspace:
         self.mean_x = np.empty(self.n_input, dtype=np.float64)
         self.mean_a = np.empty(self.n_hidden, dtype=np.float64)
         self.mean_outer = np.empty((self.n_input, self.n_hidden), dtype=np.float64)
+        #: Whether ``masked_weights`` currently holds the full weights*mask
+        #: product for the weight/mask pair the owning engine last saw.
+        self.masked_valid = False
 
     def accommodates(self, n_rows: int) -> bool:
         """Whether a batch of ``n_rows`` fits in the preallocated buffers."""

@@ -31,6 +31,8 @@ def run_capacity_sweep(
     data: Optional[HiggsData] = None,
     seed: int = 0,
     backend: str = "numpy",
+    pipeline: bool = False,
+    weight_refresh_tol: float = 0.0,
 ) -> Dict[str, object]:
     """Run the HCU x MCU capacity sweep and return a result table.
 
@@ -59,6 +61,8 @@ def run_capacity_sweep(
                 batch_size=scale.batch_size,
                 backend=backend,
                 seed=seed,
+                pipeline=pipeline,
+                weight_refresh_tol=weight_refresh_tol,
             )
             aggregate = repeated_runs(config, repeats=repeats, data=data)
             row = {

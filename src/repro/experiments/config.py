@@ -107,12 +107,18 @@ class HiggsExperimentConfig:
     batch_size: int = 128
     backend: str = "numpy"
     seed: int = 0
+    #: Overlapped double-buffered hidden-phase training (identical results).
+    pipeline: bool = False
+    #: Stale-weights tolerance for the per-batch weight refresh (0 = exact).
+    weight_refresh_tol: float = 0.0
 
     def __post_init__(self) -> None:
         if self.head not in ("sgd", "bcpnn"):
             raise ConfigurationError("head must be 'sgd' or 'bcpnn'")
         if not 0.0 <= self.density <= 1.0:
             raise ConfigurationError("density must be in [0, 1]")
+        if self.weight_refresh_tol < 0:
+            raise ConfigurationError("weight_refresh_tol must be non-negative")
 
     def replace(self, **overrides) -> "HiggsExperimentConfig":
         return replace(self, **overrides)
@@ -125,6 +131,8 @@ class HiggsExperimentConfig:
             hidden_epochs=self.hidden_epochs,
             classifier_epochs=self.classifier_epochs,
             batch_size=self.batch_size,
+            pipeline=self.pipeline,
+            weight_refresh_tol=self.weight_refresh_tol,
         )
 
     @classmethod

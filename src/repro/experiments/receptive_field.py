@@ -38,6 +38,8 @@ def run_receptive_field_sweep(
     seed: int = 0,
     collect_masks: bool = True,
     backend: str = "numpy",
+    pipeline: bool = False,
+    weight_refresh_tol: float = 0.0,
 ) -> Dict[str, object]:
     """Sweep the receptive-field density of a single-HCU network.
 
@@ -66,6 +68,8 @@ def run_receptive_field_sweep(
             batch_size=scale.batch_size,
             backend=backend,
             seed=seed,
+            pipeline=pipeline,
+            weight_refresh_tol=weight_refresh_tol,
         )
         aggregate = repeated_runs(config, repeats=repeats, data=data)
         rows.append(

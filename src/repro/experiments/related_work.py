@@ -42,6 +42,8 @@ def run_related_work_comparison(
     seed: int = 0,
     include_deep: bool = True,
     backend: str = "numpy",
+    pipeline: bool = False,
+    weight_refresh_tol: float = 0.0,
 ) -> Dict[str, object]:
     """Train BCPNN (both heads) and the baselines on one split.
 
@@ -57,7 +59,13 @@ def run_related_work_comparison(
     # ---------------------------------------------------------------- BCPNN
     for head, label in (("bcpnn", "bcpnn"), ("sgd", "bcpnn+sgd")):
         config = HiggsExperimentConfig.from_scale(
-            scale, head=head, density=0.4, seed=seed, backend=backend
+            scale,
+            head=head,
+            density=0.4,
+            seed=seed,
+            backend=backend,
+            pipeline=pipeline,
+            weight_refresh_tol=weight_refresh_tol,
         )
         outcome = train_and_evaluate(config, data=data)
         results[label] = {

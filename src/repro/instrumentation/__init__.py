@@ -2,6 +2,7 @@
 
 from repro.instrumentation.timers import Timer, RepeatTimer, TimingStatistics
 from repro.instrumentation.flops import BCPNNCostModel, CostBreakdown
+from repro.instrumentation.pipeline_bench import measure_pipelined_training
 from repro.instrumentation.reports import format_table, format_comparison, dump_json_report
 
 __all__ = [
@@ -13,4 +14,5 @@ __all__ = [
     "format_table",
     "format_comparison",
     "dump_json_report",
+    "measure_pipelined_training",
 ]

@@ -87,6 +87,7 @@ def compute_support(
     bias_gain: float = 1.0,
     out: Optional[np.ndarray] = None,
     masked_scratch: Optional[np.ndarray] = None,
+    reuse_masked: bool = False,
 ) -> np.ndarray:
     """Compute the hidden support ``s = bias_gain * b + x @ (w * mask)``.
 
@@ -94,6 +95,10 @@ def compute_support(
     ``out`` receives the support (shape ``(B, N_hid)``) when given;
     ``masked_scratch`` is an optional ``(N_in, N_hid)`` buffer for the masked
     weight product so the hot path does not allocate it per batch.
+    ``reuse_masked=True`` asserts that ``masked_scratch`` already holds the
+    current ``weights * mask`` product (neither operand changed since it was
+    written), skipping the per-batch multiply entirely — the engine-level
+    cache backing stale-weights training.
     """
     x = np.asarray(x, dtype=np.float64)
     weights = np.asarray(weights, dtype=np.float64)
@@ -111,7 +116,10 @@ def compute_support(
         if mask_expanded.shape != weights.shape:
             raise DataError("mask_expanded shape must match weights shape")
         if masked_scratch is not None:
-            effective = np.multiply(weights, mask_expanded, out=masked_scratch)
+            if reuse_masked:
+                effective = masked_scratch
+            else:
+                effective = np.multiply(weights, mask_expanded, out=masked_scratch)
         else:
             effective = weights * mask_expanded
     else:

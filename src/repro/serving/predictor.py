@@ -36,7 +36,7 @@ from repro.backend.distributed import DistributedBackend, resolve_backend_name, 
 from repro.comm import Communicator
 from repro.core.execution import BackendExecutionMixin
 from repro.datasets.stream import BatchStream
-from repro.engine import ExecutionPlan, LayerEngine
+from repro.engine import ExecutionPlan, LayerEngine, PipelineWorker
 from repro.exceptions import DataError, NotFittedError
 from repro.utils.arrays import row_softmax
 from repro.utils.validation import check_positive_int
@@ -56,6 +56,7 @@ def _predict_shard_program(
     batch_size: int,
     backend_spec,
     proba: bool,
+    pipeline: bool = False,
 ) -> Optional[np.ndarray]:
     """One rank's share of comm-sharded bulk inference.
 
@@ -78,7 +79,9 @@ def _predict_shard_program(
             from repro.core.serialization import network_from_bytes
 
             network = network_from_bytes(blob.tobytes())
-        predictor = StreamingPredictor(network, batch_size=batch_size, backend=backend_spec)
+        predictor = StreamingPredictor(
+            network, batch_size=batch_size, backend=backend_spec, pipeline=pipeline
+        )
     local = predictor._stream_local(shard, proba)
     gathered = comm.allgather(local)
     if comm.rank != 0:
@@ -121,7 +124,15 @@ class _LayerStage:
         engine = self.engines[ordinal % len(self.engines)]
         layer = self.layer
         return engine.forward(
-            x, layer.weights, layer.bias, layer.mask_expanded, layer.hyperparams.bias_gain
+            x,
+            layer.weights,
+            layer.bias,
+            layer.mask_expanded,
+            layer.hyperparams.bias_gain,
+            # Weight buffers mutate in place across refreshes; the token
+            # invalidates this stage's cached weights*mask product when the
+            # layer is (re)trained between predict calls.
+            weights_token=getattr(layer, "weights_token", None),
         )
 
     def workspace_nbytes(self) -> int:
@@ -152,6 +163,14 @@ class StreamingPredictor(BackendExecutionMixin):
         computes.  Off by default: the sequential prediction loop consumes
         each batch immediately, so the second buffer would only double
         workspace memory.
+    pipeline:
+        Overlap the stages per batch: a background
+        :class:`~repro.engine.pipeline.PipelineWorker` runs the hidden
+        stages of batch ``k`` while the driver runs the *head* stage
+        (decision function, softmax/argmax, scatter) of batch ``k-1``.
+        Implies double buffering (batch ``k-1``'s representation must stay
+        valid while batch ``k`` computes).  Bit-for-bit the same outputs as
+        the sequential loop — only the schedule changes.
     comm:
         Optional :class:`repro.comm.Communicator`.  With ``size > 1`` each
         ``predict_stream``/``predict_proba_stream`` call scatters the rows
@@ -169,6 +188,7 @@ class StreamingPredictor(BackendExecutionMixin):
         batch_size: int = 1024,
         backend=None,
         double_buffer: bool = False,
+        pipeline: bool = False,
         comm: Optional[Communicator] = None,
     ) -> None:
         head = getattr(network, "head", None)
@@ -177,13 +197,19 @@ class StreamingPredictor(BackendExecutionMixin):
         for layer in network.hidden_layers:
             if not layer.is_built:
                 raise NotFittedError(f"hidden layer '{layer.name}' has not been built")
+            # Networks trained with stale-weights caching may hold weights a
+            # few trace updates behind; serving reads the weight buffers, so
+            # settle them once up front (a no-op on exactly-trained layers).
+            if hasattr(layer, "flush_weights"):
+                layer.flush_weights()
         if comm is not None and not isinstance(comm, Communicator):
             raise DataError("comm must be a repro.comm.Communicator")
         self.network = network
         self.head = head
         self.comm = comm
         self.batch_size = check_positive_int(batch_size, "batch_size")
-        self.n_buffers = 2 if double_buffer else 1
+        self.pipeline = bool(pipeline)
+        self.n_buffers = 2 if (double_buffer or self.pipeline) else 1
         self.name = f"serving:{getattr(network, 'name', 'network')}"
         self._init_execution(backend)
         self._stages: List[_LayerStage] = [
@@ -247,23 +273,63 @@ class StreamingPredictor(BackendExecutionMixin):
                 stage.rebuild(effective, max(int(n_rows), self.batch_size), self.n_buffers)
 
     # ------------------------------------------------------------- dispatch
-    def _decision_batch(self, x: np.ndarray, ordinal: int) -> np.ndarray:
-        """Head support values for one batch, streamed through the stages."""
+    def _hidden_batch(self, x: np.ndarray, ordinal: int) -> np.ndarray:
+        """The hidden representation of one batch (a workspace view)."""
         representation = x
         for stage in self._stages:
             representation = stage.layer.input_spec.validate_batch(representation)
             representation = stage.forward(representation, ordinal)
-        return self.head.decision_function(representation)
+        return representation
+
+    def _decision_batch(self, x: np.ndarray, ordinal: int) -> np.ndarray:
+        """Head support values for one batch, streamed through the stages."""
+        return self.head.decision_function(self._hidden_batch(x, ordinal))
+
+    def _scatter_batch(
+        self, out: np.ndarray, batch, representation: np.ndarray, proba: bool
+    ) -> None:
+        """Head stage for one batch: decision + scatter into ``out``."""
+        decision = self.head.decision_function(representation)
+        if proba:
+            out[batch.indices] = row_softmax(decision)
+        else:
+            out[batch.indices] = np.argmax(decision, axis=1)
 
     def _stream_into(self, out: np.ndarray, stream: BatchStream, proba: bool) -> np.ndarray:
-        """Drive one stream, scattering per-batch results into ``out``."""
-        for batch in stream:
-            self._ensure_capacity(batch.size)
-            decision = self._decision_batch(batch.x, batch.ordinal)
-            if proba:
-                out[batch.indices] = row_softmax(decision)
-            else:
-                out[batch.indices] = np.argmax(decision, axis=1)
+        """Drive one stream, scattering per-batch results into ``out``.
+
+        With ``pipeline=True`` the hidden stages of batch ``k`` run on a
+        background worker while the driver runs the head stage of batch
+        ``k-1`` — the double-buffered stage engines keep batch ``k-1``'s
+        representation valid while batch ``k`` computes into the sibling
+        workspaces.  The same kernels run on the same buffers either way,
+        so the outputs are bit-for-bit identical to the sequential loop.
+        """
+        if not self.pipeline:
+            for batch in stream:
+                self._ensure_capacity(batch.size)
+                decision = self._decision_batch(batch.x, batch.ordinal)
+                if proba:
+                    out[batch.indices] = row_softmax(decision)
+                else:
+                    out[batch.indices] = np.argmax(decision, axis=1)
+            return out
+        with PipelineWorker(name=f"{self.name}-pipeline") as worker:
+            pending = None
+            for batch in stream:
+                # Capacity is settled before submitting, and mid-stream
+                # batches never grow (BatchStream yields uniform batches
+                # with a possibly-smaller tail), so the worker's engines are
+                # stable while its task is in flight.
+                self._ensure_capacity(batch.size)
+                task = worker.submit(self._hidden_batch, batch.x, batch.ordinal)
+                if pending is not None:
+                    previous, previous_task = pending
+                    self._scatter_batch(out, previous, previous_task.result(), proba)
+                pending = (batch, task)
+            if pending is not None:
+                previous, previous_task = pending
+                self._scatter_batch(out, previous, previous_task.result(), proba)
         return out
 
     # ------------------------------------------------------------ front end
@@ -330,10 +396,20 @@ class StreamingPredictor(BackendExecutionMixin):
         shared_network = None if ship_model else self.network
         x = np.ascontiguousarray(x, dtype=np.float64)
         rank_args: List[tuple] = [
-            (self, None, x, blob, ship_model, self.batch_size, backend_spec, proba)
+            (self, None, x, blob, ship_model, self.batch_size, backend_spec, proba, self.pipeline)
         ]
         rank_args += [
-            (None, shared_network, None, None, ship_model, self.batch_size, backend_spec, proba)
+            (
+                None,
+                shared_network,
+                None,
+                None,
+                ship_model,
+                self.batch_size,
+                backend_spec,
+                proba,
+                self.pipeline,
+            )
             for _ in range(1, comm.size)
         ]
         results = comm.run(_predict_shard_program, rank_args)
@@ -392,16 +468,20 @@ class StreamingPredictor(BackendExecutionMixin):
 
 
 def predict_stream(
-    network, source: Source, batch_size: int = 1024, backend=None, comm=None
+    network, source: Source, batch_size: int = 1024, backend=None, comm=None, pipeline=False
 ) -> np.ndarray:
     """One-shot helper: hard predictions for ``source`` at O(batch) memory."""
-    predictor = StreamingPredictor(network, batch_size=batch_size, backend=backend, comm=comm)
+    predictor = StreamingPredictor(
+        network, batch_size=batch_size, backend=backend, comm=comm, pipeline=pipeline
+    )
     return predictor.predict_stream(source)
 
 
 def predict_proba_stream(
-    network, source: Source, batch_size: int = 1024, backend=None, comm=None
+    network, source: Source, batch_size: int = 1024, backend=None, comm=None, pipeline=False
 ) -> np.ndarray:
     """One-shot helper: class probabilities for ``source`` at O(batch) memory."""
-    predictor = StreamingPredictor(network, batch_size=batch_size, backend=backend, comm=comm)
+    predictor = StreamingPredictor(
+        network, batch_size=batch_size, backend=backend, comm=comm, pipeline=pipeline
+    )
     return predictor.predict_proba_stream(source)

@@ -112,6 +112,56 @@ class TestNetworkFitComm:
             )
             assert np.array_equal(serial.predict(x), other.predict(x))
 
+    def _fit_pipelined(self, comm, dataset, tol):
+        x, y = dataset
+        hyperparams = BCPNNHyperParameters(taupdt=0.05, density=0.6, competition="softmax")
+        network = Network(seed=11, name="fit-comm-pipelined")
+        network.add(StructuralPlasticityLayer(2, 5, hyperparams=hyperparams, seed=4))
+        network.add(BCPNNClassifier(n_classes=2))
+        schedule = TrainingSchedule(
+            hidden_epochs=2,
+            classifier_epochs=2,
+            batch_size=64,
+            pipeline=True,
+            weight_refresh_tol=tol,
+        )
+        network.fit(x, y, input_spec=InputSpec([4, 4, 4]), schedule=schedule, comm=comm)
+        return network
+
+    @pytest.mark.parametrize("tol", [0.0, 0.02])
+    def test_pipelined_fit_is_rank_invariant_across_transports(
+        self, dataset, process_pool, tol
+    ):
+        """ISSUE 4 acceptance: pipelining (and the rank-invariant stale-weights
+        refresh decisions) must not break transport invariance."""
+        x, _ = dataset
+        with SerialComm() as comm:
+            serial = self._fit_pipelined(comm, dataset, tol)
+        with ThreadComm(3) as comm:
+            threaded = self._fit_pipelined(comm, dataset, tol)
+        processed = self._fit_pipelined(process_pool, dataset, tol)
+        for other in (threaded, processed):
+            assert np.allclose(
+                serial.hidden_layers[0].traces.p_ij,
+                other.hidden_layers[0].traces.p_ij,
+                atol=ATOL,
+            )
+            assert np.array_equal(
+                serial.hidden_layers[0].plasticity.mask,
+                other.hidden_layers[0].plasticity.mask,
+            )
+            assert np.array_equal(serial.predict(x), other.predict(x))
+
+    def test_pipelined_comm_fit_matches_non_pipelined(self, dataset):
+        """The pipelined shard gather is a pure scheduling change."""
+        with SerialComm() as comm:
+            plain = self._fit(comm, dataset)
+        with SerialComm() as comm:
+            piped = self._fit_pipelined(comm, dataset, tol=0.0)
+        np.testing.assert_array_equal(
+            plain.hidden_layers[0].traces.p_ij, piped.hidden_layers[0].traces.p_ij
+        )
+
     def test_fit_records_history_and_trains_head(self, dataset):
         with ThreadComm(2) as comm:
             network = self._fit(comm, dataset)
