@@ -15,17 +15,27 @@ off-thread entropy, stale-weights caching; see
 :func:`repro.instrumentation.measure_pipelined_training`), times the
 *streaming inference* path (:mod:`repro.serving`) per backend, measures
 per-transport allreduce throughput of the :mod:`repro.comm` communicator
-subsystem (``comm_throughput``), and emits the machine-readable
-``BENCH_kernels.json`` at the repository root so the perf trajectory of
-every hot path is tracked from PR to PR (``benchmarks/bench_history.py``
-accumulates the run-over-run history in CI).
+subsystem (``comm_throughput``), sweeps the *block-sparse execution plan*
+against the dense fused path across mask densities
+(``sparse_density_sweep`` — gather-GEMM + packed-slab refresh vs dense
+masked GEMM + full refresh; see
+:func:`repro.instrumentation.measure_sparse_density_sweep`), and emits the
+machine-readable ``BENCH_kernels.json`` at the repository root so the perf
+trajectory of every hot path is tracked from PR to PR
+(``benchmarks/bench_history.py`` accumulates the run-over-run history in
+CI).
 
 Run standalone with ``python benchmarks/bench_kernels.py`` to regenerate
 the JSON without pytest; ``--quick`` shrinks the measurement for CI smoke
 use.  The CI perf gate runs the *full* configuration — the same one the
 committed JSON publishes — with ``--check-speedup X`` (fused-vs-unfused
-no-regression bound) and ``--check-pipelined Y`` (pipelined-vs-serial
-training speedup), each exiting non-zero below its threshold.
+no-regression bound), ``--check-pipelined Y`` (pipelined-vs-serial
+training speedup) and ``--check-sparse Z`` (block-sparse training AND
+serving speedups at density 0.3), each exiting non-zero below its
+threshold, plus ``--check-committed PATH`` which fails when the committed
+JSON's speedup ratios drift more than ``--drift-tol`` (default ±50%) from
+the runner's fresh measurement — a stale or hand-edited committed JSON
+cannot land.
 """
 
 import argparse
@@ -392,6 +402,26 @@ def test_bench_fused_training_step(benchmark, kernel_data):
     assert activations.shape == (BATCH, N_HIDDEN)
 
 
+def test_sparse_density_sweep_measured():
+    """The block-sparse execution plan must run and be timed at every density.
+
+    Asserts structure plus the *qualitative* ordering (sparse at density 0.3
+    must not be slower than dense — the hard >=1.5x threshold lives in the
+    CI perf-gate job's ``--check-sparse``, which runs the full published
+    configuration), and that the sparse path stays bitwise-identical to the
+    dense path on the gate configuration.
+    """
+    from repro.instrumentation import measure_sparse_density_sweep
+
+    outcome = measure_sparse_density_sweep(densities=(0.3,), repeats=2, inner=8)
+    row = outcome["densities"][0]
+    assert row["sparse_train_seconds_per_batch"] > 0
+    assert row["dense_serving_rows_per_second"] > 0
+    assert row["sparse_serving_rows_per_second"] > 0
+    assert row["train_speedup"] > 1.0
+    assert row["serving_speedup"] > 1.0
+
+
 def test_pipelined_training_measured():
     """The pipelined engine must run and be timed against the serial loop.
 
@@ -449,6 +479,63 @@ def test_streaming_inference_throughput_recorded():
         assert entry["workspace_bytes"] > 0
 
 
+#: Relative tolerance for ``--check-committed``: the committed JSON's
+#: dimensionless speedup ratios must sit within this fraction of the
+#: runner's fresh measurement.  Absolute seconds are machine-dependent and
+#: are deliberately NOT compared; the speedups are ratios of two timings on
+#: the *same* machine, so a committed value drifting more than 50% from a
+#: fresh measurement means the JSON is stale (or was fabricated), not that
+#: the runner is slower.
+COMMITTED_DRIFT_TOLERANCE = 0.5
+
+
+def _committed_speedups(payload):
+    """The dimensionless speedup metrics tracked by the drift check."""
+    metrics = {}
+    fused = payload.get("fused_vs_unfused")
+    if fused:
+        metrics["fused_vs_unfused.speedup"] = float(fused["speedup"])
+    pipelined = payload.get("pipelined_training")
+    if pipelined:
+        metrics["pipelined_training.speedup"] = float(pipelined["speedup"])
+    sparse = payload.get("sparse_density_sweep")
+    if sparse:
+        for row in sparse.get("densities", []):
+            key = f"sparse_density_sweep[{row['density']:g}]"
+            metrics[f"{key}.train_speedup"] = float(row["train_speedup"])
+            metrics[f"{key}.serving_speedup"] = float(row["serving_speedup"])
+    return metrics
+
+
+def check_committed_drift(fresh_sections, committed_path, tolerance=COMMITTED_DRIFT_TOLERANCE):
+    """Compare fresh speedup ratios against a committed ``BENCH_kernels.json``.
+
+    Returns a list of human-readable failure strings (empty = within
+    tolerance).  Metrics present on only one side are reported as drift —
+    a committed JSON missing a gated section is exactly the staleness this
+    check exists to catch.
+    """
+    committed = json.loads(Path(committed_path).read_text())
+    fresh = _committed_speedups(fresh_sections)
+    recorded = _committed_speedups(committed)
+    failures = []
+    for name in sorted(set(fresh) | set(recorded)):
+        if name not in fresh:
+            failures.append(f"{name}: committed but not measured in this run")
+            continue
+        if name not in recorded:
+            failures.append(f"{name}: measured but missing from the committed JSON")
+            continue
+        measured, committed_value = fresh[name], recorded[name]
+        drift = abs(committed_value - measured) / max(abs(measured), 1e-12)
+        if drift > tolerance:
+            failures.append(
+                f"{name}: committed {committed_value:.3f}x vs fresh {measured:.3f}x "
+                f"({drift:.0%} drift > {tolerance:.0%} tolerance)"
+            )
+    return failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -472,12 +559,47 @@ def main(argv=None):
         ),
     )
     parser.add_argument(
+        "--check-sparse",
+        type=float,
+        default=None,
+        metavar="Z",
+        help=(
+            "exit non-zero when the block-sparse execution plan's training or "
+            "serving speedup over the dense fused path at density 0.3 is below Z"
+        ),
+    )
+    parser.add_argument(
+        "--check-committed",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "exit non-zero when the committed BENCH_kernels.json at PATH "
+            "drifts more than --drift-tol from this run's fresh speedup "
+            "ratios (absolute seconds are machine-dependent and not compared)"
+        ),
+    )
+    parser.add_argument(
+        "--drift-tol",
+        type=float,
+        default=COMMITTED_DRIFT_TOLERANCE,
+        metavar="FRAC",
+        help=(
+            "relative tolerance for --check-committed (default "
+            f"{COMMITTED_DRIFT_TOLERANCE}: committed speedups within ±50%% of "
+            "fresh ones)"
+        ),
+    )
+    parser.add_argument(
         "--json", type=str, default=str(BENCH_JSON_PATH), help="output JSON path"
     )
     args = parser.parse_args(argv)
 
     from repro.comm.benchmark import measure_comm_throughput
-    from repro.instrumentation import measure_pipelined_training
+    from repro.instrumentation import (
+        measure_pipelined_training,
+        measure_sparse_density_sweep,
+    )
 
     if args.quick:
         fused = measure_fused_vs_unfused(repeats=3, inner=10)
@@ -485,18 +607,21 @@ def main(argv=None):
         pipelined = measure_pipelined_training(n_samples=2048, epochs=2, repeats=2)
         serving = measure_streaming_inference(n_samples=4096, repeats=2)
         comm = measure_comm_throughput(ranks=2, repeats=10, warmup=2)
+        sparse = measure_sparse_density_sweep(repeats=3, inner=15, serve_samples=4096)
     else:
         fused = measure_fused_vs_unfused()
         training = measure_fused_training_backends()
         pipelined = measure_pipelined_training()
         serving = measure_streaming_inference()
         comm = measure_comm_throughput(ranks=2, repeats=30, warmup=5)
+        sparse = measure_sparse_density_sweep()
     sections = {
         "fused_vs_unfused": fused,
         "fused_training_backends": training,
         "pipelined_training": pipelined,
         "streaming_inference": serving,
         "comm_throughput": comm,
+        "sparse_density_sweep": sparse,
     }
     path = write_bench_json(sections, path=args.json)
     print(json.dumps(sections, indent=2))
@@ -514,6 +639,30 @@ def main(argv=None):
             f"{pipelined['speedup']:.3f}x is below the {args.check_pipelined:.2f}x gate"
         )
         failed = True
+    if args.check_sparse is not None:
+        gate_rows = [r for r in sparse["densities"] if r["density"] == 0.3]
+        if not gate_rows:
+            print("PERF REGRESSION: sparse sweep did not measure density 0.3")
+            failed = True
+        for row in gate_rows:
+            if row["train_speedup"] < args.check_sparse:
+                print(
+                    f"PERF REGRESSION: sparse training speedup {row['train_speedup']:.3f}x "
+                    f"at density 0.3 is below the {args.check_sparse:.2f}x gate"
+                )
+                failed = True
+            if row["serving_speedup"] < args.check_sparse:
+                print(
+                    f"PERF REGRESSION: sparse serving speedup {row['serving_speedup']:.3f}x "
+                    f"at density 0.3 is below the {args.check_sparse:.2f}x gate"
+                )
+                failed = True
+    if args.check_committed is not None:
+        drift = check_committed_drift(sections, args.check_committed, args.drift_tol)
+        for line in drift:
+            print(f"BENCH DRIFT: {line}")
+        if drift:
+            failed = True
     return 1 if failed else 0
 
 

@@ -70,8 +70,16 @@ class Backend:
         mask_expanded: np.ndarray,
         hidden_sizes: Sequence[int],
         bias_gain: float = 1.0,
+        sparse=None,
     ) -> np.ndarray:
-        """Masked support GEMM followed by per-hypercolumn softmax."""
+        """Masked support GEMM followed by per-hypercolumn softmax.
+
+        ``sparse`` is an optional :class:`repro.kernels.SparseWeights`
+        bundle (compiled mask layout + packed weight slabs); backends with a
+        block-sparse fast path serve it with gather-GEMMs, everyone else
+        falls back to scattering the slabs into the dense effective matrix
+        (see :meth:`_sparse_effective`) — always correct, never required.
+        """
         raise NotImplementedError
 
     def batch_statistics(
@@ -134,17 +142,62 @@ class Backend:
         bias_gain: float = 1.0,
         out: Optional[np.ndarray] = None,
         workspace=None,
+        sparse=None,
     ) -> np.ndarray:
         """``out=``-style forward: hidden activations written into ``out``.
 
         The default implementation delegates to :meth:`forward` and copies;
         workspace-aware backends override it to compute in place.
         """
-        activations = self.forward(x, weights, bias, mask_expanded, hidden_sizes, bias_gain)
+        activations = self.forward(
+            x, weights, bias, mask_expanded, hidden_sizes, bias_gain, sparse=sparse
+        )
         if out is None:
             return activations
         np.copyto(out, activations)
         return out
+
+    def _sparse_effective(self, sparse, workspace=None) -> np.ndarray:
+        """Dense ``weights * mask`` product scattered from packed slabs.
+
+        The correctness fallback for backends without a gather-GEMM fast
+        path: silent entries are exactly ``0.0``, elementwise identical to
+        the dense path's masked product, so the ordinary dense GEMM over the
+        result is valid.  With a workspace the scatter is cached in
+        ``masked_weights`` behind the ``masked_valid`` flag (the engine
+        clears it whenever the packed buffer or the layout changes).
+        """
+        layout = sparse.layout
+        if workspace is not None:
+            if not getattr(workspace, "masked_valid", False):
+                kernels.scatter_packed(sparse.blocks, layout, workspace.masked_weights)
+                workspace.masked_valid = True
+            return workspace.masked_weights
+        out = np.empty((layout.n_input, layout.n_hidden), dtype=np.float64)
+        return kernels.scatter_packed(sparse.blocks, layout, out)
+
+    def pack_weights(
+        self,
+        p_i: np.ndarray,
+        p_j: np.ndarray,
+        p_ij: np.ndarray,
+        layout,
+        trace_floor: float = 1e-12,
+        out_blocks=None,
+        out_bias: Optional[np.ndarray] = None,
+    ):
+        """Sparse trace->weight refresh into packed per-block slabs.
+
+        The sparse counterpart of :meth:`traces_to_weights`: only the active
+        rows of each hidden block are converted (identical scalar operations
+        per entry, so packed values are bitwise equal to gathering the dense
+        weight matrix).  Backends with a working-precision contract override
+        this to quantise the slabs.
+        """
+        self.stats.weight_updates += 1
+        return kernels.pack_traces_to_weights(
+            p_i, p_j, p_ij, layout, trace_floor, out_blocks=out_blocks, out_bias=out_bias
+        )
 
     def update_traces(
         self,
@@ -182,6 +235,7 @@ class Backend:
         taupdt: float,
         activity_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
         workspace=None,
+        sparse=None,
     ) -> np.ndarray:
         """One fused training step: forward + batch statistics + trace update.
 
@@ -189,13 +243,17 @@ class Backend:
         (the layer's competition rule); ``None`` trains on the activations
         themselves.  Returns the forward activations — a view into the
         workspace when one is supplied, valid until the next dispatch.
+
+        On a sparse dispatch only the forward side goes through the packed
+        slabs; the statistics/EMA stay dense because the joint trace must
+        keep silent-connection statistics for structural plasticity.
         """
         out = None
         if workspace is not None:
             out = workspace.activations[: np.asarray(x).shape[0]]
         activations = self.forward_into(
             x, weights, bias, mask_expanded, hidden_sizes, bias_gain,
-            out=out, workspace=workspace,
+            out=out, workspace=workspace, sparse=sparse,
         )
         activity = activations if activity_fn is None else activity_fn(activations)
         self.update_traces(x, activity, p_i, p_j, p_ij, taupdt, workspace=workspace)

@@ -94,8 +94,11 @@ class DistributedBackend(Backend):
         mask_expanded: np.ndarray,
         hidden_sizes: Sequence[int],
         bias_gain: float = 1.0,
+        sparse=None,
     ) -> np.ndarray:
-        return self.forward_into(x, weights, bias, mask_expanded, hidden_sizes, bias_gain)
+        return self.forward_into(
+            x, weights, bias, mask_expanded, hidden_sizes, bias_gain, sparse=sparse
+        )
 
     def forward_into(
         self,
@@ -107,16 +110,29 @@ class DistributedBackend(Backend):
         bias_gain: float = 1.0,
         out: Optional[np.ndarray] = None,
         workspace=None,
+        sparse=None,
     ) -> np.ndarray:
         x = self._require_2d(x, "x")
         n_rows = x.shape[0]
         self.stats.forward_calls += 1
-        self.stats.elements_processed += int(n_rows) * int(weights.shape[1])
+        n_hidden = int(sparse.layout.n_hidden if sparse is not None else weights.shape[1])
+        self.stats.elements_processed += int(n_rows) * n_hidden
         if out is None:
             if workspace is not None:
                 out = workspace.activations[:n_rows]
             else:
-                out = np.empty((n_rows, weights.shape[1]), dtype=np.float64)
+                out = np.empty((n_rows, n_hidden), dtype=np.float64)
+        if sparse is not None:
+            # Rank-local block-sparse forward: each simulated rank runs the
+            # gather-GEMMs on its own row shard (no communication needed).
+            for lo, hi in split_ranks(n_rows, self.comm.size):
+                if hi <= lo:
+                    continue
+                support = kernels.compute_support_sparse(
+                    x[lo:hi], sparse.blocks, bias, sparse.layout, bias_gain
+                )
+                kernels.hidden_activations(support, hidden_sizes, out=out[lo:hi])
+            return out
         if mask_expanded is not None:
             if workspace is not None:
                 if getattr(workspace, "masked_valid", False):
@@ -272,6 +288,10 @@ def _replica_from_spec(spec: Dict[str, object], rng: np.random.Generator):
         n_minicolumns=int(spec["n_minicolumns"]),
         hyperparams=BCPNNHyperParameters.from_dict(dict(spec["hyperparams"])),
         backend=spec.get("backend"),
+        # Replicas must make the same dense-vs-sparse execution choice as
+        # rank 0, or the per-shard forward bits (and on multi-hypercolumn
+        # layers the block structure) would differ across ranks.
+        sparse=spec.get("sparse"),
         seed=rng,
         name=str(spec["name"]),
     )
@@ -569,6 +589,8 @@ class DistributedTrainer:
             # Worker replicas must compute their shards on the same compute
             # backend as rank 0, or the reduction mixes precisions.
             "backend": resolve_backend_name(layer._backend_spec, layer.backend),
+            # ... and on the same execution plan (dense vs block-sparse).
+            "sparse": getattr(layer, "sparse_mode", None),
         }
         options = {
             "spec": spec,
@@ -586,6 +608,10 @@ class DistributedTrainer:
         rank_args: List[tuple] = [(layer, x, options)]
         rank_args += [(None, None, options) for _ in range(1, self.comm.size)]
         results = self.comm.run(train_layer_program, rank_args)
+        if hasattr(layer, "flush_weights"):
+            # Settle the dense weight matrix the sparse plan's packed
+            # refreshes defer (a no-op on dense layers).
+            layer.flush_weights()
         report = results[0]
         if on_epoch_end is not None:
             for epoch, log in enumerate(report["epoch_logs"]):

@@ -111,8 +111,11 @@ class LowPrecisionBackend(Backend):
         mask_expanded: np.ndarray,
         hidden_sizes: Sequence[int],
         bias_gain: float = 1.0,
+        sparse=None,
     ) -> np.ndarray:
-        return self.forward_into(x, weights, bias, mask_expanded, hidden_sizes, bias_gain)
+        return self.forward_into(
+            x, weights, bias, mask_expanded, hidden_sizes, bias_gain, sparse=sparse
+        )
 
     def forward_into(
         self,
@@ -124,24 +127,37 @@ class LowPrecisionBackend(Backend):
         bias_gain: float = 1.0,
         out: Optional[np.ndarray] = None,
         workspace=None,
+        sparse=None,
     ) -> np.ndarray:
         # The quantisation of the operands allocates by construction (this
         # backend simulates number formats, it is not a perf path), but the
         # reference forward still streams through the shared workspace.
+        # Sparse slabs are re-quantised at dispatch — idempotent for slabs
+        # this backend packed itself, and it upholds the precision contract
+        # for slabs packed elsewhere (mirroring the dense path, which
+        # quantises the weight matrix at every dispatch).
+        if sparse is not None:
+            from repro import kernels as _kernels
+
+            sparse = _kernels.SparseWeights(
+                sparse.layout, [self.quantize(b) for b in sparse.blocks], sparse.flat
+            )
         activations = self._reference.forward_into(
             self.quantize(x),
-            self.quantize(weights),
+            None if sparse is not None else self.quantize(weights),
             self.quantize(bias),
             mask_expanded,
             hidden_sizes,
             bias_gain,
             out=out,
             workspace=workspace,
+            sparse=sparse,
         )
         self.stats.forward_calls += 1
-        self.stats.elements_processed += int(np.asarray(x).shape[0]) * int(
-            np.asarray(weights).shape[1]
+        n_hidden = int(
+            sparse.layout.n_hidden if sparse is not None else np.asarray(weights).shape[1]
         )
+        self.stats.elements_processed += int(np.asarray(x).shape[0]) * n_hidden
         # Re-normalise after quantisation so each hypercolumn still sums to 1.
         quantised = self.quantize(activations)
         if out is not None and quantised is not out:
@@ -164,6 +180,33 @@ class LowPrecisionBackend(Backend):
         )
         self.stats.statistics_calls += 1
         return self.quantize(mean_x), self.quantize(mean_a), self.quantize(mean_outer)
+
+    def pack_weights(
+        self,
+        p_i: np.ndarray,
+        p_j: np.ndarray,
+        p_ij: np.ndarray,
+        layout,
+        trace_floor: float = 1e-12,
+        out_blocks=None,
+        out_bias: Optional[np.ndarray] = None,
+    ):
+        """Packed sparse refresh with the backend's precision contract.
+
+        Each slab entry is the quantisation of the value the dense
+        :meth:`traces_to_weights` + mask would produce for that connection,
+        so the sparse path matches the dense low-precision path exactly.
+        """
+        blocks, bias = self._reference.pack_weights(
+            p_i, p_j, p_ij, layout, trace_floor, out_blocks=out_blocks, out_bias=out_bias
+        )
+        self.stats.weight_updates += 1
+        for slab in blocks:
+            slab[...] = self.quantize(slab)
+        quant_b = self.quantize(bias)
+        if quant_b is not bias:
+            np.copyto(bias, quant_b)
+        return blocks, bias
 
     def traces_to_weights(
         self,

@@ -41,7 +41,12 @@ class NumpyBackend(Backend):
         mask_expanded: np.ndarray,
         hidden_sizes: Sequence[int],
         bias_gain: float = 1.0,
+        sparse=None,
     ) -> np.ndarray:
+        if sparse is not None:
+            return self.forward_into(
+                x, weights, bias, mask_expanded, hidden_sizes, bias_gain, sparse=sparse
+            )
         x = self._require_2d(x, "x")
         support = kernels.compute_support(x, weights, bias, mask_expanded, bias_gain)
         activations = kernels.hidden_activations(support, hidden_sizes)
@@ -59,9 +64,25 @@ class NumpyBackend(Backend):
         bias_gain: float = 1.0,
         out: Optional[np.ndarray] = None,
         workspace=None,
+        sparse=None,
     ) -> np.ndarray:
         x = self._require_2d(x, "x")
         n_rows = x.shape[0]
+        if sparse is not None:
+            # Block-sparse fast path: one gather-GEMM per hidden hypercolumn
+            # over the packed slabs — only the FLOPs the mask requires.
+            support_buf = workspace.support[:n_rows] if workspace is not None else None
+            gather = workspace.gather_scratch() if workspace is not None else None
+            if out is None and workspace is not None:
+                out = workspace.activations[:n_rows]
+            support = kernels.compute_support_sparse(
+                x, sparse.blocks, bias, sparse.layout, bias_gain,
+                out=support_buf, gather=gather,
+            )
+            activations = kernels.hidden_activations(support, hidden_sizes, out=out)
+            self.stats.forward_calls += 1
+            self.stats.elements_processed += int(n_rows) * int(sparse.layout.n_hidden)
+            return activations
         support_buf = None
         masked_buf = None
         reuse_masked = False

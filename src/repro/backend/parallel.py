@@ -97,8 +97,11 @@ class ParallelBackend(Backend):
         mask_expanded: np.ndarray,
         hidden_sizes: Sequence[int],
         bias_gain: float = 1.0,
+        sparse=None,
     ) -> np.ndarray:
-        return self.forward_into(x, weights, bias, mask_expanded, hidden_sizes, bias_gain)
+        return self.forward_into(
+            x, weights, bias, mask_expanded, hidden_sizes, bias_gain, sparse=sparse
+        )
 
     def forward_into(
         self,
@@ -110,14 +113,40 @@ class ParallelBackend(Backend):
         bias_gain: float = 1.0,
         out: Optional[np.ndarray] = None,
         workspace=None,
+        sparse=None,
     ) -> np.ndarray:
         x = self._require_2d(x, "x")
         n_rows = x.shape[0]
         chunks = self._chunks(n_rows)
         self.stats.forward_calls += 1
-        self.stats.elements_processed += int(n_rows) * int(weights.shape[1])
         if workspace is not None and out is None:
             out = workspace.activations[:n_rows]
+        if sparse is not None:
+            # Block-sparse path, chunked over the batch rows: each worker
+            # gathers its own contiguous row block and runs the per-block
+            # gather-GEMMs, sharing the read-only packed slabs zero-copy.
+            self.stats.elements_processed += int(n_rows) * int(sparse.layout.n_hidden)
+            if len(chunks) == 1:
+                support_buf = workspace.support[:n_rows] if workspace is not None else None
+                gather = workspace.gather_scratch() if workspace is not None else None
+                support = kernels.compute_support_sparse(
+                    x, sparse.blocks, bias, sparse.layout, bias_gain,
+                    out=support_buf, gather=gather,
+                )
+                return kernels.hidden_activations(support, hidden_sizes, out=out)
+            if out is None:
+                out = np.empty((n_rows, sparse.layout.n_hidden), dtype=np.float64)
+
+            def run_sparse(chunk: Tuple[int, int]) -> None:
+                lo, hi = chunk
+                support = kernels.compute_support_sparse(
+                    x[lo:hi], sparse.blocks, bias, sparse.layout, bias_gain
+                )
+                kernels.hidden_activations(support, hidden_sizes, out=out[lo:hi])
+
+            list(self.pool.map(run_sparse, chunks))
+            return out
+        self.stats.elements_processed += int(n_rows) * int(weights.shape[1])
         reuse_masked = (
             workspace is not None
             and mask_expanded is not None

@@ -28,6 +28,12 @@ double-buffered training loop; identical results) and
 ``traces_to_weights`` refresh while the accumulated taupdt-scaled trace
 drift stays under TOL; 0 = exact); ``predict`` accepts ``--pipeline`` to
 overlap the hidden and head serving stages.
+
+``train``, ``sweep`` and ``predict`` accept ``--sparse {auto,on,off}`` —
+the block-sparse execution plan that serves low-density receptive fields
+through gather-GEMM kernels (an execution choice only; results unchanged).
+On ``benchmark``, passing ``--sparse`` adds a dense-vs-sparse density-sweep
+table.
 """
 
 from __future__ import annotations
@@ -84,6 +90,22 @@ def _add_comm(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         help="number of communicator ranks (default 1; implies --comm thread when > 1)",
+    )
+
+
+def _add_sparse(parser: argparse.ArgumentParser, default: Optional[str] = "auto") -> None:
+    """``--sparse``: block-sparse execution policy for masked layers."""
+    parser.add_argument(
+        "--sparse",
+        choices=["auto", "on", "off"],
+        default=default,
+        help=(
+            "block-sparse execution plan for the structural-plasticity mask: "
+            "auto (gather-GEMM kernels when the receptive-field density is at "
+            "or below the measured break-even), on (force sparse), off (force "
+            "the dense masked GEMM); an execution choice only, results are "
+            "unchanged"
+        ),
     )
 
 
@@ -168,6 +190,7 @@ def main_train(argv: Optional[List[str]] = None) -> int:
     _add_common(parser)
     _add_comm(parser)
     _add_pipeline(parser)
+    _add_sparse(parser)
     args = parser.parse_args(argv)
     if not args.quiet:
         enable_console_logging()
@@ -186,6 +209,7 @@ def main_train(argv: Optional[List[str]] = None) -> int:
         seed=args.seed,
         pipeline=args.pipeline,
         weight_refresh_tol=args.weight_refresh_tol,
+        sparse=args.sparse,
     )
     data = prepare_higgs_data(
         n_events=config.n_events, n_bins=config.n_bins, seed=args.seed, path=args.higgs_path
@@ -239,6 +263,7 @@ def main_sweep(argv: Optional[List[str]] = None) -> int:
     _add_common(parser)
     _add_comm(parser)
     _add_pipeline(parser)
+    _add_sparse(parser)
     args = parser.parse_args(argv)
     if not args.quiet:
         enable_console_logging()
@@ -260,6 +285,7 @@ def main_sweep(argv: Optional[List[str]] = None) -> int:
             backend=args.backend,
             pipeline=args.pipeline,
             weight_refresh_tol=args.weight_refresh_tol,
+            sparse=args.sparse,
             **kwargs,
         )
     else:
@@ -269,6 +295,7 @@ def main_sweep(argv: Optional[List[str]] = None) -> int:
             backend=args.backend,
             pipeline=args.pipeline,
             weight_refresh_tol=args.weight_refresh_tol,
+            sparse=args.sparse,
         )
     print(result["table"])
     return _finish(result, args)
@@ -295,6 +322,9 @@ def main_benchmark(argv: Optional[List[str]] = None) -> int:
     # --weight-refresh-tol 0 explicitly to time the exact (pure-scheduling)
     # pipelined mode.
     _add_pipeline(parser, default_tol=0.01)
+    # No default: passing --sparse opts the (multi-second) dense-vs-sparse
+    # density sweep table into the benchmark run.
+    _add_sparse(parser, default=None)
     args = parser.parse_args(argv)
     if not args.quiet:
         enable_console_logging()
@@ -412,6 +442,25 @@ def main_benchmark(argv: Optional[List[str]] = None) -> int:
         result["pipelined_training"] = pipelined
         result["table"] = result["table"] + "\n" + pipeline_table
 
+    # Block-sparse execution plan vs the dense fused path (opted in with
+    # --sparse): dense vs gather-GEMM seconds/batch and serving rows/s
+    # across mask densities, on the same shipped layer/predictor paths the
+    # committed BENCH_kernels.json sweep publishes.
+    if args.sparse is not None:
+        from repro.instrumentation import measure_sparse_density_sweep
+
+        sweep = measure_sparse_density_sweep(
+            n_minicolumns=args.mcus, repeats=max(2, args.repeats // 2)
+        )
+        sparse_table = format_table(
+            sweep["densities"],
+            precision=6,
+            title="Block-sparse execution: dense vs gather-GEMM by density",
+        )
+        print(sparse_table)
+        result["sparse_density_sweep"] = sweep
+        result["table"] = result["table"] + "\n" + sparse_table
+
     # Per-transport collective throughput (opted in with --comm/--ranks):
     # the payload is the trace matrix one data-parallel batch allreduces.
     if args.comm is not None or args.ranks is not None:
@@ -502,11 +551,22 @@ def main_predict(argv: Optional[List[str]] = None) -> int:
     )
     _add_common(parser)
     _add_comm(parser)
+    # No default: without --sparse the model's saved policy applies; with it
+    # the mode is *forced* (auto re-evaluates the density threshold, on/off
+    # force the gather-GEMM / dense masked paths).
+    _add_sparse(parser, default=None)
     args = parser.parse_args(argv)
     if not args.quiet:
         enable_console_logging()
 
     network = load_network(args.model)
+    if args.sparse is not None:
+        # bind_sparse(force=True) updates the layer's *spec* too, so worker
+        # replicas rebuilt from the serialized blob on process-comm ranks
+        # make the same dense-vs-sparse choice as the driver.
+        for layer in network.hidden_layers:
+            if hasattr(layer, "bind_sparse"):
+                layer.bind_sparse(args.sparse, force=True)
     x = _load_feature_matrix(args.input)
     comm = _build_comm(args)
     predictor = StreamingPredictor(

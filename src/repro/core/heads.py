@@ -182,6 +182,15 @@ class SGDClassifier:
         self.bias: Optional[np.ndarray] = None
         self._vel_w: Optional[np.ndarray] = None
         self._vel_b: Optional[np.ndarray] = None
+        # Monotonic parameter generation (the SGD twin of the BCPNN layers'
+        # ``weights_token``): serving-side replica caches key on it to
+        # detect that the head was retrained between predict calls.
+        self._weights_token = 0
+
+    @property
+    def weights_token(self) -> int:
+        """Parameter-update generation of the in-place-mutated weights."""
+        return self._weights_token
 
     # ----------------------------------------------------------------- meta
     @property
@@ -201,6 +210,7 @@ class SGDClassifier:
         self.bias = np.zeros(self.n_classes)
         self._vel_w = np.zeros_like(self.weights)
         self._vel_b = np.zeros_like(self.bias)
+        self._weights_token += 1
         return self
 
     # -------------------------------------------------------------- training
@@ -227,6 +237,7 @@ class SGDClassifier:
         self._vel_b = self.momentum * self._vel_b - lr * grad_b
         self.weights += self._vel_w
         self.bias += self._vel_b
+        self._weights_token += 1
         return loss
 
     # ------------------------------------------------------------ inference

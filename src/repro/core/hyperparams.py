@@ -13,7 +13,7 @@ from dataclasses import dataclass, replace
 from typing import Dict
 
 from repro.exceptions import ConfigurationError
-from repro.utils.validation import check_fraction, check_positive_int
+from repro.utils.validation import check_fraction, check_positive_int, check_sparse_mode
 
 __all__ = ["BCPNNHyperParameters", "TrainingSchedule"]
 
@@ -155,6 +155,20 @@ class TrainingSchedule:
     ``taupdt``-scaled trace drift stays under the tolerance.  ``0`` (the
     default) refreshes every batch — exact training; ``> 0`` trades bounded
     weight staleness for throughput.
+
+    ``sparse`` selects the block-sparse execution plan for the hidden
+    layers: ``"auto"`` (default) serves a layer through the gather-GEMM
+    kernels whenever its receptive-field density is at or below the measured
+    break-even, ``"on"`` forces them, ``"off"`` forces the dense masked
+    GEMM.  At ``weight_refresh_tol=0`` (the default) this is purely an
+    execution choice — the learning rule and its results are unchanged
+    (bitwise on single-hypercolumn layers).  Combining ``sparse`` with
+    ``weight_refresh_tol > 0`` *and* active structural plasticity is the
+    one corner where the plans can drift within the tolerance: a mask swap
+    forces the sparse plan to repack from the current traces (equivalent to
+    an extra refresh at the swap boundary), while the dense plan keeps its
+    stale buffer — the same approximation class ``tol > 0`` already opts
+    into, with the sparse weights only ever *fresher*.
     """
 
     hidden_epochs: int = 5
@@ -172,6 +186,8 @@ class TrainingSchedule:
     pipeline: bool = False
     #: Stale-weights tolerance for the per-batch weight refresh (0 = exact).
     weight_refresh_tol: float = 0.0
+    #: Block-sparse execution policy for the hidden layers ("auto"/"on"/"off").
+    sparse: str = "auto"
 
     def __post_init__(self) -> None:
         check_positive_int(self.hidden_epochs, "hidden_epochs", minimum=0)
@@ -187,6 +203,7 @@ class TrainingSchedule:
             raise ConfigurationError("sgd_weight_decay must be non-negative")
         if self.weight_refresh_tol < 0:
             raise ConfigurationError("weight_refresh_tol must be non-negative")
+        check_sparse_mode(self.sparse)
 
     def replace(self, **overrides) -> "TrainingSchedule":
         return replace(self, **overrides)
@@ -204,4 +221,5 @@ class TrainingSchedule:
             "prefetch_batches": self.prefetch_batches,
             "pipeline": self.pipeline,
             "weight_refresh_tol": self.weight_refresh_tol,
+            "sparse": self.sparse,
         }

@@ -114,6 +114,11 @@ class StructuralPlasticityLayer(BackendExecutionMixin):
         overrides the value in the hyper-parameter set.
     backend:
         Backend name or instance (default "numpy").
+    sparse:
+        Block-sparse execution policy: ``"auto"`` (default — gather-GEMM
+        kernels whenever the receptive-field density is at or below the
+        measured break-even), ``"on"``/``True`` (force sparse) or
+        ``"off"``/``False`` (force the dense masked GEMM).
     seed:
         RNG seed controlling mask initialisation.
     """
@@ -125,6 +130,7 @@ class StructuralPlasticityLayer(BackendExecutionMixin):
         density: Optional[float] = None,
         hyperparams: Optional[BCPNNHyperParameters] = None,
         backend=None,
+        sparse=None,
         seed=None,
         name: Optional[str] = None,
     ) -> None:
@@ -135,7 +141,7 @@ class StructuralPlasticityLayer(BackendExecutionMixin):
             density = check_fraction(density, "density")
             base = base.replace(density=density)
         self.hyperparams = base
-        self._init_execution(backend)
+        self._init_execution(backend, sparse=sparse)
         self._rng = as_rng(seed)
         self.name = name or f"hidden-{self.n_hypercolumns}x{self.n_minicolumns}"
 
@@ -145,7 +151,20 @@ class StructuralPlasticityLayer(BackendExecutionMixin):
         self.weights: Optional[np.ndarray] = None
         self.bias: Optional[np.ndarray] = None
         self._mask_expanded: Optional[np.ndarray] = None
+        self._mask_token = 0
         self.batches_trained = 0
+
+    @property
+    def mask_token(self) -> int:
+        """Generation counter of the receptive-field mask.
+
+        Bumped on every mask (re)expansion — build, structural-plasticity
+        swaps, ``set_density``, state loads — so consumers that cache
+        mask-derived artifacts (e.g. serving replicas keyed on the model
+        token) can detect in-place mask mutations that no weight refresh
+        accompanies.
+        """
+        return self._mask_token
 
     # ----------------------------------------------------------------- meta
     @property
@@ -205,28 +224,51 @@ class StructuralPlasticityLayer(BackendExecutionMixin):
         # identical features (competitive learning needs initial asymmetry).
         noise = self._rng.uniform(0.95, 1.05, size=self.traces.p_ij.shape)
         self.traces.p_ij *= noise
-        self.refresh_weights()
+        # The mask (and its compiled sparse layout) must exist before the
+        # first refresh: under the sparse plan the refresh packs per-block
+        # weight slabs along the layout.
         self._refresh_mask()
+        self.refresh_weights()
         self._reset_engine()
         self.batches_trained = 0
         return self
+
+    def _sparse_source(self):
+        """The ``(mask, input_sizes, hidden_sizes)`` the sparse layout compiles."""
+        if self.plasticity is None or self.input_spec is None:
+            return None
+        return (
+            self.plasticity.mask,
+            self.input_spec.hypercolumn_sizes,
+            self.hidden_sizes,
+        )
 
     def _refresh_mask(self) -> None:
         self._mask_expanded = kernels.expand_mask(
             self.plasticity.mask, self.input_spec.hypercolumn_sizes, self.hidden_sizes
         )
+        self._mask_token += 1
+        # Recompile the block-CSC layout: a fresh layout object invalidates
+        # every engine cache keyed on it, and the packed slabs re-pack
+        # lazily on the next sparse dispatch.
+        self._refresh_sparse_layout()
 
     # ------------------------------------------------------------- forward
     def forward_raw(self, x: np.ndarray) -> np.ndarray:
         """Hidden activations for a validated batch (no input validation copy)."""
         self._require_built()
+        # ``_weights`` (not the property): a sparse dispatch reads the packed
+        # slabs, so materialising the dense matrix here would throw away the
+        # sparse plan's refresh saving; dense dispatches keep the historical
+        # in-place-refreshed buffer semantics.
         return self.backend.forward(
             x,
-            self.weights,
+            self._weights,
             self.bias,
             self._mask_expanded,
             self.hidden_sizes,
             self.hyperparams.bias_gain,
+            sparse=self.sparse_context(),
         )
 
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -290,17 +332,20 @@ class StructuralPlasticityLayer(BackendExecutionMixin):
         # One fused dispatch: forward + competition + statistics + trace
         # update, streamed through the engine's preallocated workspace.  The
         # returned activations are a workspace view, valid until the next
-        # engine dispatch on this layer.
+        # engine dispatch on this layer.  Under the sparse plan the dispatch
+        # carries the packed slabs and the dense weight buffer goes along
+        # un-materialised (backends never read it on a sparse dispatch).
         engine = self.engine_for(x.shape[0])
         activations = engine.fused_update(
             x,
-            self.weights,
+            self._weights,
             self.bias,
             self._mask_expanded,
             self.hyperparams.bias_gain,
             self.traces,
             taupdt,
             activity_fn=self._training_activity,
+            sparse=self.sparse_context(),
         )
         # Stale-weights caching: the engine tracks the accumulated
         # taupdt-scaled trace drift and only asks for the (log-heavy)
@@ -349,6 +394,7 @@ class StructuralPlasticityLayer(BackendExecutionMixin):
             "n_minicolumns": self.n_minicolumns,
             "hyperparams": self.hyperparams.to_dict(),
             "input_sizes": list(self.input_spec.hypercolumn_sizes),
+            "sparse": self._sparse_spec,
             "p_i": self.traces.p_i.copy(),
             "p_j": self.traces.p_j.copy(),
             "p_ij": self.traces.p_ij.copy(),
@@ -362,14 +408,21 @@ class StructuralPlasticityLayer(BackendExecutionMixin):
         self.hyperparams = BCPNNHyperParameters.from_dict(
             {k: v for k, v in dict(state["hyperparams"]).items()}
         )
+        # Restore the sparse policy before building so the worker-replica /
+        # deserialisation paths make the same dense-vs-sparse choice as the
+        # process that exported the state (older saves default to "auto").
+        sparse = state.get("sparse")
+        if sparse is not None:
+            self._sparse_spec = str(sparse)
+            self.configure_execution(sparse=self._sparse_spec)
         self.build(input_spec)
         self.traces.p_i[:] = np.asarray(state["p_i"])
         self.traces.p_j[:] = np.asarray(state["p_j"])
         self.traces.p_ij[:] = np.asarray(state["p_ij"])
         self.plasticity.mask[:] = np.asarray(state["mask"])
         self.batches_trained = int(state["batches_trained"])
-        self.refresh_weights()
         self._refresh_mask()
+        self.refresh_weights()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.backend.base import Backend
 from repro.backend.registry import get_backend
+from repro.core.execution import normalize_sparse_mode
 from repro.core.heads import BCPNNClassifier, SGDClassifier
 from repro.core.hyperparams import TrainingSchedule
 from repro.core.layers import InputSpec, StructuralPlasticityLayer
@@ -57,12 +58,19 @@ class Network:
         that did not choose one explicitly — the single backend-resolution
         point for a whole network (layers share the instance, so e.g. one
         thread pool serves the full stack).
+    sparse:
+        Optional block-sparse execution policy (``"auto"``/``"on"``/``"off"``
+        or a bool) threaded through every hidden layer that did not choose
+        one explicitly — the network-level twin of ``backend``.
     """
 
-    def __init__(self, seed=None, name: str = "bcpnn-network", backend=None) -> None:
+    def __init__(
+        self, seed=None, name: str = "bcpnn-network", backend=None, sparse=None
+    ) -> None:
         self._rng = as_rng(seed)
         self.name = name
         self._backend: Optional[Backend] = get_backend(backend) if backend is not None else None
+        self._sparse = normalize_sparse_mode(sparse)
         self.hidden_layers: List[StructuralPlasticityLayer] = []
         self.head: Optional[HeadLayer] = None
         self.input_spec: Optional[InputSpec] = None
@@ -94,6 +102,8 @@ class Network:
             )
         if self._backend is not None and hasattr(layer, "bind_backend"):
             layer.bind_backend(self._backend)
+        if self._sparse is not None and hasattr(layer, "bind_sparse"):
+            layer.bind_sparse(self._sparse)
         return self
 
     @property
@@ -144,6 +154,7 @@ class Network:
         comm=None,
         pipeline: Optional[bool] = None,
         weight_refresh_tol: Optional[float] = None,
+        sparse=None,
     ) -> History:
         """Train the network; returns the training :class:`History`.
 
@@ -157,15 +168,19 @@ class Network:
         competition modes.  The classification head is small and trains on
         the driver as usual.
 
-        ``pipeline`` / ``weight_refresh_tol`` override the corresponding
-        :class:`TrainingSchedule` fields: ``pipeline=True`` runs the hidden
-        phase through the overlapped double-buffered loop
+        ``pipeline`` / ``weight_refresh_tol`` / ``sparse`` override the
+        corresponding :class:`TrainingSchedule` fields: ``pipeline=True``
+        runs the hidden phase through the overlapped double-buffered loop
         (:mod:`repro.engine.pipeline`; identical results, different work
-        schedule — also honoured by the data-parallel SPMD program), and
+        schedule — also honoured by the data-parallel SPMD program),
         ``weight_refresh_tol > 0`` enables stale-weights caching (skip the
         per-batch ``traces_to_weights`` refresh while the accumulated
         ``taupdt``-scaled trace drift stays under the tolerance; ``0`` is
-        bit-for-bit exact).
+        bit-for-bit exact), and ``sparse`` selects the block-sparse
+        execution plan for the hidden layers (``"auto"``/``"on"``/``"off"``;
+        an execution choice — results unchanged at ``tol=0``; see
+        :class:`~repro.core.hyperparams.TrainingSchedule` for the one
+        ``tol>0``-plus-plasticity caveat).
         """
         schedule = schedule or TrainingSchedule()
         overrides = {}
@@ -173,6 +188,8 @@ class Network:
             overrides["pipeline"] = bool(pipeline)
         if weight_refresh_tol is not None:
             overrides["weight_refresh_tol"] = float(weight_refresh_tol)
+        if sparse is not None:
+            overrides["sparse"] = normalize_sparse_mode(sparse)
         if overrides:
             schedule = schedule.replace(**overrides)
         x = np.asarray(x, dtype=np.float64)
@@ -192,6 +209,20 @@ class Network:
         callback_list.on_train_begin(self)
 
         # ------------------------------------------- phase 1: hidden layers
+        # Sparse policy resolution: an explicit fit(sparse=...) *forces* the
+        # mode onto every hidden layer — including its serialised spec, so
+        # SPMD/serving worker replicas rebuilt from a blob make the same
+        # dense-vs-sparse choice as the driver.  The schedule's value only
+        # configures the runtime mode of layers without an explicit choice
+        # (constructor or Network(sparse=...)), and does not claim the spec
+        # — so a later fit with a different schedule can still change it.
+        for layer in self.hidden_layers:
+            if not hasattr(layer, "bind_sparse"):
+                continue
+            if sparse is not None:
+                layer.bind_sparse(schedule.sparse, force=True)
+            elif getattr(layer, "_sparse_spec", None) is None:
+                layer.configure_execution(sparse=schedule.sparse)
         representation = x
         for layer in self.hidden_layers:
             if comm is not None:
@@ -371,18 +402,23 @@ class Network:
         # Derive a per-phase shuffle stream from the network RNG (advancing
         # it, so stacked layers do not reuse one permutation sequence).
         shuffle_rng = as_rng(int(self._rng.integers(2**63)))
-        trainer.train_layer(
-            layer,
-            x,
-            epochs=schedule.hidden_epochs,
-            batch_size=schedule.batch_size,
-            rng=shuffle_rng,
-            shuffle=schedule.shuffle,
-            on_epoch_end=record,
-            mode="competitive",
-            pipeline=schedule.pipeline,
-            weight_refresh_tol=schedule.weight_refresh_tol,
-        )
+        try:
+            trainer.train_layer(
+                layer,
+                x,
+                epochs=schedule.hidden_epochs,
+                batch_size=schedule.batch_size,
+                rng=shuffle_rng,
+                shuffle=schedule.shuffle,
+                on_epoch_end=record,
+                mode="competitive",
+                pipeline=schedule.pipeline,
+                weight_refresh_tol=schedule.weight_refresh_tol,
+            )
+        finally:
+            # Phase boundary: settle the dense weight matrix the sparse
+            # plan's packed refreshes may have deferred (a no-op otherwise).
+            layer.flush_weights()
 
     def _train_head(
         self,

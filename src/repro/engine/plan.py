@@ -35,9 +35,11 @@ from typing import Callable, Optional, Tuple
 
 import numpy as np
 
+from repro import kernels
 from repro.backend.base import Backend
 from repro.engine.workspace import LayerWorkspace
 from repro.exceptions import ConfigurationError
+from repro.utils.validation import check_sparse_mode
 
 __all__ = ["ExecutionPlan", "LayerEngine"]
 
@@ -55,29 +57,51 @@ class ExecutionPlan:
         supervised head).
     batch_size:
         Largest batch the workspace must accommodate.
+    sparse:
+        Three-state block-sparse policy for masked layers: ``"auto"``
+        (default — sparse when the compiled :class:`~repro.kernels.SparseLayout`
+        is at or below ``sparse_density_threshold``), ``"on"`` (force the
+        gather-GEMM path whenever a layout exists) or ``"off"`` (always the
+        dense masked GEMM).
+    sparse_density_threshold:
+        Density at or below which ``"auto"`` picks the sparse kernels (the
+        measured gather-GEMM break-even; see
+        :data:`repro.kernels.SPARSE_DENSITY_THRESHOLD`).
     """
 
     n_input: int
     hidden_sizes: Tuple[int, ...]
     batch_size: int
+    sparse: str = "auto"
+    sparse_density_threshold: float = kernels.SPARSE_DENSITY_THRESHOLD
 
     def __post_init__(self) -> None:
         if self.n_input <= 0 or self.batch_size <= 0 or not self.hidden_sizes:
             raise ConfigurationError(f"invalid execution plan: {self}")
         if any(int(s) <= 0 for s in self.hidden_sizes):
             raise ConfigurationError("hidden sizes must be positive")
+        check_sparse_mode(self.sparse)
+        if not 0.0 <= float(self.sparse_density_threshold) <= 1.0:
+            raise ConfigurationError("sparse_density_threshold must be in [0, 1]")
 
     @property
     def n_hidden(self) -> int:
         return int(sum(self.hidden_sizes))
 
+    def sparse_active(self, layout) -> bool:
+        """Whether this plan serves ``layout`` with the sparse kernels."""
+        return kernels.sparse_beneficial(
+            layout, self.sparse, self.sparse_density_threshold
+        )
+
     @classmethod
-    def for_traces(cls, traces, batch_size: int) -> "ExecutionPlan":
+    def for_traces(cls, traces, batch_size: int, sparse: str = "auto") -> "ExecutionPlan":
         """Plan matching a :class:`~repro.core.traces.ProbabilityTraces` layout."""
         return cls(
             n_input=int(traces.n_input),
             hidden_sizes=tuple(int(s) for s in traces.hidden_sizes),
             batch_size=int(batch_size),
+            sparse=str(sparse),
         )
 
     def allocate(self) -> LayerWorkspace:
@@ -213,18 +237,45 @@ class LayerEngine:
         self._staleness += max(drift_x, drift_a) / (1.0 - t)
 
     # ----------------------------------------------------------- dispatch
+    def _resolve_sparse(self, sparse, weights):
+        """Apply the plan's dense-vs-sparse policy to a supplied bundle.
+
+        An engine planned with ``sparse="off"`` (or an "auto" plan whose
+        threshold rejects the layout) serves the dispatch dense — but only
+        when a dense weight matrix was actually supplied; silently falling
+        back onto ``None`` weights would crash deep inside a backend, so
+        the policy/caller disagreement is reported loudly instead.  In-tree
+        callers (layers, serving stages) build their engines from the same
+        mode they hand bundles out under, so they never hit the error.
+        """
+        if sparse is None or self.plan.sparse_active(sparse.layout):
+            return sparse
+        if weights is None:
+            raise ConfigurationError(
+                "this engine's plan rejects the supplied sparse weights "
+                f"(plan sparse={self.plan.sparse!r}, layout density "
+                f"{sparse.layout.density:.2f}) and no dense weight matrix "
+                "was provided to fall back on"
+            )
+        return None
+
     def _next_workspace(
         self,
         weights: Optional[np.ndarray],
         mask_expanded: Optional[np.ndarray],
         weights_token: Optional[int] = None,
+        sparse=None,
     ) -> LayerWorkspace:
         """Advance the workspace ring and sync its masked-product cache.
 
         A workspace's ``masked_weights`` buffer stays valid as long as the
         same weight buffer (at the same refresh generation) and the same
         mask object are dispatched; any change flips ``masked_valid`` off so
-        the backend recomputes the product (and re-marks it valid).
+        the backend recomputes the product (and re-marks it valid).  On a
+        sparse dispatch the packed flat buffer and the compiled layout play
+        the roles of the weight buffer and the mask: a repack into a new
+        buffer or a layout recompile (structural-plasticity mask change)
+        invalidates the cache the same way.
 
         The weight buffers are mutated *in place* by refreshes, so buffer
         identity alone cannot witness freshness.  Two generation counters
@@ -238,12 +289,16 @@ class LayerEngine:
         index = self._cursor
         ws = self.workspaces[index]
         self._cursor = (index + 1) % self.n_buffers
-        if mask_expanded is None:
+        if sparse is not None:
+            key_weights, key_mask = sparse.flat, sparse.layout
+        else:
+            key_weights, key_mask = weights, mask_expanded
+        if key_mask is None:
             ws.masked_valid = False
             self._masked_src[index] = None
             return ws
         src = self._masked_src[index]
-        key = (weights, mask_expanded, self._weights_version, weights_token)
+        key = (key_weights, key_mask, self._weights_version, weights_token)
         if (
             src is None
             or src[0] is not key[0]
@@ -262,10 +317,19 @@ class LayerEngine:
         mask_expanded: Optional[np.ndarray],
         bias_gain: float = 1.0,
         weights_token: Optional[int] = None,
+        sparse=None,
     ) -> np.ndarray:
-        """Hidden activations for a batch, written into the next workspace."""
+        """Hidden activations for a batch, written into the next workspace.
+
+        ``sparse`` is an optional :class:`~repro.kernels.SparseWeights`
+        bundle; the plan's policy decides whether the backend serves the
+        batch through the block-sparse gather-GEMM kernels or the dense
+        masked GEMM (an engine planned with ``sparse="off"`` ignores the
+        bundle).
+        """
+        sparse = self._resolve_sparse(sparse, weights)
         n_rows = np.asarray(x).shape[0]
-        ws = self._next_workspace(weights, mask_expanded, weights_token)
+        ws = self._next_workspace(weights, mask_expanded, weights_token, sparse)
         return self.backend.forward_into(
             x,
             weights,
@@ -275,6 +339,7 @@ class LayerEngine:
             bias_gain,
             out=ws.activations[:n_rows],
             workspace=ws,
+            sparse=sparse,
         )
 
     def fused_update(
@@ -287,13 +352,18 @@ class LayerEngine:
         traces,
         taupdt: float,
         activity_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        sparse=None,
     ) -> np.ndarray:
         """One fused training dispatch: forward + statistics + trace update.
 
         Mutates ``traces`` in place and returns the forward activations (a
-        workspace view).
+        workspace view).  The trace statistics stay dense even on a sparse
+        dispatch (structural plasticity scores silent connections from the
+        full joint trace); only the forward side of the step is sparse, and
+        only when the plan's policy accepts the layout.
         """
-        ws = self._next_workspace(weights, mask_expanded)
+        sparse = self._resolve_sparse(sparse, weights)
+        ws = self._next_workspace(weights, mask_expanded, sparse=sparse)
         activations = self.backend.fused_update(
             x,
             weights,
@@ -307,6 +377,7 @@ class LayerEngine:
             taupdt,
             activity_fn=activity_fn,
             workspace=ws,
+            sparse=sparse,
         )
         traces.updates_seen += 1
         self._note_trace_update(ws, traces, taupdt)

@@ -65,8 +65,19 @@ class LayerWorkspace:
         self.mean_a = np.empty(self.n_hidden, dtype=np.float64)
         self.mean_outer = np.empty((self.n_input, self.n_hidden), dtype=np.float64)
         #: Whether ``masked_weights`` currently holds the full weights*mask
-        #: product for the weight/mask pair the owning engine last saw.
+        #: product (dense multiply or sparse scatter) for the weight/mask
+        #: pair the owning engine last saw.
         self.masked_valid = False
+        #: Flat scratch the sparse gather-GEMM copies active input columns
+        #: into; allocated lazily on the first sparse dispatch so dense runs
+        #: pay nothing (worst case one extra ``batch_size x n_input`` buffer).
+        self._gather: np.ndarray = None
+
+    def gather_scratch(self) -> np.ndarray:
+        """The flat gather buffer for block-sparse dispatches (lazy)."""
+        if self._gather is None:
+            self._gather = np.empty(self.batch_size * self.n_input, dtype=np.float64)
+        return self._gather
 
     def accommodates(self, n_rows: int) -> bool:
         """Whether a batch of ``n_rows`` fits in the preallocated buffers."""
@@ -81,6 +92,7 @@ class LayerWorkspace:
             + self.mean_x.nbytes
             + self.mean_a.nbytes
             + self.mean_outer.nbytes
+            + (self._gather.nbytes if self._gather is not None else 0)
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

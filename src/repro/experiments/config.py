@@ -22,6 +22,7 @@ from typing import Optional, Tuple
 
 from repro.core.hyperparams import BCPNNHyperParameters, TrainingSchedule
 from repro.exceptions import ConfigurationError
+from repro.utils.validation import check_sparse_mode
 
 __all__ = ["ExperimentScale", "HiggsExperimentConfig", "get_scale"]
 
@@ -111,6 +112,8 @@ class HiggsExperimentConfig:
     pipeline: bool = False
     #: Stale-weights tolerance for the per-batch weight refresh (0 = exact).
     weight_refresh_tol: float = 0.0
+    #: Block-sparse execution policy for the hidden layer ("auto"/"on"/"off").
+    sparse: str = "auto"
 
     def __post_init__(self) -> None:
         if self.head not in ("sgd", "bcpnn"):
@@ -119,6 +122,7 @@ class HiggsExperimentConfig:
             raise ConfigurationError("density must be in [0, 1]")
         if self.weight_refresh_tol < 0:
             raise ConfigurationError("weight_refresh_tol must be non-negative")
+        check_sparse_mode(self.sparse)
 
     def replace(self, **overrides) -> "HiggsExperimentConfig":
         return replace(self, **overrides)
@@ -133,6 +137,7 @@ class HiggsExperimentConfig:
             batch_size=self.batch_size,
             pipeline=self.pipeline,
             weight_refresh_tol=self.weight_refresh_tol,
+            sparse=self.sparse,
         )
 
     @classmethod

@@ -31,12 +31,13 @@ __all__ = ["run_distributed_equivalence"]
 
 
 def _fresh_layer(
-    input_spec: InputSpec, n_minicolumns: int, seed: int, backend: str = "numpy"
+    input_spec: InputSpec, n_minicolumns: int, seed: int, backend: str = "numpy",
+    sparse: str = "auto",
 ) -> StructuralPlasticityLayer:
     hyperparams = BCPNNHyperParameters(taupdt=0.02, density=0.5, competition="softmax")
     layer = StructuralPlasticityLayer(
         n_hypercolumns=2, n_minicolumns=n_minicolumns, hyperparams=hyperparams,
-        seed=seed, backend=backend,
+        seed=seed, backend=backend, sparse=sparse,
     )
     layer.build(input_spec)
     return layer
@@ -54,6 +55,7 @@ def run_distributed_equivalence(
     transport: str = "thread",
     pipeline: bool = False,
     weight_refresh_tol: float = 0.0,
+    sparse: str = "auto",
 ) -> Dict[str, object]:
     """Compare serial vs. rank-sharded training of one hidden layer.
 
@@ -76,7 +78,9 @@ def run_distributed_equivalence(
     input_spec = data.input_spec
 
     # Serial reference (single rank, trained through the same SPMD program).
-    reference_layer = _fresh_layer(input_spec, n_minicolumns, seed=seed + 1, backend=backend)
+    reference_layer = _fresh_layer(
+        input_spec, n_minicolumns, seed=seed + 1, backend=backend, sparse=sparse
+    )
     with get_communicator("serial") as reference_comm:
         DistributedTrainer(reference_comm).train_layer(
             reference_layer, x, epochs=epochs, batch_size=batch_size,
@@ -91,7 +95,9 @@ def run_distributed_equivalence(
         spec = "serial" if int(ranks) == 1 else transport
         comm = get_communicator(spec, ranks=int(ranks))
         try:
-            layer = _fresh_layer(input_spec, n_minicolumns, seed=seed + 1, backend=backend)
+            layer = _fresh_layer(
+                input_spec, n_minicolumns, seed=seed + 1, backend=backend, sparse=sparse
+            )
             trainer = DistributedTrainer(comm)
             report = trainer.train_layer(
                 layer, x, epochs=epochs, batch_size=batch_size,

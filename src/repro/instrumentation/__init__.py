@@ -4,6 +4,7 @@ from repro.instrumentation.timers import Timer, RepeatTimer, TimingStatistics
 from repro.instrumentation.flops import BCPNNCostModel, CostBreakdown
 from repro.instrumentation.pipeline_bench import measure_pipelined_training
 from repro.instrumentation.reports import format_table, format_comparison, dump_json_report
+from repro.instrumentation.sparse_bench import measure_sparse_density_sweep
 
 __all__ = [
     "Timer",
@@ -15,4 +16,5 @@ __all__ = [
     "format_comparison",
     "dump_json_report",
     "measure_pipelined_training",
+    "measure_sparse_density_sweep",
 ]

@@ -82,8 +82,15 @@ def measure_pipelined_training(
     )
 
     def fresh_layer() -> StructuralPlasticityLayer:
+        # The execution plan is pinned to dense: this benchmark isolates the
+        # pipelined *scheduler* against the serial loop on one fixed plan
+        # (at density 0.5 the sparse auto mode would otherwise shrink both
+        # sides' refresh cost and with it the stale-weights headroom the
+        # section has tracked since it was introduced).  The sparse plan has
+        # its own section (``sparse_density_sweep``).
         layer = StructuralPlasticityLayer(
-            1, int(n_minicolumns), hyperparams=hyperparams, backend=backend, seed=seed
+            1, int(n_minicolumns), hyperparams=hyperparams, backend=backend,
+            sparse="off", seed=seed,
         )
         layer.build(input_spec)
         return layer

@@ -46,6 +46,14 @@ __all__ = ["StreamingPredictor", "predict_stream", "predict_proba_stream"]
 Source = Union[np.ndarray, BatchStream]
 
 
+#: Worker-process-resident model replica: ``{"token": ..., "network": ...}``.
+#: ``ProcessComm`` workers are persistent, so a replica rebuilt from one
+#: predict call's broadcast blob can serve every subsequent call until the
+#: driver's model actually changes (detected through the serving refresh
+#: token) — the blob then stops crossing the process boundary entirely.
+_REPLICA_CACHE: dict = {}
+
+
 def _predict_shard_program(
     comm: Communicator,
     predictor: Optional["StreamingPredictor"],
@@ -57,31 +65,58 @@ def _predict_shard_program(
     backend_spec,
     proba: bool,
     pipeline: bool = False,
+    ship_blob: bool = True,
+    model_token=None,
 ) -> Optional[np.ndarray]:
     """One rank's share of comm-sharded bulk inference.
 
     Rank 0 (the driver) streams its shard through the live predictor.
-    Worker ranks obtain the model one of two ways: thread ranks share the
+    Worker ranks obtain the model one of three ways: thread ranks share the
     driver's address space and read the live ``network`` directly (forward
     passes never mutate layer state, and each rank owns its own engine
     workspaces); process ranks receive it as a broadcast npz blob
-    (``ship_model=True``) and rebuild a local network — through shared
-    memory, never pickled.  The per-rank outputs are combined with one
+    (``ship_model=True, ship_blob=True``) and rebuild a local replica —
+    through shared memory, never pickled — which they then *cache* keyed on
+    the driver's serving refresh token, so repeat calls with an unchanged
+    model skip the broadcast and the rebuild entirely
+    (``ship_blob=False``).  The per-rank outputs are combined with one
     ragged ``allgather`` (no padding needed — shapes travel with the
     payload), and only rank 0 materialises the final result, so nothing
     layer-sized is ever pickled back through the task queue.
     """
-    if ship_model:
+    if ship_model and ship_blob:
         blob = comm.bcast(blob, root=0)
     shard = comm.scatter_rows(x, root=0)
     if predictor is None:
         if network is None:
-            from repro.core.serialization import network_from_bytes
+            if ship_blob:
+                from repro.core.serialization import network_from_bytes
 
-            network = network_from_bytes(blob.tobytes())
-        predictor = StreamingPredictor(
-            network, batch_size=batch_size, backend=backend_spec, pipeline=pipeline
-        )
+                network = network_from_bytes(blob.tobytes())
+                _REPLICA_CACHE["token"] = model_token
+                _REPLICA_CACHE["network"] = network
+            else:
+                if _REPLICA_CACHE.get("token") != model_token:
+                    raise DataError(
+                        "worker replica cache miss: the driver skipped the model "
+                        "broadcast but this worker holds no replica for token "
+                        f"{model_token!r}"
+                    )
+                network = _REPLICA_CACHE["network"]
+        # The predictor (engines + workspaces) is cached alongside the
+        # replica so repeat calls also reuse warm workspaces.
+        pred_key = (model_token, int(batch_size), backend_spec, bool(pipeline))
+        if network is _REPLICA_CACHE.get("network") and (
+            _REPLICA_CACHE.get("predictor_key") == pred_key
+        ):
+            predictor = _REPLICA_CACHE["predictor"]
+        else:
+            predictor = StreamingPredictor(
+                network, batch_size=batch_size, backend=backend_spec, pipeline=pipeline
+            )
+            if network is _REPLICA_CACHE.get("network"):
+                _REPLICA_CACHE["predictor"] = predictor
+                _REPLICA_CACHE["predictor_key"] = pred_key
     local = predictor._stream_local(shard, proba)
     gathered = comm.allgather(local)
     if comm.rank != 0:
@@ -107,7 +142,13 @@ class _LayerStage:
         self.rebuild(backend, batch_size, n_buffers)
 
     def rebuild(self, backend, batch_size: int, n_buffers: int) -> None:
-        plan = ExecutionPlan.for_traces(self.layer.traces, batch_size)
+        # The stage's plan carries the layer's sparse policy, so the
+        # engines' per-dispatch dense-vs-sparse decision matches the
+        # context the stage hands them.
+        plan = ExecutionPlan.for_traces(
+            self.layer.traces, batch_size,
+            sparse=getattr(self.layer, "sparse_mode", "auto"),
+        )
         self.engines = tuple(LayerEngine(backend, plan) for _ in range(n_buffers))
 
     def stale(self, backend, n_rows: int) -> bool:
@@ -117,15 +158,22 @@ class _LayerStage:
             engine.backend is not backend
             or not engine.matches(traces.n_input, tuple(traces.hidden_sizes))
             or not engine.accommodates(n_rows)
+            or engine.plan.sparse != getattr(self.layer, "sparse_mode", "auto")
         )
 
     def forward(self, x: np.ndarray, ordinal: int) -> np.ndarray:
         """Hidden activations for one batch (a workspace view)."""
         engine = self.engines[ordinal % len(self.engines)]
         layer = self.layer
+        # Serving honours the layer's block-sparse execution plan: a sparse
+        # layer streams through the gather-GEMM kernels (packed slabs shared
+        # with training), a dense layer through the masked GEMM.  The dense
+        # weight buffer is passed raw (``_weights``) so a sparse dispatch
+        # never forces the full-matrix materialisation.
+        sparse = layer.sparse_context() if hasattr(layer, "sparse_context") else None
         return engine.forward(
             x,
-            layer.weights,
+            layer._weights if sparse is not None else layer.weights,
             layer.bias,
             layer.mask_expanded,
             layer.hyperparams.bias_gain,
@@ -133,6 +181,7 @@ class _LayerStage:
             # invalidates this stage's cached weights*mask product when the
             # layer is (re)trained between predict calls.
             weights_token=getattr(layer, "weights_token", None),
+            sparse=sparse,
         )
 
     def workspace_nbytes(self) -> int:
@@ -375,28 +424,93 @@ class StreamingPredictor(BackendExecutionMixin):
             return self._stream_sharded(stream.x, comm, proba)
         return self._stream_into(self._output(n, proba), stream, proba)
 
+    def _model_token(self) -> tuple:
+        """Serving refresh token: changes whenever the model's parameters do.
+
+        Built from a per-network-instance nonce plus every layer's in-place
+        refresh generation (``weights_token``), its mask generation
+        (``mask_token`` — catches ``set_density``-style mask mutations that
+        no weight refresh accompanies), its trace-update count and its
+        structural-plasticity update count, plus the head's counters —
+        any (re)training between predict calls changes at least one
+        component, and the nonce keeps two *different* models (whose
+        counters can coincide — e.g. any two networks freshly loaded from
+        disk) from ever sharing a token.  Worker-resident replicas in
+        :data:`_REPLICA_CACHE` are keyed on it.
+        """
+        network = self.network
+        nonce = getattr(network, "_serving_model_nonce", None)
+        if nonce is None:
+            import uuid
+
+            nonce = uuid.uuid4().hex
+            network._serving_model_nonce = nonce
+        parts: List[tuple] = [(nonce,)]
+        for layer in self.network.hidden_layers:
+            parts.append(
+                (
+                    int(getattr(layer, "weights_token", 0)),
+                    int(getattr(layer, "mask_token", 0)),
+                    int(getattr(layer.traces, "updates_seen", 0)),
+                    int(getattr(getattr(layer, "plasticity", None), "n_updates", 0)),
+                )
+            )
+        head = self.head
+        head_traces = getattr(head, "traces", None)
+        parts.append(
+            (
+                int(getattr(head, "weights_token", 0)),
+                int(getattr(head_traces, "updates_seen", 0)) if head_traces else 0,
+            )
+        )
+        return tuple(parts)
+
     def _stream_spmd(self, x: np.ndarray, proba: bool) -> np.ndarray:
         """Scatter rows over the communicator ranks; gather outputs once.
 
         Thread ranks read the driver's live network directly; process ranks
         receive it as a broadcast npz blob (a ``uint8`` array moved through
-        shared memory, nothing layer-sized is pickled).  Each rank streams
-        its contiguous shard through a local predictor, and one ragged
-        ``allgather`` recombines the results in rank order.
+        shared memory, nothing layer-sized is pickled) — **once per model
+        version**: the blob broadcast is skipped whenever the serving
+        refresh token matches what this communicator's workers already hold
+        (they cache the rebuilt replica), so steady-state serving moves only
+        the rows and the predictions.  Each rank streams its contiguous
+        shard through a local predictor, and one ragged ``allgather``
+        recombines the results in rank order.
         """
         comm = self.comm
         ship_model = comm.transport == "process"
+        model_token = self._model_token()
+        ship_blob = True
+        blob = None
         if ship_model:
-            from repro.core.serialization import network_to_bytes
+            # The driver tracks, per communicator, the token of the replica
+            # its workers hold; a match means the broadcast can be skipped.
+            # The record is only written *after* a successful program run
+            # (below) — recording it up front would poison the communicator
+            # if a worker failed before caching the replica.
+            ship_blob = getattr(comm, "_serving_replica_token", None) != model_token
+            if ship_blob:
+                from repro.core.serialization import network_to_bytes
 
-            blob = np.frombuffer(network_to_bytes(self.network), dtype=np.uint8)
-        else:
-            blob = None
+                blob = np.frombuffer(network_to_bytes(self.network), dtype=np.uint8)
         backend_spec = resolve_backend_name(self._backend_spec, self._backend)
         shared_network = None if ship_model else self.network
         x = np.ascontiguousarray(x, dtype=np.float64)
         rank_args: List[tuple] = [
-            (self, None, x, blob, ship_model, self.batch_size, backend_spec, proba, self.pipeline)
+            (
+                self,
+                None,
+                x,
+                blob,
+                ship_model,
+                self.batch_size,
+                backend_spec,
+                proba,
+                self.pipeline,
+                ship_blob,
+                model_token,
+            )
         ]
         rank_args += [
             (
@@ -409,10 +523,21 @@ class StreamingPredictor(BackendExecutionMixin):
                 backend_spec,
                 proba,
                 self.pipeline,
+                ship_blob,
+                model_token,
             )
             for _ in range(1, comm.size)
         ]
-        results = comm.run(_predict_shard_program, rank_args)
+        try:
+            results = comm.run(_predict_shard_program, rank_args)
+        except BaseException:
+            if ship_model:
+                # Worker state is unknown after a failed program: force the
+                # next call to re-broadcast the model.
+                comm._serving_replica_token = None
+            raise
+        if ship_model:
+            comm._serving_replica_token = model_token
         return results[0]
 
     def _stream_sharded(self, x: np.ndarray, comm, proba: bool) -> np.ndarray:

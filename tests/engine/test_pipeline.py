@@ -117,6 +117,58 @@ class TestDoubleBuffering:
         assert np.shares_memory(out_a, out_c)
         assert engine.workspace_nbytes() == sum(ws.nbytes() for ws in engine.workspaces)
 
+    def test_triple_buffer_keeps_two_batches_in_flight(self):
+        """n_buffers=3 (deep-stack second in-flight batch): batches k and k+1
+        both survive batch k+2's dispatch; wrap-around hits workspace 0 on
+        the fourth dispatch."""
+        engine = self._engine(3)
+        assert len(engine.workspaces) == 3
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=(12, 12))
+        b = rng.normal(size=12)
+        batches = [_one_hot(16, [4, 4, 4], seed=s) for s in (1, 2, 3, 4)]
+        out_a = engine.forward(batches[0], w, b, None)
+        snap_a = out_a.copy()
+        out_b = engine.forward(batches[1], w, b, None)
+        snap_b = out_b.copy()
+        out_c = engine.forward(batches[2], w, b, None)
+        # Three distinct workspaces; the two previous batches stay intact.
+        assert not np.shares_memory(out_a, out_b)
+        assert not np.shares_memory(out_b, out_c)
+        assert not np.shares_memory(out_a, out_c)
+        assert np.array_equal(out_a, snap_a)
+        assert np.array_equal(out_b, snap_b)
+        # Fourth dispatch wraps around onto the first workspace; batch k+1's
+        # and k+2's views remain untouched.
+        out_d = engine.forward(batches[3], w, b, None)
+        assert np.shares_memory(out_a, out_d)
+        assert np.array_equal(out_b, snap_b)
+        assert engine.workspace_nbytes() == sum(ws.nbytes() for ws in engine.workspaces)
+
+    def test_triple_buffer_training_matches_single_buffer(self):
+        """The ring depth is a scheduling choice: identical results at n=3."""
+        from repro.core import BCPNNHyperParameters, InputSpec, StructuralPlasticityLayer
+
+        def run(n_buffers):
+            layer = StructuralPlasticityLayer(
+                2, 6,
+                hyperparams=BCPNNHyperParameters(
+                    taupdt=0.05, density=0.5, competition="softmax"
+                ),
+                seed=9,
+            )
+            layer.build(InputSpec([4, 4, 4]))
+            layer.configure_execution(n_buffers=n_buffers)
+            x = _one_hot(96, [4, 4, 4], seed=3)
+            for lo in range(0, 96, 32):
+                layer.train_batch(x[lo : lo + 32])
+            return layer
+
+        reference = run(1)
+        triple = run(3)
+        np.testing.assert_array_equal(reference.traces.p_ij, triple.traces.p_ij)
+        np.testing.assert_array_equal(reference.weights, triple.weights)
+
 
 class _CountingTraces:
     def __init__(self, n_input, n_hidden):

@@ -82,3 +82,23 @@ class TestSweepCli:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main_sweep(["nonexistent-experiment", "--quiet"])
+
+
+class TestSparseCli:
+    def test_train_with_forced_sparse_matches_dense(self, capsys, tmp_path):
+        """--sparse on/off train the same model (execution choice only)."""
+        results = {}
+        for mode in ("on", "off"):
+            json_path = tmp_path / f"result-{mode}.json"
+            code = main_train(
+                [
+                    "--hcus", "1", "--mcus", "15", "--density", "0.4",
+                    "--events", "1200", "--epochs", "1", "--seed", "0",
+                    "--sparse", mode, "--quiet", "--json", str(json_path),
+                ]
+            )
+            assert code == 0
+            capsys.readouterr()
+            results[mode] = json.loads(json_path.read_text())
+        assert results["on"]["accuracy"] == results["off"]["accuracy"]
+        assert results["on"]["auc"] == results["off"]["auc"]
