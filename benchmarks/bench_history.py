@@ -52,6 +52,11 @@ METRICS = {
         ("fused_training_backends", "backends", "numpy", "batches_per_second"),
         True,
     ),
+    "comm_overlap_speedup": (("comm_overlap", "speedup"), True),
+    "comm_overlapped_seconds_per_batch": (
+        ("comm_overlap", "overlapped_seconds_per_batch"),
+        False,
+    ),
 }
 
 
@@ -93,6 +98,11 @@ def extract_record(
     comm = _comm_seconds(bench)
     for transport, seconds in comm.items():
         record[f"comm_{transport}_allreduce_s"] = seconds
+    for row in bench.get("comm_overlap", {}).get("payload_sweep", []):
+        if isinstance(row, dict) and "density" in row and "payload_ratio" in row:
+            record[f"comm_payload_ratio_d{row['density']:g}"] = float(
+                row["payload_ratio"]
+            )
     return record
 
 

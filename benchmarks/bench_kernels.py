@@ -15,7 +15,10 @@ off-thread entropy, stale-weights caching; see
 :func:`repro.instrumentation.measure_pipelined_training`), times the
 *streaming inference* path (:mod:`repro.serving`) per backend, measures
 per-transport allreduce throughput of the :mod:`repro.comm` communicator
-subsystem (``comm_throughput``), sweeps the *block-sparse execution plan*
+subsystem (``comm_throughput``), measures *communication-overlapped*
+data-parallel training against the blocking schedule at two process ranks
+plus the dense-vs-sparse allreduce payload sweep (``comm_overlap`` — see
+:func:`repro.instrumentation.measure_comm_overlap`), sweeps the *block-sparse execution plan*
 against the dense fused path across mask densities
 (``sparse_density_sweep`` — gather-GEMM + packed-slab refresh vs dense
 masked GEMM + full refresh; see
@@ -30,9 +33,11 @@ the JSON without pytest; ``--quick`` shrinks the measurement for CI smoke
 use.  The CI perf gate runs the *full* configuration — the same one the
 committed JSON publishes — with ``--check-speedup X`` (fused-vs-unfused
 no-regression bound), ``--check-pipelined Y`` (pipelined-vs-serial
-training speedup) and ``--check-sparse Z`` (block-sparse training AND
-serving speedups at density 0.3), each exiting non-zero below its
-threshold, plus ``--check-committed PATH`` which fails when the committed
+training speedup), ``--check-sparse Z`` (block-sparse training AND
+serving speedups at density 0.3) and ``--check-overlap W``
+(overlapped-vs-blocking comm training speedup AND the sparse payload
+staying at or under half the dense payload at density 0.3), each exiting
+non-zero below its threshold, plus ``--check-committed PATH`` which fails when the committed
 JSON's speedup ratios drift more than ``--drift-tol`` (default ±50%) from
 the runner's fresh measurement — a stale or hand-edited committed JSON
 cannot land.
@@ -464,6 +469,26 @@ def test_comm_throughput_measured_on_every_transport():
         assert by_name[name]["seconds_per_allreduce"] > 0
 
 
+def test_comm_overlap_measured():
+    """Overlapped comm training must run and be timed against blocking.
+
+    Asserts structure plus the payload contract (the sparse-packed payload
+    at density 0.3 must be at most half the dense payload — that bound is
+    layout arithmetic, not a timing, so it cannot flake); the hard speedup
+    threshold lives in the CI perf-gate job's ``--check-overlap``.
+    """
+    from repro.instrumentation import measure_comm_overlap
+
+    outcome = measure_comm_overlap(n_samples=1024, epochs=1, repeats=1, timeout=60.0)
+    assert outcome["blocking_seconds_per_batch"] > 0
+    assert outcome["overlapped_seconds_per_batch"] > 0
+    assert outcome["speedup"] > 0
+    assert outcome["overlapped_iallreduce_calls"] == outcome["batches"]
+    by_density = {row["density"]: row for row in outcome["payload_sweep"]}
+    assert by_density[0.3]["payload_ratio"] <= 0.5
+    assert by_density[0.3]["sparse_engaged"] == 1.0
+
+
 def test_streaming_inference_throughput_recorded():
     """The serving path must stream every backend.
 
@@ -498,6 +523,9 @@ def _committed_speedups(payload):
     pipelined = payload.get("pipelined_training")
     if pipelined:
         metrics["pipelined_training.speedup"] = float(pipelined["speedup"])
+    overlap = payload.get("comm_overlap")
+    if overlap:
+        metrics["comm_overlap.speedup"] = float(overlap["speedup"])
     sparse = payload.get("sparse_density_sweep")
     if sparse:
         for row in sparse.get("densities", []):
@@ -569,6 +597,17 @@ def main(argv=None):
         ),
     )
     parser.add_argument(
+        "--check-overlap",
+        type=float,
+        default=None,
+        metavar="W",
+        help=(
+            "exit non-zero when the overlapped-vs-blocking comm training "
+            "speedup at two process ranks is below W, or when the sparse "
+            "payload at density 0.3 exceeds half the dense payload"
+        ),
+    )
+    parser.add_argument(
         "--check-committed",
         type=str,
         default=None,
@@ -597,6 +636,7 @@ def main(argv=None):
 
     from repro.comm.benchmark import measure_comm_throughput
     from repro.instrumentation import (
+        measure_comm_overlap,
         measure_pipelined_training,
         measure_sparse_density_sweep,
     )
@@ -607,6 +647,7 @@ def main(argv=None):
         pipelined = measure_pipelined_training(n_samples=2048, epochs=2, repeats=2)
         serving = measure_streaming_inference(n_samples=4096, repeats=2)
         comm = measure_comm_throughput(ranks=2, repeats=10, warmup=2)
+        overlap = measure_comm_overlap(n_samples=2048, epochs=1, repeats=2)
         sparse = measure_sparse_density_sweep(repeats=3, inner=15, serve_samples=4096)
     else:
         fused = measure_fused_vs_unfused()
@@ -614,6 +655,7 @@ def main(argv=None):
         pipelined = measure_pipelined_training()
         serving = measure_streaming_inference()
         comm = measure_comm_throughput(ranks=2, repeats=30, warmup=5)
+        overlap = measure_comm_overlap()
         sparse = measure_sparse_density_sweep()
     sections = {
         "fused_vs_unfused": fused,
@@ -621,6 +663,7 @@ def main(argv=None):
         "pipelined_training": pipelined,
         "streaming_inference": serving,
         "comm_throughput": comm,
+        "comm_overlap": overlap,
         "sparse_density_sweep": sparse,
     }
     path = write_bench_json(sections, path=args.json)
@@ -655,6 +698,24 @@ def main(argv=None):
                 print(
                     f"PERF REGRESSION: sparse serving speedup {row['serving_speedup']:.3f}x "
                     f"at density 0.3 is below the {args.check_sparse:.2f}x gate"
+                )
+                failed = True
+    if args.check_overlap is not None:
+        if overlap["speedup"] < args.check_overlap:
+            print(
+                f"PERF REGRESSION: overlapped-vs-blocking comm training speedup "
+                f"{overlap['speedup']:.3f}x is below the {args.check_overlap:.2f}x gate"
+            )
+            failed = True
+        gate_rows = [r for r in overlap["payload_sweep"] if r["density"] == 0.3]
+        if not gate_rows:
+            print("PERF REGRESSION: payload sweep did not measure density 0.3")
+            failed = True
+        for row in gate_rows:
+            if row["payload_ratio"] > 0.5:
+                print(
+                    f"PERF REGRESSION: sparse payload ratio {row['payload_ratio']:.3f} "
+                    f"at density 0.3 exceeds the 0.5x dense bound"
                 )
                 failed = True
     if args.check_committed is not None:

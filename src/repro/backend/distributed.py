@@ -25,6 +25,7 @@ algorithm onto the :class:`~repro.comm.Communicator` interface:
 from __future__ import annotations
 
 import time
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -32,7 +33,8 @@ import numpy as np
 
 from repro import kernels
 from repro.backend.base import Backend
-from repro.comm import Communicator, LocalComm, split_ranks
+from repro.comm import CommRequest, Communicator, LocalComm, split_ranks
+from repro.engine.pipeline import mean_activation_entropy, resolve_comm_overlap
 from repro.exceptions import BackendError, DataError
 from repro.utils.logging import get_logger
 
@@ -300,6 +302,18 @@ def _replica_from_spec(spec: Dict[str, object], rng: np.random.Generator):
     return layer
 
 
+def _payload_token(mask: np.ndarray) -> float:
+    """Small integer digest of a plasticity mask, exact in float64.
+
+    Travels inside the sparse-packed statistics vector so ranks can verify
+    they packed against the same mask layout: the sum-reduction of ``size``
+    identical tokens must equal ``size * token`` exactly (tokens stay far
+    below 2**53, so the float64 sum is exact; any disagreement — a diverged
+    replica mask — makes the equality fail for every possible rank count).
+    """
+    return float(zlib.crc32(np.ascontiguousarray(mask).tobytes()) % (1 << 20))
+
+
 def _sync_replica(comm: Communicator, layer) -> None:
     """Make every rank's replica bit-identical to rank 0's layer.
 
@@ -343,7 +357,7 @@ def train_layer_program(
       noise and are statistically, not bitwise, equivalent across rank
       counts.
 
-    Two engine-mirroring options keep the SPMD program aligned with the
+    Four engine-mirroring options keep the SPMD program aligned with the
     pipelined serial path:
 
     * ``options["weight_refresh_tol"]`` — stale-weights caching: the
@@ -358,6 +372,33 @@ def train_layer_program(
       the other ranks' compute skew.  Purely a scheduling change: the same
       shards are reduced in the same order, so results are bitwise
       unaffected.
+    * ``options["comm_overlap"]`` (``"auto"``/``"on"``/``"off"``) — the
+      software-pipelined communication schedule: batch ``k``'s packed
+      statistics are published through a *nonblocking* ``iallreduce`` and
+      batch ``k+1``'s forward + local statistics run **before** waiting on
+      ``k``'s reduction, hiding the collective's latency behind local
+      compute.  Batch ``k+1`` therefore forwards on one-batch-stale
+      weights, which is only admissible under the stale-weights contract —
+      overlap engages only when ``weight_refresh_tol > 0`` (see
+      :func:`repro.engine.pipeline.resolve_comm_overlap`); at ``tol=0``
+      every mode keeps today's blocking schedule bit-for-bit.  The schedule
+      stays rank-invariant: the drift accounting runs on reduced statistics
+      in the same order on every rank.
+    * ``options["sparse_payload"]`` (``"auto"``/``"on"``/``"off"``) — once
+      the structural-plasticity mask can no longer rewire inside this
+      program (after the last in-program plasticity step, or always when
+      plasticity is inert), the ``Σxᵀa`` block of the payload is packed to
+      the **active entries only** using the mask's
+      :class:`~repro.kernels.SparseLayout` (plus a mask-digest token each
+      rank verifies after the reduction), cutting the allreduce payload by
+      the density factor.  Silent joint-trace entries then decay toward
+      zero instead of tracking co-activations — exactly the statistics the
+      mutual-information scoring would never read again in this program —
+      while active traces, marginals, masks and predictions are identical
+      to the dense payload (the gathered per-block ``Σxᵀa`` GEMM performs
+      the same length-``B`` contractions as the dense one).  Dense packing
+      is used automatically in every epoch where plasticity may still
+      rewire.
     """
     rank, size = comm.rank, comm.size
     x = comm.bcast(x, root=0)
@@ -380,13 +421,19 @@ def train_layer_program(
     competitive = mode == "competitive"
     tol = float(options.get("weight_refresh_tol", 0.0))
     pipelined = bool(options.get("pipeline", False))
+    overlap = resolve_comm_overlap(str(options.get("comm_overlap", "auto")), tol, size)
+    payload_mode = str(options.get("sparse_payload", "auto"))
+    if payload_mode not in ("auto", "on", "off"):
+        raise BackendError(
+            f"sparse_payload must be 'auto', 'on' or 'off', got {payload_mode!r}"
+        )
 
     n = x.shape[0]
     taupdt = float(layer.hyperparams.taupdt)
     n_input = layer.traces.n_input
     n_hidden = layer.traces.n_hidden
-    stats_len = 1 + n_input + n_hidden + n_input * n_hidden
-    packed = np.empty(stats_len, dtype=np.float64)
+    stats_head = 1 + n_input + n_hidden
+    packed = np.empty(stats_head + n_input * n_hidden, dtype=np.float64)
     mean_entropy: List[float] = []
     epoch_logs: List[Dict[str, float]] = []
     total_batches = 0
@@ -397,22 +444,140 @@ def train_layer_program(
     staleness = 0.0
     starts = list(range(0, n, batch_size))
 
+    # First epoch from which the mask can no longer rewire inside this
+    # program: structural plasticity fires at the end of epoch e when
+    # (e + 1) % mask_update_period == 0, so everything after the last such
+    # epoch is a frozen-mask phase.  The schedule depends only on shipped
+    # options and synchronised hyper-parameters, hence is identical on every
+    # rank.  Sparse payloads are admissible exactly there: the silent-trace
+    # statistics they drop are never read by the mutual-information scoring
+    # again in this program, and masked forwards never see silent weights.
+    period = int(layer.hyperparams.mask_update_period)
+    plasticity = getattr(layer, "plasticity", None)
+    plasticity_inert = plasticity is None or plasticity.connections_per_hcu in (
+        0,
+        plasticity.n_input_hypercolumns,
+    )
+    if plasticity_inert:
+        frozen_from = 0
+    else:
+        swap_epochs = [e for e in range(epochs) if (e + 1) % period == 0]
+        frozen_from = (swap_epochs[-1] + 1) if swap_epochs else 0
+
+    # Per-layout sparse-payload state, rebuilt only when the mask layout
+    # changes (between plasticity steps the cached buffers are reused).
+    sp_state: Dict[str, object] = {}
+
+    def sparse_context(layout) -> Dict[str, object]:
+        if sp_state.get("layout") is not layout:
+            sp_state["layout"] = layout
+            sp_state["token"] = _payload_token(layer.plasticity.mask)
+            sp_state["packed"] = np.empty(
+                stats_head + 1 + layout.packed_size, dtype=np.float64
+            )
+            # Pre-zeroed dense mean-outer buffer the reduced active entries
+            # scatter into; silent entries stay exactly 0.0 forever, so
+            # apply_statistics decays the silent traces and nothing else.
+            sp_state["outer"] = np.zeros((n_input, n_hidden), dtype=np.float64)
+        return sp_state
+
     def gather_shard(order: np.ndarray, start: int) -> np.ndarray:
         batch_idx = order[start : start + batch_size]
         lo, hi = split_ranks(batch_idx.shape[0], size)[rank]
         return x[batch_idx[lo:hi]]
+
+    def fill_statistics(local: np.ndarray, activations, ctx) -> np.ndarray:
+        """Pack this rank's shard statistics; returns the payload to reduce."""
+        buf = packed if ctx is None else ctx["packed"]
+        if local.shape[0] > 0:
+            buf[0] = float(local.shape[0])
+            buf[1 : 1 + n_input] = local.sum(axis=0)
+            buf[1 + n_input : stats_head] = activations.sum(axis=0)
+            if ctx is None:
+                buf[stats_head:] = (local.T @ activations).ravel()
+            else:
+                layout = ctx["layout"]
+                body = buf[stats_head + 1 :]
+                for h, idx, lo, hi in layout.iter_blocks():
+                    if idx.size:
+                        slab = body[
+                            layout.block_starts[h] : layout.block_starts[h + 1]
+                        ].reshape(idx.size, hi - lo)
+                        # Same length-B contraction as the dense (F,B)@(B,H)
+                        # GEMM restricted to active entries, so the reduced
+                        # active statistics are bitwise-identical.
+                        np.matmul(local[:, idx].T, activations[:, lo:hi], out=slab)
+        else:
+            buf[:] = 0.0
+        if ctx is not None:
+            buf[stats_head] = ctx["token"]
+        return buf
+
+    def apply_reduction(reduced: np.ndarray, ctx) -> None:
+        """Apply one reduced statistics vector + the drift-gated refresh."""
+        nonlocal staleness
+        count = reduced[0]
+        mean_x_red = reduced[1 : 1 + n_input] / count
+        mean_a_red = reduced[1 + n_input : stats_head] / count
+        if ctx is None:
+            mean_outer = reduced[stats_head:].reshape(n_input, n_hidden) / count
+        else:
+            if reduced[stats_head] != size * ctx["token"]:
+                raise BackendError(
+                    "sparse-packed allreduce mask tokens disagree across ranks "
+                    "(replica masks diverged mid-program)"
+                )
+            layout = ctx["layout"]
+            body = reduced[stats_head + 1 :]
+            mean_outer = ctx["outer"]
+            for h, idx, lo, hi in layout.iter_blocks():
+                if idx.size:
+                    slab = body[
+                        layout.block_starts[h] : layout.block_starts[h + 1]
+                    ].reshape(idx.size, hi - lo)
+                    mean_outer[idx, lo:hi] = slab / count
+        layer.traces.apply_statistics(mean_x_red, mean_a_red, mean_outer, taupdt)
+        if tol > 0.0 and taupdt < 1.0:
+            # Stale-weights caching, rank-invariant by construction: the
+            # drift is derived from the reduced (identical-everywhere)
+            # means and the post-update traces.  The applied max-norm
+            # marginal step is taupdt/(1-taupdt) * max|mean - p_new|.
+            drift = max(
+                float(np.max(np.abs(mean_x_red - layer.traces.p_i))),
+                float(np.max(np.abs(mean_a_red - layer.traces.p_j))),
+            )
+            staleness += drift * taupdt / (1.0 - taupdt)
+            if staleness > tol:
+                layer.refresh_weights()
+                staleness = 0.0
+        else:
+            layer.refresh_weights()
+            staleness = 0.0
+
+    # The in-flight nonblocking reduction of the overlapped schedule: at
+    # most ONE request is outstanding at any time (required by the process
+    # transport's single-barrier parity-slot protocol), and it never
+    # crosses an epoch boundary (drained before end_epoch reads the traces).
+    pending: Optional[Tuple[CommRequest, Optional[Dict[str, object]]]] = None
 
     for epoch in range(epochs):
         started = time.perf_counter()
         order = shuffle_rng.permutation(n) if shuffle else np.arange(n)
         mean_entropy.clear()
         pending_local: Optional[np.ndarray] = None
+        ctx: Optional[Dict[str, object]] = None
+        if payload_mode != "off" and epoch >= frozen_from:
+            layout = layer.payload_layout()
+            if layout is not None and (payload_mode == "on" or layout.density < 1.0):
+                ctx = sparse_context(layout)
         for index, start in enumerate(starts):
             local = pending_local if pending_local is not None else gather_shard(order, start)
             pending_local = None
             if competitive and layer.batches_trained == 0:
                 # Global first-batch marginals for the trace calibration —
-                # one extra packed allreduce, only ever on the first batch.
+                # one extra packed allreduce, only ever on the first batch
+                # of the whole program (so never with a reduction in
+                # flight).
                 head = np.empty(1 + n_input, dtype=np.float64)
                 head[0] = float(local.shape[0])
                 head[1:] = local.sum(axis=0) if local.shape[0] else 0.0
@@ -425,50 +590,36 @@ def train_layer_program(
                 activations = layer.forward_raw(local)
                 if competitive:
                     activations = layer._training_activity(activations)
-                    with np.errstate(divide="ignore", invalid="ignore"):
-                        ent = -np.sum(
-                            activations * np.log(np.clip(activations, 1e-12, 1.0)), axis=1
-                        )
-                    mean_entropy.append(float(np.mean(ent)))
-                packed[0] = float(local.shape[0])
-                packed[1 : 1 + n_input] = local.sum(axis=0)
-                packed[1 + n_input : 1 + n_input + n_hidden] = activations.sum(axis=0)
-                packed[1 + n_input + n_hidden :] = (local.T @ activations).ravel()
+                    mean_entropy.append(mean_activation_entropy(activations))
             else:
-                packed[:] = 0.0
+                activations = None
+            buf = fill_statistics(local, activations, ctx)
             if pipelined and index + 1 < len(starts):
                 # Pipelining: gather the next batch's shard before blocking
                 # on the allreduce, so the copy overlaps other ranks' skew.
                 pending_local = gather_shard(order, starts[index + 1])
-            reduced = comm.allreduce(packed, op="sum")
-            count = reduced[0]
-            mean_x_red = reduced[1 : 1 + n_input] / count
-            mean_a_red = reduced[1 + n_input : 1 + n_input + n_hidden] / count
-            layer.traces.apply_statistics(
-                mean_x_red,
-                mean_a_red,
-                reduced[1 + n_input + n_hidden :].reshape(n_input, n_hidden) / count,
-                taupdt,
-            )
-            if tol > 0.0 and taupdt < 1.0:
-                # Stale-weights caching, rank-invariant by construction: the
-                # drift is derived from the reduced (identical-everywhere)
-                # means and the post-update traces.  The applied max-norm
-                # marginal step is taupdt/(1-taupdt) * max|mean - p_new|.
-                drift = max(
-                    float(np.max(np.abs(mean_x_red - layer.traces.p_i))),
-                    float(np.max(np.abs(mean_a_red - layer.traces.p_j))),
-                )
-                staleness += drift * taupdt / (1.0 - taupdt)
-                if staleness > tol:
-                    layer.refresh_weights()
-                    staleness = 0.0
+            if overlap:
+                # Software pipeline: this batch's forward and statistics ran
+                # BEFORE waiting on the previous batch's reduction (the
+                # overlap window), so the forward used one-batch-stale
+                # weights — admissible because tol > 0.  The contribution is
+                # captured at iallreduce time, so ``buf`` is free for reuse.
+                if pending is not None:
+                    request, request_ctx = pending
+                    pending = None
+                    apply_reduction(request.wait(), request_ctx)
+                pending = (comm.iallreduce(buf, op="sum"), ctx)
             else:
-                layer.refresh_weights()
-                staleness = 0.0
+                apply_reduction(comm.allreduce(buf, op="sum"), ctx)
             if competitive:
                 layer.batches_trained += 1
             total_batches += 1
+        if pending is not None:
+            # Drain the pipeline: plasticity and the epoch-boundary weight
+            # flush must observe every applied batch.
+            request, request_ctx = pending
+            pending = None
+            apply_reduction(request.wait(), request_ctx)
         if staleness > 0.0:
             # The epoch boundary publishes weights (mask plasticity reads
             # traces, but callbacks and the caller observe the layer), so
@@ -488,6 +639,10 @@ def train_layer_program(
             "swaps": float(swaps),
             "batches": float(total_batches),
             "seconds": time.perf_counter() - started,
+            "sparse_payload": 1.0 if ctx is not None else 0.0,
+            "payload_floats": float(
+                (ctx["packed"].size if ctx is not None else packed.size)
+            ),
         }
         if competitive:
             log["mean_activation_entropy"] = (
@@ -503,6 +658,7 @@ def train_layer_program(
         "swaps": total_swaps,
         "epoch_logs": epoch_logs,
         "allreduce_calls": int(comm.collective_calls["allreduce"]),
+        "iallreduce_calls": int(comm.collective_calls["iallreduce"]),
         "bytes_communicated": int(comm.bytes_communicated),
     }
 
@@ -546,6 +702,8 @@ class DistributedTrainer:
         mode: str = "rate",
         pipeline: bool = False,
         weight_refresh_tol: float = 0.0,
+        comm_overlap: str = "auto",
+        sparse_payload: str = "auto",
     ) -> DistributedEpochReport:
         """Train ``layer`` on ``x`` with rank-sharded batches.
 
@@ -560,6 +718,16 @@ class DistributedTrainer:
         rank-invariant stale-weights caching (see
         :func:`train_layer_program`), with ``0`` refreshing every batch
         exactly as before.
+
+        ``comm_overlap`` (``"auto"``/``"on"``/``"off"``) software-pipelines
+        the per-batch allreduce behind the next batch's forward via the
+        transport's nonblocking ``iallreduce`` — only engaged when
+        ``weight_refresh_tol > 0`` (one-batch-stale weights fall under the
+        same contract); at ``tol=0`` every mode is bit-for-bit the blocking
+        schedule.  ``sparse_payload`` packs only active-row outer-product
+        statistics once the structural-plasticity mask is frozen for the
+        remainder of the run, shrinking the reduced payload by roughly the
+        mask density (see :func:`train_layer_program` for both contracts).
 
         ``on_epoch_end`` is invoked on the driver after the program
         completes (the callback cannot cross a process boundary), in epoch
@@ -578,6 +746,14 @@ class DistributedTrainer:
             raise DataError(f"unknown training mode '{mode}'")
         if float(weight_refresh_tol) < 0.0:
             raise DataError("weight_refresh_tol must be non-negative")
+        if comm_overlap not in ("auto", "on", "off"):
+            raise DataError(
+                f"comm_overlap must be 'auto', 'on' or 'off', got {comm_overlap!r}"
+            )
+        if sparse_payload not in ("auto", "on", "off"):
+            raise DataError(
+                f"sparse_payload must be 'auto', 'on' or 'off', got {sparse_payload!r}"
+            )
         n = x.shape[0]
         spec = {
             "n_hypercolumns": layer.n_hypercolumns,
@@ -600,6 +776,8 @@ class DistributedTrainer:
             "mode": mode,
             "pipeline": bool(pipeline),
             "weight_refresh_tol": float(weight_refresh_tol),
+            "comm_overlap": comm_overlap,
+            "sparse_payload": sparse_payload,
             # Drawing the seed consumes the caller's generator, so repeated
             # calls with one rng get fresh, still-deterministic shuffles.
             "shuffle_seed": int(rng.integers(2**63)),
@@ -624,5 +802,8 @@ class DistributedTrainer:
             allreduce_calls=self.comm.collective_calls["allreduce"],
             bytes_communicated=self.comm.bytes_communicated,
             swaps=int(report["swaps"]),
-            extra={"epoch_logs": report["epoch_logs"]},
+            extra={
+                "epoch_logs": report["epoch_logs"],
+                "iallreduce_calls": int(report.get("iallreduce_calls", 0)),
+            },
         )

@@ -131,6 +131,27 @@ def _add_pipeline(parser: argparse.ArgumentParser, default_tol: float = 0.0) -> 
             f"under TOL (0 = refresh every batch, exact; default {default_tol:g})"
         ),
     )
+    parser.add_argument(
+        "--comm-overlap",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help=(
+            "overlap the per-batch statistics allreduce behind the next "
+            "batch's forward via nonblocking collectives (requires "
+            "--weight-refresh-tol > 0; at tol=0 every mode is the exact "
+            "blocking schedule; default auto)"
+        ),
+    )
+    parser.add_argument(
+        "--sparse-payload",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help=(
+            "pack only active-row outer-product statistics into the "
+            "allreduce once the plasticity mask is frozen for the rest of "
+            "the run (auto: frozen sub-unity-density masks only; default auto)"
+        ),
+    )
 
 
 def _build_comm(args: argparse.Namespace):
@@ -210,6 +231,8 @@ def main_train(argv: Optional[List[str]] = None) -> int:
         pipeline=args.pipeline,
         weight_refresh_tol=args.weight_refresh_tol,
         sparse=args.sparse,
+        comm_overlap=args.comm_overlap,
+        sparse_payload=args.sparse_payload,
     )
     data = prepare_higgs_data(
         n_events=config.n_events, n_bins=config.n_bins, seed=args.seed, path=args.higgs_path
@@ -286,6 +309,8 @@ def main_sweep(argv: Optional[List[str]] = None) -> int:
             pipeline=args.pipeline,
             weight_refresh_tol=args.weight_refresh_tol,
             sparse=args.sparse,
+            comm_overlap=args.comm_overlap,
+            sparse_payload=args.sparse_payload,
             **kwargs,
         )
     else:

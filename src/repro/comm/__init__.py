@@ -25,7 +25,7 @@ Entry points: :func:`get_communicator` resolves ``--comm``-style specs;
 driver); :mod:`repro.comm.tasks` holds reusable module-level SPMD programs.
 """
 
-from repro.comm.base import Communicator, REDUCE_OPS, split_ranks
+from repro.comm.base import CommRequest, CompletedRequest, Communicator, REDUCE_OPS, split_ranks
 from repro.comm.factory import get_communicator, list_transports
 from repro.comm.mpi import HAVE_MPI, MPIComm
 from repro.comm.process import ProcessComm
@@ -38,6 +38,8 @@ LocalComm = ThreadComm
 
 __all__ = [
     "Communicator",
+    "CommRequest",
+    "CompletedRequest",
     "SerialComm",
     "ThreadComm",
     "ProcessComm",

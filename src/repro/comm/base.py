@@ -10,6 +10,13 @@ transport-agnostic.  This module defines that surface:
   :meth:`Communicator.run` program, exactly like their mpi4py counterparts.
   ``allgather`` supports ragged per-rank shapes (the header travels with the
   payload), so callers never pad.
+* **nonblocking collectives** (``iallreduce``): returns a
+  :class:`CommRequest` immediately so the caller can overlap local compute
+  with the reduction and collect the result with :meth:`CommRequest.wait`.
+  The contribution is *captured at call time* on every transport (copied
+  into shared memory, reduced eagerly, or serialised), so the caller may
+  reuse its buffer as soon as ``iallreduce`` returns — the property the
+  software-pipelined training loop relies on.
 * **rank-0 program launch** (:meth:`Communicator.run`): the driver process is
   rank 0 and executes the program inline; the transport supplies the other
   ranks (threads, OS processes, or nothing for the serial transport).  This
@@ -37,7 +44,7 @@ import numpy as np
 from repro.exceptions import BackendError
 from repro.utils.arrays import split_into_chunks
 
-__all__ = ["Communicator", "REDUCE_OPS", "split_ranks"]
+__all__ = ["Communicator", "CommRequest", "CompletedRequest", "REDUCE_OPS", "split_ranks"]
 
 #: Driver-side reductions over stacked per-rank contributions (rank order).
 REDUCE_OPS: Dict[str, Callable[[Sequence[np.ndarray]], np.ndarray]] = {
@@ -68,6 +75,47 @@ def _reduce_in_rank_order(parts: Sequence[np.ndarray], op: str) -> np.ndarray:
     return out
 
 
+class CommRequest(ABC):
+    """Handle for one in-flight nonblocking collective (MPI Request-shaped).
+
+    ``wait()`` blocks until the collective completes and returns its result;
+    calling it again returns the same result without further communication.
+    ``test()`` is a non-blocking completion probe: ``True`` means ``wait()``
+    would return promptly (the result is ready, or every peer has reached
+    the rendezvous).  Requests are single-collective: they are created by
+    ``iallreduce`` and never reused.
+    """
+
+    @abstractmethod
+    def wait(self) -> np.ndarray:
+        """Block until the collective completes; return the reduced array."""
+
+    @abstractmethod
+    def test(self) -> bool:
+        """Whether :meth:`wait` would return without blocking."""
+
+
+class CompletedRequest(CommRequest):
+    """An already-finished request wrapping an eagerly computed result.
+
+    The serial and thread transports (and any transport without a genuinely
+    asynchronous path) complete nonblocking collectives on call and hand the
+    result back through this wrapper, so SPMD programs written against the
+    nonblocking API run unchanged — the overlap window is simply empty.
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: np.ndarray) -> None:
+        self._value = value
+
+    def wait(self) -> np.ndarray:
+        return self._value
+
+    def test(self) -> bool:
+        return True
+
+
 class Communicator(ABC):
     """Abstract MPI-like communicator; one instance is one rank's view.
 
@@ -83,6 +131,7 @@ class Communicator(ABC):
     def __init__(self) -> None:
         self.collective_calls: Dict[str, int] = {
             "allreduce": 0,
+            "iallreduce": 0,
             "allgather": 0,
             "bcast": 0,
             "barrier": 0,
@@ -138,12 +187,42 @@ class Communicator(ABC):
         process boundary by reference).
         """
 
+    def _iallreduce_array(self, array: np.ndarray, op: str) -> CommRequest:
+        """Default nonblocking allreduce: complete eagerly on call.
+
+        Transports with a genuinely split-phase path (shared-memory slots,
+        MPI requests) override this; everything else reduces inline and
+        returns a :class:`CompletedRequest`, which is semantically identical
+        — the overlap window is just empty.  The call is re-labelled from
+        ``allreduce`` to ``iallreduce`` in ``collective_calls`` so the
+        benchmark tables count the nonblocking path separately.
+        """
+        out = self._allreduce_array(array, op)
+        self.collective_calls["allreduce"] -= 1
+        self.collective_calls["iallreduce"] += 1
+        return CompletedRequest(out)
+
     # ------------------------------------------------------------ dispatchers
     def allreduce(self, value, op: str = "sum"):
         """SPMD allreduce of one array, or legacy combine of a per-rank list."""
         if isinstance(value, (list, tuple)):
             return self.reduce_parts(value, op)
         return self._allreduce_array(np.asarray(value), op)
+
+    def iallreduce(self, value, op: str = "sum") -> CommRequest:
+        """Nonblocking SPMD allreduce; returns a :class:`CommRequest`.
+
+        The contribution is captured at call time, so ``value``'s buffer may
+        be reused immediately.  All ranks must issue their nonblocking
+        collectives in the same order and eventually ``wait()`` on each
+        request (SPMD programs do so by construction).
+        """
+        if isinstance(value, (list, tuple)):
+            raise BackendError(
+                "iallreduce takes a single array (SPMD mode); driver-side "
+                "per-rank lists go through reduce_parts()"
+            )
+        return self._iallreduce_array(np.asarray(value), op)
 
     def allgather(self, value):
         """SPMD allgather of one array, or legacy gather of a per-rank list."""

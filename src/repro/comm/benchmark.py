@@ -32,6 +32,12 @@ def measure_comm_throughput(
     Every transport runs the same SPMD loop (:func:`repro.comm.tasks.allreduce_loop`)
     over a ``shape`` float64 payload at ``ranks`` ranks (the serial transport
     is always measured at one rank — it has no peers by construction).
+
+    Each row also reports the nonblocking path
+    (:func:`repro.comm.tasks.iallreduce_loop`): ``seconds_per_iallreduce``
+    is issue + wait, and ``overlap_window_seconds`` is the part of that
+    latency a training loop can hide behind compute — the time between
+    ``iallreduce`` returning and ``wait()`` completing.
     """
     rows: List[Dict[str, object]] = []
     for transport in transports:
@@ -45,9 +51,16 @@ def measure_comm_throughput(
                 tasks.allreduce_loop,
                 [(tuple(shape), repeats, warmup)] * comm.size,
             )
+            nb_results = comm.run(
+                tasks.iallreduce_loop,
+                [(tuple(shape), repeats, warmup)] * comm.size,
+            )
             rank0 = results[0]
+            nb_rank0 = nb_results[0]
             seconds = float(rank0["seconds_per_call"])
             nbytes = float(rank0["nbytes"])
+            nb_seconds = float(nb_rank0["seconds_per_call"])
+            nb_issue = float(nb_rank0["issue_seconds"])
             rows.append(
                 {
                     "transport": transport,
@@ -55,6 +68,8 @@ def measure_comm_throughput(
                     "seconds_per_allreduce": seconds,
                     "payload_mbytes": nbytes / 1e6,
                     "mbytes_per_second": nbytes * n_ranks / max(seconds, 1e-12) / 1e6,
+                    "seconds_per_iallreduce": nb_seconds,
+                    "overlap_window_seconds": max(nb_seconds - nb_issue, 0.0),
                 }
             )
         except BackendError as exc:  # pragma: no cover - constrained sandboxes

@@ -20,7 +20,7 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.comm.base import Communicator, split_ranks
+from repro.comm.base import CommRequest, Communicator, split_ranks
 from repro.exceptions import BackendError
 
 try:  # pragma: no cover - mpi4py is not installed in the CI environment
@@ -32,6 +32,32 @@ except ImportError:  # pragma: no cover - the usual path in CI
     HAVE_MPI = False
 
 __all__ = ["MPIComm", "HAVE_MPI"]
+
+
+class _MPIRequest(CommRequest):  # pragma: no cover - exercised only with mpi4py
+    """Wrapper over an mpi4py nonblocking request (pickle-based ``iallreduce``)."""
+
+    __slots__ = ("_request", "_result", "_done")
+
+    def __init__(self, request) -> None:
+        self._request = request
+        self._result: Optional[np.ndarray] = None
+        self._done = False
+
+    def wait(self) -> np.ndarray:
+        if not self._done:
+            self._result = np.asarray(self._request.wait())
+            self._done = True
+        return self._result
+
+    def test(self) -> bool:
+        if self._done:
+            return True
+        done, value = self._request.test()
+        if done:
+            self._result = np.asarray(value)
+            self._done = True
+        return bool(done)
 
 
 class MPIComm(Communicator):  # pragma: no cover - exercised only with mpi4py
@@ -66,6 +92,26 @@ class MPIComm(Communicator):  # pragma: no cover - exercised only with mpi4py
         if op not in ops:
             raise BackendError(f"unknown reduction '{op}'")
         return np.asarray(self._comm.allreduce(np.asarray(array), op=ops[op]))
+
+    def _iallreduce_array(self, array: np.ndarray, op: str) -> CommRequest:
+        """Map to mpi4py's nonblocking ``iallreduce`` when the comm has one.
+
+        The pickle-based ``iallreduce`` landed in mpi4py 3.1; older builds
+        (or exotic comm objects) fall back to the eager base implementation.
+        """
+        issue = getattr(self._comm, "iallreduce", None)
+        if issue is None:
+            return super()._iallreduce_array(array, op)
+        ops = {"sum": _MPI.SUM, "max": _MPI.MAX, "min": _MPI.MIN}
+        if op == "mean":
+            return super()._iallreduce_array(array, op)
+        if op not in ops:
+            raise BackendError(f"unknown reduction '{op}'")
+        self.collective_calls["iallreduce"] += 1
+        self.bytes_communicated += array.nbytes * self.size
+        # np.array(..., copy=True): capture the contribution at call time so
+        # the caller may reuse its buffer immediately (transport contract).
+        return _MPIRequest(issue(np.array(array, copy=True), op=ops[op]))
 
     def _allgather_array(self, array: np.ndarray) -> List[np.ndarray]:
         self.collective_calls["allgather"] += 1

@@ -23,6 +23,19 @@ Slots grow on demand: when a contribution outgrows its slot the owning rank
 creates a replacement segment under a new generation number; readers notice
 the generation bump in the control block and re-attach lazily.  Ragged
 ``allgather`` needs no padding because shapes travel in the control block.
+Arrays larger than ``max_slot_bytes`` are reduced in fixed-size **chunks**
+through the same slot instead of growing one giant segment, so the
+shared-memory footprint is bounded by the cap regardless of payload size.
+
+**Nonblocking collectives** split the write/barrier/read phases:
+``iallreduce`` publishes the contribution into one of two dedicated
+*parity* slots and returns immediately; ``CommRequest.wait()`` performs a
+single barrier and the rank-ordered reduce.  One barrier (instead of the
+blocking path's two) is safe because at most one nonblocking collective may
+be outstanding per rank and consecutive requests alternate parity slots:
+sequence ``k``'s slot is only rewritten by sequence ``k+2``, which a rank
+can issue only after its ``wait(k+1)`` returned — and the barrier inside
+``wait(k+1)`` proves every rank finished reading sequence ``k``.
 """
 
 from __future__ import annotations
@@ -37,7 +50,13 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.comm.base import Communicator, _reduce_in_rank_order, split_ranks
+from repro.comm.base import (
+    CommRequest,
+    Communicator,
+    CompletedRequest,
+    _reduce_in_rank_order,
+    split_ranks,
+)
 from repro.exceptions import BackendError
 
 __all__ = ["ProcessComm"]
@@ -50,6 +69,9 @@ _MAX_DIMS = 8
 # Control-block row: [generation, nbytes, dtype code, ndim, shape[0..7]].
 _HEADER_INTS = 4 + _MAX_DIMS
 _HEADER_BYTES = _HEADER_INTS * 8
+# Header rows per rank: row 0 serves the blocking collectives, rows 1 and 2
+# are the two parity slots of the nonblocking path (see module docstring).
+_SLOT_ROWS = 3
 
 
 def _attach(name: str) -> SharedMemory:
@@ -75,6 +97,7 @@ class _ShmPeer:
         barrier,
         timeout: float,
         min_slot_bytes: int,
+        max_slot_bytes: int = 0,
         control: Optional[SharedMemory] = None,
     ) -> None:
         self._rank = rank
@@ -83,11 +106,21 @@ class _ShmPeer:
         self._barrier = barrier
         self._timeout = float(timeout)
         self._min_slot_bytes = int(min_slot_bytes)
+        #: Slot capacity cap: blocking reductions of larger arrays run in
+        #: fixed-size chunks through the same slot (0 disables chunking).
+        self._max_slot_bytes = int(max_slot_bytes)
         self._control = control if control is not None else _attach(f"{session}ctl")
-        self._headers = np.ndarray((size, _HEADER_INTS), dtype=np.int64, buffer=self._control.buf)
-        self._own_slot: Optional[SharedMemory] = None
-        self._own_gen = 0
-        self._peers: Dict[int, Tuple[int, SharedMemory]] = {}
+        self._headers = np.ndarray(
+            (size * _SLOT_ROWS, _HEADER_INTS), dtype=np.int64, buffer=self._control.buf
+        )
+        # One segment (+ generation) per owned slot row; peers cached per
+        # (rank, slot) pair.
+        self._own_slots: Dict[int, Tuple[SharedMemory, int]] = {}
+        self._peers: Dict[Tuple[int, int], Tuple[int, SharedMemory]] = {}
+        # Nonblocking state: sequence counter (drives the parity slot) and
+        # the single outstanding request, if any.
+        self._nb_seq = 0
+        self._nb_pending: Optional["_ProcessRequest"] = None
 
     #: Worker peers always run inside a program; the driver (ProcessComm)
     #: toggles this in :meth:`ProcessComm.run` so a driver-side SPMD
@@ -112,11 +145,15 @@ class _ShmPeer:
             ) from exc
 
     # ----------------------------------------------------------- slot plumbing
-    def _slot_name(self, rank: int, gen: int) -> str:
-        return f"{self._session}d{rank}g{gen}"
+    def _slot_name(self, rank: int, gen: int, slot: int = 0) -> str:
+        tag = "d" if slot == 0 else f"n{slot}"
+        return f"{self._session}{tag}{rank}g{gen}"
 
-    def _publish(self, array: np.ndarray) -> np.ndarray:
-        """Write this rank's contribution into its slot + control row."""
+    def _header_row(self, rank: int, slot: int) -> np.ndarray:
+        return self._headers[rank * _SLOT_ROWS + slot]
+
+    def _publish(self, array: np.ndarray, slot: int = 0) -> np.ndarray:
+        """Write this rank's contribution into one of its slots + header row."""
         arr = np.ascontiguousarray(array)
         code = _DTYPE_CODES.get(arr.dtype)
         if code is None:
@@ -126,53 +163,58 @@ class _ShmPeer:
             )
         if arr.ndim > _MAX_DIMS:
             raise BackendError(f"collective arrays are limited to {_MAX_DIMS} dimensions")
-        if self._own_slot is None or self._own_slot.size < arr.nbytes:
+        own = self._own_slots.get(slot)
+        if own is None or own[0].size < arr.nbytes:
             # Round the capacity up to the next power of two so a sequence of
             # slowly growing messages does not reallocate the slot every call.
             capacity = self._min_slot_bytes
             while capacity < arr.nbytes:
                 capacity *= 2
-            new_gen = self._own_gen + 1
+            new_gen = (own[1] if own is not None else 0) + 1
             replacement = SharedMemory(
-                create=True, size=capacity, name=self._slot_name(self._rank, new_gen)
+                create=True, size=capacity, name=self._slot_name(self._rank, new_gen, slot)
             )
-            if self._own_slot is not None:
-                self._own_slot.close()
+            if own is not None:
+                own[0].close()
                 try:
-                    self._own_slot.unlink()
+                    own[0].unlink()
                 except FileNotFoundError:  # pragma: no cover - already gone
                     pass
-            self._own_slot, self._own_gen = replacement, new_gen
-        header = self._headers[self._rank]
-        header[0] = self._own_gen
+            own = (replacement, new_gen)
+            self._own_slots[slot] = own
+        header = self._header_row(self._rank, slot)
+        header[0] = own[1]
         header[1] = arr.nbytes
         header[2] = code
         header[3] = arr.ndim
         header[4 : 4 + _MAX_DIMS] = 0
         header[4 : 4 + arr.ndim] = arr.shape
         if arr.nbytes:
-            dst = np.ndarray(arr.shape, dtype=arr.dtype, buffer=self._own_slot.buf)
+            dst = np.ndarray(arr.shape, dtype=arr.dtype, buffer=own[0].buf)
             dst[...] = arr
         return arr
 
-    def _fetch(self, rank: int, rows: Optional[Tuple[int, int]] = None) -> np.ndarray:
+    def _fetch(
+        self, rank: int, rows: Optional[Tuple[int, int]] = None, slot: int = 0
+    ) -> np.ndarray:
         """Copy rank ``rank``'s published contribution out of shared memory."""
-        header = self._headers[rank]
+        header = self._header_row(rank, slot)
         gen, nbytes, code, ndim = (int(header[i]) for i in range(4))
         if gen <= 0:
             raise BackendError(f"rank {rank} published no contribution")
         shape = tuple(int(s) for s in header[4 : 4 + ndim])
         dtype = _DTYPES[code]
-        if rank == self._rank and self._own_slot is not None:
-            shm = self._own_slot
+        if rank == self._rank and slot in self._own_slots:
+            shm = self._own_slots[slot][0]
         else:
-            cached = self._peers.get(rank)
+            key = (rank, slot)
+            cached = self._peers.get(key)
             if cached is None or cached[0] != gen:
                 if cached is not None:
                     cached[1].close()
-                shm = _attach(self._slot_name(rank, gen))
-                self._peers[rank] = (gen, shm)
-            shm = self._peers[rank][1]
+                shm = _attach(self._slot_name(rank, gen, slot))
+                self._peers[key] = (gen, shm)
+            shm = self._peers[key][1]
         if nbytes == 0:
             view = np.empty(shape, dtype=dtype)
         else:
@@ -188,24 +230,69 @@ class _ShmPeer:
 
     def _release(self) -> None:
         self._close_peer_attachments()
-        if self._own_slot is not None:
-            self._own_slot.close()
+        for shm, _gen in self._own_slots.values():
+            shm.close()
             try:
-                self._own_slot.unlink()
+                shm.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
-            self._own_slot = None
+        self._own_slots.clear()
         # Drop the numpy view over the control buffer before closing it, or
         # mmap.close() raises BufferError("exported pointers exist").
         self._headers = None
         self._control.close()
 
 
+class _ProcessRequest(CommRequest):
+    """In-flight nonblocking allreduce on the process transport.
+
+    The contribution already sits in this rank's parity slot (copied there
+    by ``iallreduce``), so the request holds no reference to the caller's
+    buffer.  ``wait()`` is a single barrier followed by the rank-ordered
+    reduce — the release barrier of the blocking path is unnecessary
+    because the parity slot is only rewritten two sequence numbers later
+    (see the module docstring for the safety argument).
+    """
+
+    __slots__ = ("_peer", "_slot", "_op", "_nbytes", "_result", "_done")
+
+    def __init__(self, peer: "_ProcessCollectives", slot: int, op: str, nbytes: int) -> None:
+        self._peer = peer
+        self._slot = slot
+        self._op = op
+        self._nbytes = int(nbytes)
+        self._result: Optional[np.ndarray] = None
+        self._done = False
+
+    def wait(self) -> np.ndarray:
+        if self._done:
+            return self._result
+        peer = self._peer
+        peer._wait()
+        parts = [peer._fetch(r, slot=self._slot) for r in range(peer._size)]
+        self._result = _reduce_in_rank_order(parts, self._op)
+        self._done = True
+        peer._nb_pending = None
+        peer.bytes_communicated += self._nbytes * peer._size
+        return self._result
+
+    def test(self) -> bool:
+        if self._done:
+            return True
+        # The rendezvous would complete promptly once every *other* rank has
+        # arrived (our own wait() supplies the last party).
+        waiting = getattr(self._peer._barrier, "n_waiting", None)
+        return waiting is not None and int(waiting) >= self._peer._size - 1
+
+
 class _ProcessCollectives(_ShmPeer):
     """SPMD collectives over the shared-memory slots (all ranks)."""
 
     def _allreduce_array(self, array: np.ndarray, op: str) -> np.ndarray:
-        local = self._publish(array)
+        arr = np.ascontiguousarray(array)
+        if self._max_slot_bytes and arr.nbytes > self._max_slot_bytes:
+            return self._allreduce_chunked(arr, op)
+        local = self._publish(arr)
         self._wait()
         parts = [local if r == self._rank else self._fetch(r) for r in range(self._size)]
         out = _reduce_in_rank_order(parts, op)
@@ -213,6 +300,60 @@ class _ProcessCollectives(_ShmPeer):
         self.collective_calls["allreduce"] += 1
         self.bytes_communicated += local.nbytes * self._size
         return out
+
+    def _allreduce_chunked(self, arr: np.ndarray, op: str) -> np.ndarray:
+        """Reduce an over-cap array in fixed-size chunks through one slot.
+
+        Bounds the shared-memory footprint at ``max_slot_bytes`` per rank:
+        every rank publishes, rendezvouses and reduces one chunk at a time
+        (the final chunk may be ragged).  All ranks see the same shape —
+        allreduce contributions must match — so the chunk schedules agree.
+        The reduction itself is elementwise, so chunking cannot change the
+        result: each output element is still combined in rank order.
+        """
+        flat = arr.reshape(-1)
+        per_chunk = max(1, self._max_slot_bytes // arr.itemsize)
+        out = np.empty(arr.size, dtype=np.float64)
+        for lo in range(0, arr.size, per_chunk):
+            hi = min(arr.size, lo + per_chunk)
+            local = self._publish(flat[lo:hi])
+            self._wait()
+            parts = [
+                local if r == self._rank else self._fetch(r) for r in range(self._size)
+            ]
+            out[lo:hi] = _reduce_in_rank_order(parts, op)
+            self._wait()
+        self.collective_calls["allreduce"] += 1
+        self.bytes_communicated += arr.nbytes * self._size
+        return out.reshape(arr.shape)
+
+    def _iallreduce_array(self, array: np.ndarray, op: str) -> CommRequest:
+        arr = np.ascontiguousarray(array)
+        if not self._in_program and self._size > 1:
+            raise BackendError(
+                "SPMD collectives on a size>1 communicator must be called from "
+                "inside run(); for driver-side combines use reduce_parts()/"
+                "gather_parts() (or pass a list of per-rank contributions)"
+            )
+        if self._nb_pending is not None:
+            raise BackendError(
+                "a nonblocking collective is already outstanding on this rank; "
+                "wait() on it before issuing the next one"
+            )
+        if self._max_slot_bytes and arr.nbytes > self._max_slot_bytes:
+            # Over-cap payloads fall back to the eager chunked reduction —
+            # the request completes on call, which is always correct.
+            out = self._allreduce_chunked(arr, op)
+            self.collective_calls["allreduce"] -= 1
+            self.collective_calls["iallreduce"] += 1
+            return CompletedRequest(out)
+        slot = 1 + (self._nb_seq % 2)
+        self._nb_seq += 1
+        self._publish(arr, slot=slot)
+        request = _ProcessRequest(self, slot, op, arr.nbytes)
+        self._nb_pending = request
+        self.collective_calls["iallreduce"] += 1
+        return request
 
     def _allgather_array(self, array: np.ndarray) -> List[np.ndarray]:
         local = self._publish(array)
@@ -260,7 +401,7 @@ class _ProcessCollectives(_ShmPeer):
             out = np.array(local[lo:hi], copy=True)
         else:
             self._wait()
-            header = self._headers[root]
+            header = self._header_row(root, 0)
             n_rows = int(header[4])
             lo, hi = split_ranks(n_rows, self._size)[self._rank]
             out = self._fetch(root, rows=(lo, hi))
@@ -276,10 +417,19 @@ class _ProcessRankView(_ProcessCollectives, Communicator):
     transport = "process"
 
     def __init__(
-        self, rank: int, size: int, session: str, barrier, timeout: float, min_slot_bytes: int
+        self,
+        rank: int,
+        size: int,
+        session: str,
+        barrier,
+        timeout: float,
+        min_slot_bytes: int,
+        max_slot_bytes: int = 0,
     ) -> None:
         Communicator.__init__(self)
-        _ShmPeer.__init__(self, rank, size, session, barrier, timeout, min_slot_bytes)
+        _ShmPeer.__init__(
+            self, rank, size, session, barrier, timeout, min_slot_bytes, max_slot_bytes
+        )
 
     @property
     def rank(self) -> int:
@@ -302,9 +452,10 @@ def _worker_main(
     result_queue,
     timeout: float,
     min_slot_bytes: int,
+    max_slot_bytes: int = 0,
 ) -> None:
     """Task loop of one persistent worker process."""
-    view = _ProcessRankView(rank, size, session, barrier, timeout, min_slot_bytes)
+    view = _ProcessRankView(rank, size, session, barrier, timeout, min_slot_bytes, max_slot_bytes)
     result_queue.put(("ready", rank, True, None))
     try:
         while True:
@@ -343,6 +494,12 @@ class ProcessComm(_ProcessCollectives, Communicator):
     min_slot_bytes:
         Initial capacity of each rank's shared-memory slot; slots grow
         automatically when a contribution outgrows them.
+    max_slot_bytes:
+        Slot capacity cap: blocking reductions of arrays larger than this
+        run in fixed-size chunks through one capped slot instead of growing
+        a contribution-sized segment (0 disables chunking).  Nonblocking
+        collectives of over-cap arrays complete eagerly through the same
+        chunked path.
     """
 
     transport = "process"
@@ -353,19 +510,25 @@ class ProcessComm(_ProcessCollectives, Communicator):
         timeout: float = 120.0,
         start_method: str = "spawn",
         min_slot_bytes: int = 1 << 20,
+        max_slot_bytes: int = 1 << 26,
     ) -> None:
         Communicator.__init__(self)
         if size <= 0:
             raise BackendError("communicator size must be positive")
+        if int(max_slot_bytes) < 0:
+            raise BackendError("max_slot_bytes must be non-negative (0 disables chunking)")
         self._closed = False
         self._in_program = False
         self._task_counter = 0
         ctx = get_context(start_method)
         session = f"rcomm{os.getpid():x}{uuid.uuid4().hex[:8]}"
         barrier = ctx.Barrier(size) if size > 1 else threading.Barrier(1)
-        control = SharedMemory(create=True, size=max(1, size * _HEADER_BYTES), name=f"{session}ctl")
-        control.buf[: size * _HEADER_BYTES] = b"\x00" * (size * _HEADER_BYTES)
-        _ShmPeer.__init__(self, 0, int(size), session, barrier, timeout, min_slot_bytes, control)
+        control_bytes = size * _SLOT_ROWS * _HEADER_BYTES
+        control = SharedMemory(create=True, size=max(1, control_bytes), name=f"{session}ctl")
+        control.buf[:control_bytes] = b"\x00" * control_bytes
+        _ShmPeer.__init__(
+            self, 0, int(size), session, barrier, timeout, min_slot_bytes, max_slot_bytes, control
+        )
         self._task_queues = [ctx.Queue() for _ in range(size - 1)]
         self._result_queue = ctx.Queue() if size > 1 else None
         self._workers = [
@@ -380,6 +543,7 @@ class ProcessComm(_ProcessCollectives, Communicator):
                     self._result_queue,
                     timeout,
                     min_slot_bytes,
+                    max_slot_bytes,
                 ),
                 daemon=True,
                 name=f"comm-rank{rank}",
@@ -507,16 +671,17 @@ class ProcessComm(_ProcessCollectives, Communicator):
                 worker.join(timeout=1.0)
         # Best-effort cleanup of worker slots a crashed worker left behind.
         for rank in range(1, self._size):
-            gen = int(self._headers[rank][0])
-            if gen > 0:
-                try:
-                    stale = _attach(self._slot_name(rank, gen))
-                    stale.close()
-                    stale.unlink()
-                except FileNotFoundError:
-                    pass
-                except Exception:  # pragma: no cover - already cleaned up
-                    pass
+            for slot in range(_SLOT_ROWS):
+                gen = int(self._header_row(rank, slot)[0])
+                if gen > 0:
+                    try:
+                        stale = _attach(self._slot_name(rank, gen, slot))
+                        stale.close()
+                        stale.unlink()
+                    except FileNotFoundError:
+                        pass
+                    except Exception:  # pragma: no cover - already cleaned up
+                        pass
         self._release()
         try:
             self._control.unlink()

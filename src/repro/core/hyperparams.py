@@ -169,6 +169,23 @@ class TrainingSchedule:
     an extra refresh at the swap boundary), while the dense plan keeps its
     stale buffer — the same approximation class ``tol > 0`` already opts
     into, with the sparse weights only ever *fresher*.
+
+    ``comm_overlap`` controls the communication-overlapped data-parallel
+    schedule when training through a communicator: the per-batch statistics
+    allreduce is issued nonblocking and applied one batch late, hiding the
+    reduction behind the next batch's forward.  Only engaged when
+    ``weight_refresh_tol > 0`` (one-batch-stale weights fall under the same
+    contract); at ``tol=0`` every mode is bit-for-bit the blocking schedule.
+    The decision is rank-count-independent so results stay rank-invariant.
+
+    ``sparse_payload`` shrinks those allreduce payloads once the
+    structural-plasticity mask can no longer rewire within the run: only
+    active-row outer-product statistics are packed (plus a mask-digest
+    token guarding against replica divergence).  ``"auto"`` engages for
+    frozen sub-unity-density masks, ``"on"`` whenever frozen, ``"off"``
+    never; dense packing resumes automatically in epochs where plasticity
+    may still rewire.  Predictions are unchanged bitwise — masked forwards
+    never read the silent weights the packing drops.
     """
 
     hidden_epochs: int = 5
@@ -188,6 +205,10 @@ class TrainingSchedule:
     weight_refresh_tol: float = 0.0
     #: Block-sparse execution policy for the hidden layers ("auto"/"on"/"off").
     sparse: str = "auto"
+    #: Nonblocking-allreduce overlap for comm training ("auto"/"on"/"off").
+    comm_overlap: str = "auto"
+    #: Sparse-packed allreduce payloads on frozen masks ("auto"/"on"/"off").
+    sparse_payload: str = "auto"
 
     def __post_init__(self) -> None:
         check_positive_int(self.hidden_epochs, "hidden_epochs", minimum=0)
@@ -204,6 +225,14 @@ class TrainingSchedule:
         if self.weight_refresh_tol < 0:
             raise ConfigurationError("weight_refresh_tol must be non-negative")
         check_sparse_mode(self.sparse)
+        for knob, value in (
+            ("comm_overlap", self.comm_overlap),
+            ("sparse_payload", self.sparse_payload),
+        ):
+            if value not in ("auto", "on", "off"):
+                raise ConfigurationError(
+                    f"{knob} must be 'auto', 'on' or 'off', got {value!r}"
+                )
 
     def replace(self, **overrides) -> "TrainingSchedule":
         return replace(self, **overrides)
@@ -222,4 +251,6 @@ class TrainingSchedule:
             "pipeline": self.pipeline,
             "weight_refresh_tol": self.weight_refresh_tol,
             "sparse": self.sparse,
+            "comm_overlap": self.comm_overlap,
+            "sparse_payload": self.sparse_payload,
         }

@@ -155,6 +155,8 @@ class Network:
         pipeline: Optional[bool] = None,
         weight_refresh_tol: Optional[float] = None,
         sparse=None,
+        comm_overlap: Optional[str] = None,
+        sparse_payload: Optional[str] = None,
     ) -> History:
         """Train the network; returns the training :class:`History`.
 
@@ -190,6 +192,10 @@ class Network:
             overrides["weight_refresh_tol"] = float(weight_refresh_tol)
         if sparse is not None:
             overrides["sparse"] = normalize_sparse_mode(sparse)
+        if comm_overlap is not None:
+            overrides["comm_overlap"] = str(comm_overlap)
+        if sparse_payload is not None:
+            overrides["sparse_payload"] = str(sparse_payload)
         if overrides:
             schedule = schedule.replace(**overrides)
         x = np.asarray(x, dtype=np.float64)
@@ -414,6 +420,8 @@ class Network:
                 mode="competitive",
                 pipeline=schedule.pipeline,
                 weight_refresh_tol=schedule.weight_refresh_tol,
+                comm_overlap=schedule.comm_overlap,
+                sparse_payload=schedule.sparse_payload,
             )
         finally:
             # Phase boundary: settle the dense weight matrix the sparse

@@ -43,8 +43,36 @@ __all__ = [
     "PipelineTask",
     "helper_threads_available",
     "mean_activation_entropy",
+    "resolve_comm_overlap",
     "train_layer_pipelined",
 ]
+
+
+def resolve_comm_overlap(mode: str, weight_refresh_tol: float, size: int) -> bool:
+    """Resolve the ``--comm-overlap`` knob to an on/off decision.
+
+    Communication overlap forwards batch ``k+1`` before batch ``k``'s
+    reduction has been applied, i.e. it trains on one-batch-stale weights —
+    which is only admissible under the stale-weights contract, so overlap
+    always requires ``weight_refresh_tol > 0``.  At ``tol=0`` every mode
+    degrades to the blocking schedule (bit-for-bit the historical
+    behaviour).  ``"off"`` never overlaps; ``"auto"`` and ``"on"`` overlap
+    whenever the tolerance permits.
+
+    The decision deliberately does NOT depend on ``size``: the overlapped
+    schedule defers *applying* each reduction by one batch, and because the
+    reduced statistics of a global batch are identical for every rank
+    count, keeping the schedule size-independent keeps training results
+    bitwise rank-count-invariant (test-enforced across serial, thread and
+    process transports).  A size-1 run has no peer skew to hide, but its
+    eagerly-completing ``iallreduce`` makes the deferred apply free — the
+    same floats in the same order as any multi-rank run.  ``size`` stays in
+    the signature to document that invariance contract at the call sites.
+    """
+    if mode not in ("auto", "on", "off"):
+        raise BackendError(f"comm_overlap must be 'auto', 'on' or 'off', got {mode!r}")
+    del size  # deliberately unused — see docstring
+    return mode != "off" and float(weight_refresh_tol) > 0.0
 
 
 def helper_threads_available() -> bool:

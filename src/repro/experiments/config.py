@@ -114,6 +114,10 @@ class HiggsExperimentConfig:
     weight_refresh_tol: float = 0.0
     #: Block-sparse execution policy for the hidden layer ("auto"/"on"/"off").
     sparse: str = "auto"
+    #: Nonblocking-allreduce overlap for comm training ("auto"/"on"/"off").
+    comm_overlap: str = "auto"
+    #: Sparse-packed allreduce payloads on frozen masks ("auto"/"on"/"off").
+    sparse_payload: str = "auto"
 
     def __post_init__(self) -> None:
         if self.head not in ("sgd", "bcpnn"):
@@ -123,6 +127,14 @@ class HiggsExperimentConfig:
         if self.weight_refresh_tol < 0:
             raise ConfigurationError("weight_refresh_tol must be non-negative")
         check_sparse_mode(self.sparse)
+        for knob, value in (
+            ("comm_overlap", self.comm_overlap),
+            ("sparse_payload", self.sparse_payload),
+        ):
+            if value not in ("auto", "on", "off"):
+                raise ConfigurationError(
+                    f"{knob} must be 'auto', 'on' or 'off', got {value!r}"
+                )
 
     def replace(self, **overrides) -> "HiggsExperimentConfig":
         return replace(self, **overrides)
@@ -138,6 +150,8 @@ class HiggsExperimentConfig:
             pipeline=self.pipeline,
             weight_refresh_tol=self.weight_refresh_tol,
             sparse=self.sparse,
+            comm_overlap=self.comm_overlap,
+            sparse_payload=self.sparse_payload,
         )
 
     @classmethod

@@ -56,6 +56,8 @@ def run_distributed_equivalence(
     pipeline: bool = False,
     weight_refresh_tol: float = 0.0,
     sparse: str = "auto",
+    comm_overlap: str = "auto",
+    sparse_payload: str = "auto",
 ) -> Dict[str, object]:
     """Compare serial vs. rank-sharded training of one hidden layer.
 
@@ -86,6 +88,7 @@ def run_distributed_equivalence(
             reference_layer, x, epochs=epochs, batch_size=batch_size,
             rng=as_rng(seed + 2), shuffle=True,
             pipeline=pipeline, weight_refresh_tol=weight_refresh_tol,
+            comm_overlap=comm_overlap, sparse_payload=sparse_payload,
         )
 
     rows: List[Dict[str, object]] = []
@@ -103,6 +106,7 @@ def run_distributed_equivalence(
                 layer, x, epochs=epochs, batch_size=batch_size,
                 rng=as_rng(seed + 2), shuffle=True,
                 pipeline=pipeline, weight_refresh_tol=weight_refresh_tol,
+                comm_overlap=comm_overlap, sparse_payload=sparse_payload,
             )
             max_dev = float(
                 max(

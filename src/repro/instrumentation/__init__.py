@@ -2,6 +2,7 @@
 
 from repro.instrumentation.timers import Timer, RepeatTimer, TimingStatistics
 from repro.instrumentation.flops import BCPNNCostModel, CostBreakdown
+from repro.instrumentation.overlap_bench import measure_comm_overlap
 from repro.instrumentation.pipeline_bench import measure_pipelined_training
 from repro.instrumentation.reports import format_table, format_comparison, dump_json_report
 from repro.instrumentation.sparse_bench import measure_sparse_density_sweep
@@ -15,6 +16,7 @@ __all__ = [
     "format_table",
     "format_comparison",
     "dump_json_report",
+    "measure_comm_overlap",
     "measure_pipelined_training",
     "measure_sparse_density_sweep",
 ]

@@ -126,6 +126,9 @@ class SparseLayout:
         "packed_size",
         "max_active",
         "density",
+        "equal_k_groups",
+        "grouped_block_ids",
+        "_group_cache",
     )
 
     def __init__(
@@ -173,10 +176,53 @@ class SparseLayout:
             if dense_size
             else 0.0
         )
+        # Ragged-k batching plan: blocks sharing the same (k, m) slab shape
+        # can run as ONE batched gather-GEMM instead of one GEMM each, which
+        # is what keeps the per-block Python loop from dominating at large H.
+        # Uniform connectivity (the common case) collapses into a single
+        # group covering every block.
+        by_shape: dict = {}
+        for h, idx in enumerate(self.block_indices):
+            if idx.size:
+                by_shape.setdefault((idx.size, hidden_sizes[h]), []).append(h)
+        self.equal_k_groups: Tuple[Tuple[int, int, Tuple[int, ...]], ...] = tuple(
+            (k, m, tuple(blocks))
+            for (k, m), blocks in sorted(by_shape.items())
+            if len(blocks) > 1
+        )
+        self.grouped_block_ids = frozenset(
+            h for _k, _m, blocks in self.equal_k_groups for h in blocks
+        )
+        self._group_cache: dict = {}
 
     @property
     def n_blocks(self) -> int:
         return len(self.hidden_sizes)
+
+    def group_gather_indices(self, group: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Precomputed gather indices for one equal-k group (cached).
+
+        Returns ``(joint, rows, cols)`` where ``joint`` (shape ``(g, k, m)``)
+        holds flat indices into a C-order ``(n_input, n_hidden)`` matrix,
+        ``rows`` (``(g, k)``) the active input-unit indices and ``cols``
+        (``(g, m)``) the hidden-unit columns of each block in the group.
+        """
+        cached = self._group_cache.get(group)
+        if cached is None:
+            _k, m, blocks = self.equal_k_groups[group]
+            rows = np.stack([self.block_indices[h] for h in blocks])
+            cols = np.stack(
+                [
+                    np.arange(self.hidden_offsets[h], self.hidden_offsets[h] + m, dtype=np.intp)
+                    for h in blocks
+                ]
+            )
+            joint = np.ascontiguousarray(
+                rows[:, :, None] * self.n_hidden + cols[:, None, :], dtype=np.intp
+            )
+            cached = (joint, rows, cols)
+            self._group_cache[group] = cached
+        return cached
 
     def iter_blocks(self):
         """Yield ``(h, active_indices, hidden_lo, hidden_hi)`` per block."""
@@ -243,6 +289,31 @@ def sparse_beneficial(
     return layout.density <= float(threshold)
 
 
+def _stack_slabs(blocks: Sequence[np.ndarray]) -> Tuple[np.ndarray, bool]:
+    """3-D stack of equal-shape 2-D slabs; zero-copy when they are adjacent.
+
+    Slabs produced by :meth:`SparseLayout.block_views` over one flat buffer
+    are contiguous and back-to-back, so the stacked ``(g, k, m)`` array can
+    be a strided *view* — writes through it land in the flat buffer.
+    Returns ``(stacked, is_view)``; callers must copy results back per block
+    when ``is_view`` is ``False``.
+    """
+    first = blocks[0]
+    if all(b.flags["C_CONTIGUOUS"] for b in blocks):
+        ptr0 = first.__array_interface__["data"][0]
+        if all(
+            b.__array_interface__["data"][0] == ptr0 + i * first.nbytes
+            for i, b in enumerate(blocks)
+        ):
+            stacked = np.lib.stride_tricks.as_strided(
+                first,
+                shape=(len(blocks),) + first.shape,
+                strides=(first.nbytes,) + first.strides,
+            )
+            return stacked, True
+    return np.stack(blocks), False
+
+
 def pack_traces_to_weights(
     p_i: np.ndarray,
     p_j: np.ndarray,
@@ -274,10 +345,31 @@ def pack_traces_to_weights(
     if out_blocks is None:
         out_blocks = layout.block_views(np.empty(layout.packed_size, dtype=np.float64))
     log_pj = stable_log(p_j, trace_floor)
+    # Equal-(k, m) groups refresh as one flat gather + one vectorised
+    # log pass over the whole (g, k, m) stack — the per-block Python loop
+    # below only serves the ragged leftovers.  The scalar operations are
+    # identical either way, so the packed result stays bitwise-equal.
+    p_flat = np.ravel(p_ij)
+    for group in range(len(layout.equal_k_groups)):
+        _k, _m, blocks = layout.equal_k_groups[group]
+        joint, rows, cols = layout.group_gather_indices(group)
+        stacked, is_view = _stack_slabs([out_blocks[h] for h in blocks])
+        if is_view:
+            np.take(p_flat, joint, out=stacked)
+        else:
+            stacked = p_flat.take(joint)
+        np.maximum(stacked, trace_floor, out=stacked)
+        np.log(stacked, out=stacked)
+        stacked -= stable_log(p_i.take(rows), trace_floor)[:, :, None]
+        stacked -= log_pj.take(cols)[:, None, :]
+        if not is_view:
+            for i, h in enumerate(blocks):
+                np.copyto(out_blocks[h], stacked[i])
+    grouped = layout.grouped_block_ids
     for h, idx, lo, hi in layout.iter_blocks():
-        slab = out_blocks[h]
-        if idx.size == 0:
+        if idx.size == 0 or h in grouped:
             continue
+        slab = out_blocks[h]
         block = p_ij if (lo == 0 and hi == p_ij.shape[1]) else p_ij[:, lo:hi]
         # ndarray.take (not the np.take wrapper): this runs once per block
         # per batch on the training hot path.
@@ -325,7 +417,45 @@ def compute_support_sparse(
     n_rows = x.shape[0]
     if out is None:
         out = np.empty((n_rows, layout.n_hidden), dtype=np.float64)
+    # Equal-(k, m) groups run as batched gather-GEMMs — `(g, B, k) @ (g, k, m)`
+    # — instead of one GEMM per block; groups are sub-chunked so the gathered
+    # operand still fits the caller's scratch buffer.  Each batch element is
+    # the same `(B, k) @ (k, m)` contraction the per-block loop performs, so
+    # the support stays bitwise-equal.
+    for group in range(len(layout.equal_k_groups)):
+        k, m, blocks = layout.equal_k_groups[group]
+        per_block = n_rows * k
+        if gather is not None and gather.size >= per_block:
+            chunk = min(len(blocks), gather.size // per_block)
+        else:
+            chunk = len(blocks)
+        for start in range(0, len(blocks), chunk):
+            sub = blocks[start : start + chunk]
+            g = len(sub)
+            if gather is not None and gather.size >= g * per_block:
+                xg = gather[: g * per_block].reshape(g, n_rows, k)
+            else:
+                xg = np.empty((g, n_rows, k), dtype=np.float64)
+            for i, h in enumerate(sub):
+                x.take(layout.block_indices[h], axis=1, out=xg[i])
+            stacked, _ = _stack_slabs([packed_blocks[h] for h in sub])
+            if out.strides[1] == out.itemsize and all(
+                sub[i + 1] == sub[i] + 1 for i in range(g - 1)
+            ):
+                # Adjacent blocks: write straight into the support through a
+                # (g, B, m) transposed view of the output columns.
+                lo = int(layout.hidden_offsets[sub[0]])
+                dst = out[:, lo : lo + g * m].reshape(n_rows, g, m).transpose(1, 0, 2)
+                np.matmul(xg, stacked, out=dst)
+            else:
+                res = np.matmul(xg, stacked)
+                for i, h in enumerate(sub):
+                    lo = int(layout.hidden_offsets[h])
+                    out[:, lo : lo + m] = res[i]
+    grouped = layout.grouped_block_ids
     for h, idx, lo, hi in layout.iter_blocks():
+        if h in grouped:
+            continue
         if idx.size == 0:
             out[:, lo:hi] = 0.0
             continue

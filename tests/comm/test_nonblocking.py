@@ -1,0 +1,117 @@
+"""Nonblocking collectives and chunked slot-capped reductions (ISSUE 6).
+
+The ``iallreduce`` semantics are exercised through real SPMD programs on
+every transport; the chunked ProcessComm paths construct their own pools
+with deliberately tiny ``max_slot_bytes`` so multi-chunk (and ragged final
+chunk) round-trips run even for small payloads.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    CompletedRequest,
+    ProcessComm,
+    SerialComm,
+    ThreadComm,
+    tasks,
+)
+from repro.exceptions import BackendError
+
+
+@pytest.fixture(scope="module")
+def process_comm():
+    comm = ProcessComm(2, timeout=60.0)
+    yield comm
+    comm.close()
+
+
+@pytest.fixture(params=["serial", "thread", "process"])
+def comm(request, process_comm):
+    if request.param == "serial":
+        with SerialComm() as c:
+            yield c
+    elif request.param == "thread":
+        with ThreadComm(3) as c:
+            yield c
+    else:
+        yield process_comm
+
+
+class TestIallreduceSemantics:
+    def test_iallreduce_matches_blocking_on_every_transport(self, comm):
+        results = comm.run(tasks.iallreduce_checks, [(5, 4)] * comm.size)
+        # Each round r: every rank contributes (rank+1)*(r+1); sum over
+        # ranks is (r+1) * size*(size+1)/2.
+        base = comm.size * (comm.size + 1) / 2.0
+        for r in results:
+            for round_no, round_result in enumerate(r["rounds"]):
+                assert round_result["value"] == base * (round_no + 1)
+                assert round_result["same"], "wait() must be idempotent"
+                assert round_result["done"], "test() must report completion"
+            assert r["maxed"] == float(comm.size - 1)
+
+    def test_iallreduce_counts_separately(self, comm):
+        before_i = comm.collective_calls["iallreduce"]
+        before_a = comm.collective_calls["allreduce"]
+        comm.run(tasks.iallreduce_checks, [(5, 3)] * comm.size)
+        # 3 rounds + 1 max reduction, none of them booked as blocking calls.
+        assert comm.collective_calls["iallreduce"] == before_i + 4
+        assert comm.collective_calls["allreduce"] == before_a
+
+    def test_iallreduce_rejects_lists(self):
+        with SerialComm() as comm:
+            with pytest.raises(BackendError):
+                comm.iallreduce([1.0, 2.0], op="sum")
+
+    def test_serial_request_is_completed_eagerly(self):
+        with SerialComm() as comm:
+            request = comm.iallreduce(np.arange(3.0), op="sum")
+            assert isinstance(request, CompletedRequest)
+            assert request.test()
+            assert np.array_equal(request.wait(), np.arange(3.0))
+
+    def test_one_outstanding_request_contract(self, comm):
+        results = comm.run(tasks.iallreduce_outstanding_error, [(4,)] * comm.size)
+        expected = float(sum(range(comm.size)))
+        for r in results:
+            assert r["value"] == expected
+            if comm.transport == "process":
+                # The parity-slot protocol supports exactly one in-flight
+                # reduction per rank; a second issue must fail fast.
+                assert r["rejected"]
+            else:
+                assert not r["rejected"]
+
+
+class TestChunkedProcessCollectives:
+    @pytest.mark.parametrize("max_slot_bytes", [8, 64])
+    def test_chunked_round_trips(self, max_slot_bytes):
+        """Ragged final chunks, zero-length and 1-element payloads all
+        round-trip at slot caps down to one float64 per chunk."""
+        with ProcessComm(2, timeout=60.0, max_slot_bytes=max_slot_bytes) as comm:
+            results = comm.run(tasks.chunked_allreduce_checks, [(23,)] * comm.size)
+            for r in results:
+                assert np.array_equal(r["reduced"], r["expected"])
+                assert r["matrix_max"] == float(comm.size)
+                assert r["empty_size"] == 0
+                assert r["single"] == float(sum(range(comm.size)))
+                assert r["nonblocking_matches"]
+
+    def test_uncapped_payloads_stay_dense(self):
+        with ProcessComm(2, timeout=60.0) as comm:
+            before = comm.collective_calls["allreduce"]
+            results = comm.run(tasks.chunked_allreduce_checks, [(23,)] * comm.size)
+            for r in results:
+                assert np.array_equal(r["reduced"], r["expected"])
+            # 4 blocking allreduces per rank-program, one booking each: no
+            # chunk inflation of the counters on the dense path.
+            assert comm.collective_calls["allreduce"] == before + 4
+
+    def test_worker_crash_mid_chunk_surfaces_backend_error(self):
+        comm = ProcessComm(2, timeout=8.0, max_slot_bytes=64)
+        try:
+            with pytest.raises(BackendError):
+                comm.run(tasks.crash_rank_chunked, [(1, 64)] * comm.size)
+        finally:
+            comm.close()
