@@ -22,7 +22,11 @@ plus the dense-vs-sparse allreduce payload sweep (``comm_overlap`` — see
 against the dense fused path across mask densities
 (``sparse_density_sweep`` — gather-GEMM + packed-slab refresh vs dense
 masked GEMM + full refresh; see
-:func:`repro.instrumentation.measure_sparse_density_sweep`), and emits the
+:func:`repro.instrumentation.measure_sparse_density_sweep`), measures the
+*online serving* endpoint under a closed-loop client population
+(``serving_latency`` — p50/p99 request latency and saturation throughput
+of the micro-batched ``repro serve`` HTTP path; see
+:func:`repro.instrumentation.measure_serving_latency`), and emits the
 machine-readable ``BENCH_kernels.json`` at the repository root so the perf
 trajectory of every hot path is tracked from PR to PR
 (``benchmarks/bench_history.py`` accumulates the run-over-run history in
@@ -36,7 +40,9 @@ no-regression bound), ``--check-pipelined Y`` (pipelined-vs-serial
 training speedup), ``--check-sparse Z`` (block-sparse training AND
 serving speedups at density 0.3) and ``--check-overlap W``
 (overlapped-vs-blocking comm training speedup AND the sparse payload
-staying at or under half the dense payload at density 0.3), each exiting
+staying at or under half the dense payload at density 0.3) and
+``--check-latency MS`` (saturated-phase p99 request latency at or under
+MS milliseconds AND zero failed requests), each exiting
 non-zero below its threshold, plus ``--check-committed PATH`` which fails when the committed
 JSON's speedup ratios drift more than ``--drift-tol`` (default ±50%) from
 the runner's fresh measurement — a stale or hand-edited committed JSON
@@ -504,6 +510,29 @@ def test_streaming_inference_throughput_recorded():
         assert entry["workspace_bytes"] > 0
 
 
+def test_serving_latency_measured():
+    """The online serving endpoint must answer a closed-loop client population.
+
+    Asserts structure and correctness properties (zero failed requests,
+    positive throughput in both phases), not absolute latencies: wall-clock
+    percentiles on a loaded test machine are flaky, so the hard p99 bound
+    lives in the CI perf-gate job's ``--check-latency``, which runs the
+    same full configuration the committed JSON publishes.
+    """
+    from repro.instrumentation import measure_serving_latency
+
+    outcome = measure_serving_latency(
+        n_clients=4, rows_per_request=2, duration=0.6, n_minicolumns=100
+    )
+    for phase in ("single_client", "saturated"):
+        assert outcome[phase]["failures"] == 0, outcome[phase]
+        assert outcome[phase]["rows_per_second"] > 0
+        assert outcome[phase]["p99_ms"] > 0
+    # Coalescing must actually have happened under the concurrent phase.
+    assert outcome["mean_batch_rows"] > 0
+    assert outcome["batcher"]["batches"] > 0
+
+
 #: Relative tolerance for ``--check-committed``: the committed JSON's
 #: dimensionless speedup ratios must sit within this fraction of the
 #: runner's fresh measurement.  Absolute seconds are machine-dependent and
@@ -608,6 +637,17 @@ def main(argv=None):
         ),
     )
     parser.add_argument(
+        "--check-latency",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "exit non-zero when the serving endpoint's saturated-phase p99 "
+            "request latency exceeds MS milliseconds, or when any closed-loop "
+            "client request failed"
+        ),
+    )
+    parser.add_argument(
         "--check-committed",
         type=str,
         default=None,
@@ -638,6 +678,7 @@ def main(argv=None):
     from repro.instrumentation import (
         measure_comm_overlap,
         measure_pipelined_training,
+        measure_serving_latency,
         measure_sparse_density_sweep,
     )
 
@@ -649,6 +690,7 @@ def main(argv=None):
         comm = measure_comm_throughput(ranks=2, repeats=10, warmup=2)
         overlap = measure_comm_overlap(n_samples=2048, epochs=1, repeats=2)
         sparse = measure_sparse_density_sweep(repeats=3, inner=15, serve_samples=4096)
+        latency = measure_serving_latency(n_clients=4, rows_per_request=2, duration=1.0)
     else:
         fused = measure_fused_vs_unfused()
         training = measure_fused_training_backends()
@@ -657,6 +699,7 @@ def main(argv=None):
         comm = measure_comm_throughput(ranks=2, repeats=30, warmup=5)
         overlap = measure_comm_overlap()
         sparse = measure_sparse_density_sweep()
+        latency = measure_serving_latency()
     sections = {
         "fused_vs_unfused": fused,
         "fused_training_backends": training,
@@ -665,6 +708,7 @@ def main(argv=None):
         "comm_throughput": comm,
         "comm_overlap": overlap,
         "sparse_density_sweep": sparse,
+        "serving_latency": latency,
     }
     path = write_bench_json(sections, path=args.json)
     print(json.dumps(sections, indent=2))
@@ -718,6 +762,23 @@ def main(argv=None):
                     f"at density 0.3 exceeds the 0.5x dense bound"
                 )
                 failed = True
+    if args.check_latency is not None:
+        p99 = latency["saturated"].get("p99_ms", float("inf"))
+        if p99 > args.check_latency:
+            print(
+                f"PERF REGRESSION: serving saturated p99 latency {p99:.2f}ms "
+                f"exceeds the {args.check_latency:.1f}ms gate"
+            )
+            failed = True
+        served_failures = int(
+            latency["single_client"]["failures"] + latency["saturated"]["failures"]
+        )
+        if served_failures:
+            print(
+                f"PERF REGRESSION: {served_failures} serving request(s) failed "
+                "under the closed-loop client population (expected zero)"
+            )
+            failed = True
     if args.check_committed is not None:
         drift = check_committed_drift(sections, args.check_committed, args.drift_tol)
         for line in drift:

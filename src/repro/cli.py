@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four entry points are installed (see ``pyproject.toml``):
+Five entry points are installed (see ``pyproject.toml``):
 
 * ``repro-train``      — train one Higgs classifier and print accuracy/AUC.
 * ``repro-sweep``      — run a paper experiment sweep (capacity, receptive
@@ -13,9 +13,16 @@ Four entry points are installed (see ``pyproject.toml``):
                          any registered backend.  The feature file is read
                          into memory once; all *layer-sized* intermediates
                          stay O(batch) regardless of input length.
+* ``repro-serve``      — the online request-facing counterpart of
+                         ``repro-predict``: an HTTP/JSON endpoint
+                         (``POST /predict``, ``GET /healthz``,
+                         ``GET /metrics``, ``POST /reload``) that coalesces
+                         concurrent requests into micro-batches through the
+                         same engine workspaces (see ``docs/serving.md``).
 
-All are also reachable as ``python -m repro.cli <command>``, and all accept
-``--json PATH`` to additionally write the results as a JSON report.
+All are also reachable as ``python -m repro.cli <command>``, and all except
+``serve`` accept ``--json PATH`` to additionally write the results as a
+JSON report.
 
 ``train``, ``predict``, ``sweep`` and ``benchmark`` additionally accept
 ``--comm {serial,thread,process,mpi}`` and ``--ranks N`` to run
@@ -63,7 +70,7 @@ from repro.instrumentation import BCPNNCostModel, RepeatTimer, format_table
 from repro.instrumentation.reports import dump_json_report
 from repro.utils.logging import enable_console_logging
 
-__all__ = ["main_train", "main_sweep", "main_benchmark", "main_predict", "main"]
+__all__ = ["main_train", "main_sweep", "main_benchmark", "main_predict", "main_serve", "main"]
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -650,14 +657,127 @@ def main_predict(argv: Optional[List[str]] = None) -> int:
     return _finish(result, args)
 
 
+# ------------------------------------------------------------ online serving
+def main_serve(argv: Optional[List[str]] = None) -> int:
+    """Serve a saved model over HTTP with micro-batched request coalescing."""
+    import asyncio
+
+    from repro.core import load_network
+    from repro.serving import ModelRunner, PredictionServer
+
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "Online serving endpoint: coalesce concurrent POST /predict "
+            "requests into micro-batches (flush on --batch-size rows or "
+            "--batch-deadline-ms, whichever first) dispatched through "
+            "preallocated engine workspaces.  GET /healthz and /metrics for "
+            "operations, POST /reload for zero-downtime model hot-swap.  "
+            "Runs until SIGINT/SIGTERM, then drains gracefully."
+        ),
+    )
+    parser.add_argument("--model", type=str, required=True, help="saved network (.npz)")
+    parser.add_argument("--host", type=str, default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8477, help="bind port (0 = ephemeral, printed at startup)"
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=64, help="micro-batch flush threshold in rows"
+    )
+    parser.add_argument(
+        "--batch-deadline-ms",
+        type=float,
+        default=5.0,
+        help="flush a partial micro-batch this many ms after its oldest request",
+    )
+    parser.add_argument(
+        "--max-queue-rows",
+        type=int,
+        default=4096,
+        help="admission-control bound on queued rows (503 + Retry-After beyond it)",
+    )
+    parser.add_argument(
+        "--request-timeout-ms",
+        type=float,
+        default=None,
+        help="per-request deadline in ms (504 on expiry; default: none)",
+    )
+    parser.add_argument(
+        "--backend",
+        type=str,
+        default=None,
+        help=(
+            f"force one compute backend for the whole stack ({', '.join(list_backends())}); "
+            "default: each layer's own resolved backend"
+        ),
+    )
+    parser.add_argument("--quiet", action="store_true", help="suppress progress logging")
+    # No default: without --sparse the model's saved policy applies (same
+    # semantics as repro-predict).
+    _add_sparse(parser, default=None)
+    args = parser.parse_args(argv)
+    if not args.quiet:
+        enable_console_logging()
+
+    network = load_network(args.model)
+    if args.sparse is not None:
+        for layer in network.hidden_layers:
+            if hasattr(layer, "bind_sparse"):
+                layer.bind_sparse(args.sparse, force=True)
+    runner = ModelRunner(network, batch_size=args.batch_size, backend=args.backend)
+    server = PredictionServer(
+        runner,
+        host=args.host,
+        port=args.port,
+        batch_size=args.batch_size,
+        batch_deadline=args.batch_deadline_ms / 1e3,
+        max_queue_rows=args.max_queue_rows,
+        request_timeout=(
+            args.request_timeout_ms / 1e3 if args.request_timeout_ms is not None else None
+        ),
+        model_path=args.model,
+    )
+
+    async def run() -> None:
+        await server.start()
+        print(
+            f"serving {args.model} on {server.url}  "
+            f"(batch_size={args.batch_size}, deadline={args.batch_deadline_ms:g}ms, "
+            f"queue_bound={args.max_queue_rows} rows, "
+            f"backend={server.runner._predictor.backend.name})",
+            flush=True,
+        )
+        stop_event = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        import signal
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop_event.set)
+            except (NotImplementedError, RuntimeError, ValueError):
+                # Non-posix loops and non-main threads (tests) run without
+                # signal-driven shutdown; Ctrl-C still lands as KeyboardInterrupt.
+                pass
+        try:
+            await stop_event.wait()
+        finally:
+            print("draining...", flush=True)
+            await server.stop(drain=True)
+
+    asyncio.run(run())
+    print("server stopped")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """Dispatch ``python -m repro.cli <train|sweep|benchmark|predict> ...``."""
+    """Dispatch ``python -m repro.cli <train|sweep|benchmark|predict|serve> ...``."""
     argv = list(sys.argv[1:] if argv is None else argv)
     commands = {
         "train": main_train,
         "sweep": main_sweep,
         "benchmark": main_benchmark,
         "predict": main_predict,
+        "serve": main_serve,
     }
     usage = f"usage: python -m repro.cli {{{','.join(commands)}}} ..."
     if not argv:

@@ -162,17 +162,63 @@ class Communicator(ABC):
 
     @abstractmethod
     def bcast(self, array: Optional[np.ndarray], root: int = 0) -> np.ndarray:
-        """Every rank receives a copy of the root's array (non-roots pass
-        ``None`` or a placeholder; their argument is ignored)."""
+        """Every rank receives a copy of the root's array.
+
+        Parameters
+        ----------
+        array:
+            On the root rank: the array to broadcast.  Non-roots pass
+            ``None`` or a placeholder; their argument is ignored.
+        root:
+            Rank whose array is distributed (default 0, the driver).
+
+        Returns
+        -------
+        numpy.ndarray
+            A private copy of the root's array, on every rank.
+
+        Raises
+        ------
+        BackendError
+            The rendezvous timed out (a rank crashed or wedged).
+        """
 
     @abstractmethod
     def barrier(self) -> None:
-        """Block until every rank reaches the barrier."""
+        """Block until every rank reaches the barrier.
+
+        Raises
+        ------
+        BackendError
+            The rendezvous timed out (a rank crashed or wedged) — a broken
+            barrier surfaces as an error within the comm timeout, never a
+            hang.
+        """
 
     @abstractmethod
     def scatter_rows(self, x: Optional[np.ndarray], root: int = 0) -> np.ndarray:
-        """Block-partition the root's 2-D row matrix; each rank receives its
-        contiguous shard (possibly 0 rows when ``n_samples < size``)."""
+        """Block-partition the root's 2-D row matrix across the ranks.
+
+        Parameters
+        ----------
+        x:
+            On the root rank: the ``(n_samples, n_features)`` matrix to
+            shard.  Non-roots pass ``None``.
+        root:
+            Rank holding the full matrix (default 0).
+
+        Returns
+        -------
+        numpy.ndarray
+            This rank's contiguous row shard — possibly 0 rows when
+            ``n_samples < size``.  Shard boundaries depend only on
+            ``(n_samples, size)``, so every rank computes the same split.
+
+        Raises
+        ------
+        BackendError
+            The rendezvous timed out, or ``x`` is not 2-D on the root.
+        """
 
     # --------------------------------------------------------- program launch
     @abstractmethod
@@ -204,7 +250,30 @@ class Communicator(ABC):
 
     # ------------------------------------------------------------ dispatchers
     def allreduce(self, value, op: str = "sum"):
-        """SPMD allreduce of one array, or legacy combine of a per-rank list."""
+        """SPMD allreduce of one array, or legacy combine of a per-rank list.
+
+        Parameters
+        ----------
+        value:
+            This rank's contribution (any array-like), or — driver-side
+            legacy mode — a list/tuple of per-rank contributions, which is
+            forwarded to :meth:`reduce_parts`.
+        op:
+            Reduction operator: ``"sum"`` (default), ``"max"``, ``"min"``
+            or ``"mean"``.
+
+        Returns
+        -------
+        numpy.ndarray
+            The reduction over all ranks' contributions, identical on
+            every rank (reduced in rank order — deterministic).
+
+        Raises
+        ------
+        BackendError
+            Unknown ``op``, mismatched contribution shapes (legacy mode),
+            or a transport rendezvous timeout.
+        """
         if isinstance(value, (list, tuple)):
             return self.reduce_parts(value, op)
         return self._allreduce_array(np.asarray(value), op)
@@ -225,7 +294,26 @@ class Communicator(ABC):
         return self._iallreduce_array(np.asarray(value), op)
 
     def allgather(self, value):
-        """SPMD allgather of one array, or legacy gather of a per-rank list."""
+        """SPMD allgather of one array, or legacy gather of a per-rank list.
+
+        Parameters
+        ----------
+        value:
+            This rank's contribution (arrays may be ragged across ranks —
+            e.g. uneven prediction shards), or a per-rank list in the
+            driver-side legacy mode (forwarded to :meth:`gather_parts`).
+
+        Returns
+        -------
+        list[numpy.ndarray]
+            ``[rank0's array, ..., rankN-1's array]`` on every rank.
+
+        Raises
+        ------
+        BackendError
+            A transport rendezvous timeout, or mismatched list length in
+            legacy mode.
+        """
         if isinstance(value, (list, tuple)):
             return self.gather_parts(value)
         return self._allgather_array(np.asarray(value))

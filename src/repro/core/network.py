@@ -183,6 +183,47 @@ class Network:
         an execution choice — results unchanged at ``tol=0``; see
         :class:`~repro.core.hyperparams.TrainingSchedule` for the one
         ``tol>0``-plus-plasticity caveat).
+
+        Parameters
+        ----------
+        x:
+            ``(n_samples, n_features)`` encoded (one-hot per hypercolumn)
+            training matrix.
+        y:
+            ``(n_samples,)`` integer class labels.
+        input_spec:
+            Hypercolumn layout of ``x`` — an :class:`InputSpec` or a list
+            of block sizes.  Required on the first fit; a refit may omit
+            it to reuse the built spec.
+        schedule:
+            Epoch/batch/knob schedule (default :class:`TrainingSchedule`).
+        callbacks:
+            Optional :class:`TrainingCallback` list (epoch/batch hooks).
+        verbose:
+            Log per-epoch progress.
+        comm:
+            Optional :class:`repro.comm.Communicator` for data-parallel
+            hidden-layer training (see above).
+        pipeline / weight_refresh_tol / sparse / comm_overlap / sparse_payload:
+            Per-call overrides of the matching schedule fields (see above
+            and :class:`TrainingSchedule`); ``None`` leaves the schedule's
+            value in force.
+
+        Returns
+        -------
+        History
+            Per-phase loss/entropy curves and wall-clock timings; also
+            stored on ``self.history``.
+
+        Raises
+        ------
+        DataError
+            ``x`` is not 2-D, or ``x`` and ``y`` are misaligned.
+        ConfigurationError
+            No classification head was added, or no input spec is
+            available, or an override value is invalid.
+        BackendError
+            A communicator rank or backend worker failed mid-training.
         """
         schedule = schedule or TrainingSchedule()
         overrides = {}
@@ -520,7 +561,26 @@ class Network:
         return representation
 
     def predict_proba(self, x: np.ndarray) -> np.ndarray:
-        """Class-probability matrix ``(n_samples, n_classes)``."""
+        """Class-probability matrix for encoded inputs.
+
+        Parameters
+        ----------
+        x:
+            ``(n_samples, n_features)`` encoded matrix matching the built
+            input spec.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(n_samples, n_classes)`` row-stochastic probabilities.
+
+        Raises
+        ------
+        NotFittedError
+            The network has not been fitted.
+        DataError
+            ``x`` does not match the built input spec.
+        """
         self._require_fitted()
         return self.head.predict_proba(self.transform(x))
 
@@ -529,7 +589,27 @@ class Network:
         return self.head.decision_function(self.transform(x))
 
     def predict(self, x: np.ndarray) -> np.ndarray:
-        """Hard class predictions."""
+        """Hard class predictions for encoded inputs.
+
+        Parameters
+        ----------
+        x:
+            ``(n_samples, n_features)`` encoded matrix matching the built
+            input spec.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(n_samples,)`` integer class labels
+            (``argmax`` of :meth:`predict_proba` rows).
+
+        Raises
+        ------
+        NotFittedError
+            The network has not been fitted.
+        DataError
+            ``x`` does not match the built input spec.
+        """
         self._require_fitted()
         return self.head.predict(self.transform(x))
 
@@ -567,12 +647,40 @@ class Network:
         distributed backend the rows are sharded over the ranks with a
         single gather of the predictions.  ``x`` may also be a prebuilt
         :class:`~repro.datasets.stream.BatchStream`.
+
+        Parameters
+        ----------
+        x:
+            ``(n_samples, n_features)`` encoded matrix of any length, or a
+            prebuilt :class:`~repro.datasets.stream.BatchStream`.
+        batch_size:
+            Rows per engine dispatch (sizes the workspaces once).
+        backend:
+            Optional backend name/instance forcing one backend for the
+            whole stack; default: each layer's own resolved backend.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(n_samples,)`` integer class labels.
+
+        Raises
+        ------
+        NotFittedError
+            The network has not been fitted.
+        DataError
+            Rows do not match the built input spec.
         """
         self._require_fitted()
         return self._streaming_predictor(batch_size, backend).predict_stream(x)
 
     def predict_proba_stream(self, x, batch_size: int = 1024, backend=None) -> np.ndarray:
-        """Class-probability matrix, streamed at O(batch) memory."""
+        """Class-probability matrix, streamed at O(batch) memory.
+
+        Same contract as :meth:`predict_stream` (parameters, raises, memory
+        behaviour) but returns the ``(n_samples, n_classes)``
+        row-stochastic probability matrix instead of hard labels.
+        """
         self._require_fitted()
         return self._streaming_predictor(batch_size, backend).predict_proba_stream(x)
 

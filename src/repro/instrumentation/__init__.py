@@ -5,6 +5,7 @@ from repro.instrumentation.flops import BCPNNCostModel, CostBreakdown
 from repro.instrumentation.overlap_bench import measure_comm_overlap
 from repro.instrumentation.pipeline_bench import measure_pipelined_training
 from repro.instrumentation.reports import format_table, format_comparison, dump_json_report
+from repro.instrumentation.serving_bench import measure_serving_latency
 from repro.instrumentation.sparse_bench import measure_sparse_density_sweep
 
 __all__ = [
@@ -18,5 +19,6 @@ __all__ = [
     "dump_json_report",
     "measure_comm_overlap",
     "measure_pipelined_training",
+    "measure_serving_latency",
     "measure_sparse_density_sweep",
 ]

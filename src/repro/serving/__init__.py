@@ -18,6 +18,14 @@ rows with a single driver-side gather is still supported.  Both exploit
 the same "communication scales with the model, not the data" property the
 training path uses.
 
+The *online* half lives in :mod:`repro.serving.server`: an asyncio
+HTTP/JSON endpoint (``repro serve``) whose concurrent single-row requests
+are coalesced by :class:`~repro.serving.batcher.MicroBatcher` into
+micro-batches and dispatched through a cached predictor's preallocated
+workspaces — flush on ``batch_size`` rows or a deadline, bounded-queue
+backpressure (503 + ``Retry-After``), per-request timeouts (504) and
+zero-downtime model hot-swap (``POST /reload``).  See ``docs/serving.md``.
+
 Entry points:
 
 * :class:`StreamingPredictor` — owns workspace lifecycle + backend
@@ -25,13 +33,41 @@ Entry points:
 * :func:`predict_stream` / :func:`predict_proba_stream` — one-shot helpers.
 * ``Network.predict_stream`` / ``Network.predict_proba_stream`` — facades on
   the network front end.
-* ``python -m repro.cli predict`` — CSV/npz in, predictions out.
+* ``python -m repro.cli predict`` — CSV/npz in, predictions out (bulk).
+* :class:`PredictionServer` / ``python -m repro.cli serve`` — the online
+  request-facing HTTP endpoint over :class:`ModelRunner` +
+  :class:`MicroBatcher`.
 """
 
+from repro.serving.batcher import (
+    BatchResult,
+    DeadlineExceededError,
+    DispatchError,
+    MicroBatcher,
+    QueueFullError,
+    RequestSlice,
+    ServingClosedError,
+)
 from repro.serving.predictor import (
     StreamingPredictor,
     predict_proba_stream,
     predict_stream,
 )
+from repro.serving.server import ModelRunner, PredictionServer, ServerThread, ServingMetrics
 
-__all__ = ["StreamingPredictor", "predict_stream", "predict_proba_stream"]
+__all__ = [
+    "BatchResult",
+    "DeadlineExceededError",
+    "DispatchError",
+    "MicroBatcher",
+    "ModelRunner",
+    "PredictionServer",
+    "QueueFullError",
+    "RequestSlice",
+    "ServerThread",
+    "ServingClosedError",
+    "ServingMetrics",
+    "StreamingPredictor",
+    "predict_proba_stream",
+    "predict_stream",
+]

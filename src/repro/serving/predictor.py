@@ -570,18 +570,40 @@ class StreamingPredictor(BackendExecutionMixin):
         return stacked[:, 0].astype(np.int64)
 
     def predict_stream(self, source: Source) -> np.ndarray:
-        """Hard class predictions ``(n_samples,)`` for a streamed source.
+        """Hard class predictions for a streamed source.
 
-        ``source`` is either a 2-D feature matrix (streamed in
-        ``batch_size`` chunks; rank-sharded on a distributed backend) or a
-        prebuilt :class:`BatchStream` (its own batching — including shuffle
-        order — is respected, and results are scattered back to source
-        order via the batch indices).
+        Parameters
+        ----------
+        source:
+            Either a 2-D feature matrix (streamed in ``batch_size``
+            chunks; rank-sharded when a ``comm`` was given) or a prebuilt
+            :class:`BatchStream` (its own batching — including shuffle
+            order — is respected, and results are scattered back to source
+            order via the batch indices).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(n_samples,)`` integer class labels, in source order.
+            Bit-for-bit equal to ``Network.predict`` on the NumPy backend.
+
+        Raises
+        ------
+        DataError
+            Rows do not match the first hidden layer's input spec, or
+            ``source`` is not 2-D.
+        BackendError
+            A backend worker or communicator rank failed mid-stream.
         """
         return self._stream(source, proba=False)
 
     def predict_proba_stream(self, source: Source) -> np.ndarray:
-        """Class-probability matrix ``(n_samples, n_classes)``, streamed."""
+        """Class-probability matrix, streamed at O(batch) memory.
+
+        Same contract as :meth:`predict_stream` (parameters, raises,
+        ordering) but returns the ``(n_samples, n_classes)``
+        row-stochastic probability matrix instead of hard labels.
+        """
         return self._stream(source, proba=True)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

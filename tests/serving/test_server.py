@@ -1,0 +1,345 @@
+"""Online serving: micro-batcher coalescing and the HTTP endpoint.
+
+Unit tests drive :class:`MicroBatcher` directly on an event loop (flush
+reasons, admission control, timeouts, drain); integration tests run a real
+:class:`PredictionServer` on an ephemeral port via :class:`ServerThread`
+and speak plain ``http.client`` to it — predictions must round-trip
+bit-identical to ``Network.predict`` on the same rows.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import http.client
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    BatchResult,
+    MicroBatcher,
+    ModelRunner,
+    PredictionServer,
+    QueueFullError,
+    DeadlineExceededError,
+    DispatchError,
+    ServerThread,
+    ServingClosedError,
+)
+
+
+def _echo_dispatch(matrix):
+    """A dispatch that 'predicts' each row's first feature (for tracing)."""
+    predictions = matrix[:, 0].astype(int)
+    proba = np.stack([1.0 - matrix[:, 0], matrix[:, 0]], axis=1)
+    return BatchResult(predictions=predictions, probabilities=proba, model_version=1)
+
+
+def _rows(values):
+    return np.asarray([[float(v), 0.0] for v in values])
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+class TestMicroBatcher:
+    def test_single_request_flushes_on_deadline(self):
+        async def scenario():
+            batcher = MicroBatcher(_echo_dispatch, batch_size=64, deadline=0.01)
+            await batcher.start()
+            start = time.monotonic()
+            result = await batcher.submit(_rows([7]))
+            elapsed = time.monotonic() - start
+            await batcher.drain()
+            return result, elapsed, batcher.stats
+
+        result, elapsed, stats = run_async(scenario())
+        assert result.predictions.tolist() == [7]
+        assert result.batch_rows == 1
+        # One lone request cannot fill the batch; only the deadline flushes it.
+        assert elapsed >= 0.009
+        assert stats.flush_deadline == 1
+        assert stats.flush_full == 0
+
+    def test_concurrent_requests_coalesce_into_one_batch(self):
+        async def scenario():
+            batcher = MicroBatcher(_echo_dispatch, batch_size=8, deadline=0.05)
+            await batcher.start()
+            results = await asyncio.gather(*(batcher.submit(_rows([i])) for i in range(8)))
+            await batcher.drain()
+            return results, batcher.stats
+
+        results, stats = run_async(scenario())
+        # 8 single-row requests at batch_size=8: one full flush, one dispatch.
+        assert stats.batches == 1
+        assert stats.flush_full == 1
+        assert all(r.batch_rows == 8 for r in results)
+        for i, r in enumerate(results):
+            assert r.predictions.tolist() == [i]
+
+    def test_multi_row_requests_are_never_split(self):
+        async def scenario():
+            batcher = MicroBatcher(_echo_dispatch, batch_size=4, deadline=0.05)
+            await batcher.start()
+            results = await asyncio.gather(
+                batcher.submit(_rows([1, 2, 3])), batcher.submit(_rows([4, 5, 6]))
+            )
+            await batcher.drain()
+            return results, batcher.stats
+
+        results, stats = run_async(scenario())
+        assert results[0].predictions.tolist() == [1, 2, 3]
+        assert results[1].predictions.tolist() == [4, 5, 6]
+        # 3+3 rows > batch_size=4, so the second request rode a second batch.
+        assert stats.batches == 2
+
+    def test_queue_full_rejects_with_retry_after(self):
+        release = threading.Event()
+
+        def blocking_dispatch(matrix):
+            release.wait(5.0)
+            return _echo_dispatch(matrix)
+
+        async def scenario():
+            batcher = MicroBatcher(
+                blocking_dispatch, batch_size=2, deadline=0.001, max_queue_rows=4
+            )
+            await batcher.start()
+            first = asyncio.ensure_future(batcher.submit(_rows([1, 2])))
+            await asyncio.sleep(0.05)  # first batch now blocked in dispatch
+            second = asyncio.ensure_future(batcher.submit(_rows([3, 4, 5, 6])))
+            await asyncio.sleep(0.01)  # queue now holds 4 rows (its bound)
+            with pytest.raises(QueueFullError) as excinfo:
+                await batcher.submit(_rows([7]))
+            release.set()
+            results = await asyncio.gather(first, second)
+            await batcher.drain()
+            return excinfo.value, results, batcher.stats
+
+        error, results, stats = run_async(scenario())
+        assert error.retry_after >= 1
+        assert stats.rejected == 1
+        # The admitted requests were still answered after the stall cleared.
+        assert results[0].predictions.tolist() == [1, 2]
+        assert results[1].predictions.tolist() == [3, 4, 5, 6]
+
+    def test_request_timeout_raises_deadline_exceeded(self):
+        def slow_dispatch(matrix):
+            time.sleep(0.3)
+            return _echo_dispatch(matrix)
+
+        async def scenario():
+            batcher = MicroBatcher(
+                slow_dispatch, batch_size=2, deadline=0.001, request_timeout=0.05
+            )
+            await batcher.start()
+            with pytest.raises(DeadlineExceededError):
+                await batcher.submit(_rows([1]))
+            await batcher.drain()
+            return batcher.stats
+
+        stats = run_async(scenario())
+        assert stats.timeouts == 1
+
+    def test_dispatch_failure_raises_dispatch_error_to_all_waiters(self):
+        def broken_dispatch(matrix):
+            raise ValueError("kaboom")
+
+        async def scenario():
+            batcher = MicroBatcher(broken_dispatch, batch_size=4, deadline=0.01)
+            await batcher.start()
+            results = await asyncio.gather(
+                batcher.submit(_rows([1])),
+                batcher.submit(_rows([2])),
+                return_exceptions=True,
+            )
+            await batcher.drain()
+            return results, batcher.stats
+
+        results, stats = run_async(scenario())
+        assert all(isinstance(r, DispatchError) for r in results)
+        assert all("kaboom" in str(r) for r in results)
+        assert stats.dispatch_errors == 1
+
+    def test_drain_answers_queued_requests_then_refuses_new_ones(self):
+        async def scenario():
+            batcher = MicroBatcher(_echo_dispatch, batch_size=64, deadline=10.0)
+            await batcher.start()
+            # Far-future deadline: only the drain can flush these.
+            pending = [asyncio.ensure_future(batcher.submit(_rows([i]))) for i in range(3)]
+            await asyncio.sleep(0.02)
+            await batcher.drain()
+            answered = await asyncio.gather(*pending)
+            closed = None
+            try:
+                await batcher.submit(_rows([9]))
+            except ServingClosedError as exc:
+                closed = exc
+            return answered, closed, batcher.stats
+
+        answered, closed, stats = run_async(scenario())
+        assert [r.predictions.tolist() for r in answered] == [[0], [1], [2]]
+        assert stats.flush_drain >= 1
+        assert closed is not None
+
+    def test_submit_before_start_is_refused(self):
+        async def scenario():
+            batcher = MicroBatcher(_echo_dispatch)
+            with pytest.raises(ServingClosedError):
+                await batcher.submit(_rows([1]))
+
+        run_async(scenario())
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(Exception):
+            MicroBatcher(_echo_dispatch, batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(_echo_dispatch, deadline=0.0)
+        with pytest.raises(ValueError):
+            MicroBatcher(_echo_dispatch, request_timeout=-1.0)
+
+
+# ---------------------------------------------------------------- HTTP level
+
+
+@pytest.fixture(scope="module")
+def live_server(trained_network):
+    runner = ModelRunner(trained_network, batch_size=64)
+    server = PredictionServer(runner, port=0, batch_size=64, batch_deadline=0.003)
+    with ServerThread(server) as handle:
+        yield handle
+
+
+def _request(handle, method, path, body=None):
+    conn = http.client.HTTPConnection("127.0.0.1", handle.port, timeout=15)
+    try:
+        payload = json.dumps(body).encode("utf-8") if body is not None else None
+        conn.request(method, path, body=payload, headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        return response.status, json.loads(response.read() or b"{}"), dict(
+            response.getheaders()
+        )
+    finally:
+        conn.close()
+
+
+class TestPredictionServer:
+    def test_healthz(self, live_server):
+        status, doc, _ = _request(live_server, "GET", "/healthz")
+        assert status == 200
+        assert doc["status"] == "ok"
+        assert doc["model_version"] >= 1
+
+    def test_predict_matches_bulk_predict(self, live_server, trained_network, encoded_higgs):
+        rows = encoded_higgs["x_test"][:5]
+        status, doc, _ = _request(live_server, "POST", "/predict", {"rows": rows.tolist()})
+        assert status == 200
+        assert doc["predictions"] == trained_network.predict(rows).tolist()
+        assert doc["batch_rows"] >= 5
+
+    def test_predict_proba_matches_bulk(self, live_server, trained_network, encoded_higgs):
+        rows = encoded_higgs["x_test"][5:8]
+        status, doc, _ = _request(
+            live_server, "POST", "/predict", {"rows": rows.tolist(), "proba": True}
+        )
+        assert status == 200
+        expected = trained_network.predict_proba(rows)
+        np.testing.assert_allclose(np.asarray(doc["probabilities"]), expected, atol=1e-9)
+
+    def test_concurrent_requests_coalesce(self, live_server, trained_network, encoded_higgs):
+        """Many single-row POSTs land in shared micro-batches, all correct."""
+        rows = encoded_higgs["x_test"][:24]
+        expected = trained_network.predict(rows).tolist()
+        outcomes = [None] * len(rows)
+
+        def worker(i):
+            outcomes[i] = _request(
+                live_server, "POST", "/predict", {"rows": [rows[i].tolist()]}
+            )
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(len(rows))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        batch_fills = []
+        for i, (status, doc, _) in enumerate(outcomes):
+            assert status == 200
+            assert doc["predictions"] == [expected[i]]
+            batch_fills.append(doc["batch_rows"])
+        # With 24 concurrent clients and a 3ms deadline, at least some
+        # requests must have shared a micro-batch.
+        assert max(batch_fills) > 1
+
+    def test_metrics_endpoint(self, live_server):
+        status, doc, _ = _request(live_server, "GET", "/metrics")
+        assert status == 200
+        assert doc["batcher"]["batches"] >= 1
+        assert doc["batcher"]["mean_batch_rows"] > 0
+        assert "/predict" in doc["requests_by_endpoint"]
+        assert doc["model_version"] >= 1
+        assert doc["draining"] is False
+        assert "predict_latency_ms" in doc
+
+    def test_unknown_endpoint_404(self, live_server):
+        status, doc, _ = _request(live_server, "GET", "/nope")
+        assert status == 404
+
+    def test_wrong_method_405(self, live_server):
+        status, doc, _ = _request(live_server, "GET", "/predict")
+        assert status == 405
+        status, doc, _ = _request(live_server, "POST", "/healthz")
+        assert status == 405
+
+
+class TestCLIServe:
+    def test_main_serve_starts_and_answers(self, tmp_path, trained_network, encoded_higgs):
+        """`repro serve` end to end: save, serve on an ephemeral port, POST."""
+        from repro.cli import main_serve
+        from repro.core import save_network
+        from repro.serving.server import wait_until_listening
+
+        model_path = tmp_path / "model.npz"
+        save_network(trained_network, model_path)
+        # Pre-bind an ephemeral port so the test knows where to connect.
+        import socket
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        thread = threading.Thread(
+            target=main_serve,
+            args=(
+                [
+                    "--model",
+                    str(model_path),
+                    "--port",
+                    str(port),
+                    "--batch-deadline-ms",
+                    "2",
+                    "--quiet",
+                ],
+            ),
+            daemon=True,
+        )
+        thread.start()
+        wait_until_listening("127.0.0.1", port, timeout=30.0)
+        rows = encoded_higgs["x_test"][:3]
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=15)
+        try:
+            conn.request(
+                "POST",
+                "/predict",
+                body=json.dumps({"rows": rows.tolist()}).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            doc = json.loads(response.read())
+        finally:
+            conn.close()
+        assert response.status == 200
+        assert doc["predictions"] == trained_network.predict(rows).tolist()

@@ -1,0 +1,108 @@
+"""Documentation link checker (satellite of the docs CI job).
+
+Validates, for every markdown file given (default: ``README.md`` and
+``docs/*.md``):
+
+* **relative markdown links** — ``[text](target)`` where the target is not
+  an absolute URL or a pure fragment must resolve to an existing file or
+  directory relative to the *linking file* (query strings and ``#anchor``
+  fragments are stripped before checking);
+* **source pointers** — inline-code spans of the form
+  ``path/to/file.py:123`` must point at an existing file with at least
+  that many lines, so a refactor that moves an anchor out from under the
+  docs fails CI instead of silently rotting.
+
+Exit status is the number of broken references (0 = clean), each listed as
+``file: problem``.  Run from the repository root:
+
+    python tools/check_docs.py
+    python tools/check_docs.py README.md docs/serving.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: [text](target) — excluding images; nested parens are not used in our docs.
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+#: `path/to/file.ext:123` inline-code source pointers.
+_POINTER_RE = re.compile(r"`([A-Za-z0-9_./-]+\.[A-Za-z0-9_]+):(\d+)`")
+#: Fenced code blocks — links/pointers inside them are illustrative.
+_FENCE_RE = re.compile(r"^(```|~~~)")
+
+_SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _strip_fences(text: str) -> str:
+    """Blank out fenced code blocks, preserving line numbers."""
+    out_lines = []
+    in_fence = False
+    for line in text.splitlines():
+        if _FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            out_lines.append("")
+            continue
+        out_lines.append("" if in_fence else line)
+    return "\n".join(out_lines)
+
+
+def check_file(md_path: Path) -> list[str]:
+    """Return a list of human-readable problems found in one markdown file."""
+    problems: list[str] = []
+    text = _strip_fences(md_path.read_text(encoding="utf-8"))
+    rel = md_path.relative_to(REPO_ROOT)
+
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(_SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        path_part = target.split("#", 1)[0].split("?", 1)[0]
+        if not path_part:
+            continue
+        resolved = (md_path.parent / path_part).resolve()
+        if not resolved.exists():
+            problems.append(f"{rel}: broken link -> {target}")
+
+    for match in _POINTER_RE.finditer(text):
+        path_part, line_str = match.group(1), match.group(2)
+        target = (REPO_ROOT / path_part).resolve()
+        if not target.is_file():
+            problems.append(f"{rel}: source pointer to missing file -> {path_part}:{line_str}")
+            continue
+        n_lines = target.read_text(encoding="utf-8", errors="replace").count("\n") + 1
+        if int(line_str) > n_lines:
+            problems.append(
+                f"{rel}: source pointer past end of file -> {path_part}:{line_str} "
+                f"(file has {n_lines} lines)"
+            )
+    return problems
+
+
+def default_targets() -> list[Path]:
+    targets = [REPO_ROOT / "README.md"]
+    targets.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [p for p in targets if p.is_file()]
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    files = [Path(a).resolve() for a in argv] if argv else default_targets()
+    problems: list[str] = []
+    for path in files:
+        if not path.is_file():
+            problems.append(f"{path}: no such file")
+            continue
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    if not problems:
+        print(f"checked {len(files)} file(s): all links and source pointers resolve")
+    return len(problems)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
