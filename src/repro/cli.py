@@ -1,7 +1,12 @@
 """Command-line interface.
 
-Five entry points are installed (see ``pyproject.toml``):
+Six entry points are installed (see ``pyproject.toml``):
 
+* ``repro-run``        — run experiments from declarative config files
+                         (``repro run config.yaml``): scenario selection,
+                         layered defaults, dotted ``--set`` overrides,
+                         optional hyperopt search and serving — see
+                         ``docs/configs.md``.
 * ``repro-train``      — train one Higgs classifier and print accuracy/AUC.
 * ``repro-sweep``      — run a paper experiment sweep (capacity, receptive
                          field, related work, precision, distributed).
@@ -70,7 +75,15 @@ from repro.instrumentation import BCPNNCostModel, RepeatTimer, format_table
 from repro.instrumentation.reports import dump_json_report
 from repro.utils.logging import enable_console_logging
 
-__all__ = ["main_train", "main_sweep", "main_benchmark", "main_predict", "main_serve", "main"]
+__all__ = [
+    "main_run",
+    "main_train",
+    "main_sweep",
+    "main_benchmark",
+    "main_predict",
+    "main_serve",
+    "main",
+]
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -164,17 +177,16 @@ def _add_pipeline(parser: argparse.ArgumentParser, default_tol: float = 0.0) -> 
 def _build_comm(args: argparse.Namespace):
     """Resolve the ``--comm``/``--ranks`` flags into a communicator (or None).
 
-    Returns ``None`` when neither flag was given, keeping the historical
-    single-process code paths untouched.  ``--ranks N`` without ``--comm``
-    defaults to the thread transport.
+    Delegates to :func:`repro.comm.factory.resolve_comm` — the same resolver
+    ``repro run`` applies to ``training.comm``/``training.ranks`` — so the
+    flag and config paths cannot diverge.  Returns ``None`` when neither
+    flag was given, keeping the historical single-process code paths
+    untouched; ``--ranks N`` without ``--comm`` defaults to the thread
+    transport.
     """
-    from repro.comm import get_communicator
+    from repro.comm.factory import resolve_comm
 
-    if args.comm is None and args.ranks is None:
-        return None
-    ranks = int(args.ranks) if args.ranks is not None else 1
-    transport = args.comm or ("thread" if ranks > 1 else "serial")
-    return get_communicator(transport, ranks=ranks)
+    return resolve_comm(args.comm, args.ranks)
 
 
 def _finish(result: Dict[str, object], args: argparse.Namespace) -> int:
@@ -658,10 +670,36 @@ def main_predict(argv: Optional[List[str]] = None) -> int:
 
 
 # ------------------------------------------------------------ online serving
-def main_serve(argv: Optional[List[str]] = None) -> int:
-    """Serve a saved model over HTTP with micro-batched request coalescing."""
+def _serve_until_interrupted(server, banner: str) -> None:
+    """Start ``server``, print ``banner``, block until SIGINT/SIGTERM, drain."""
     import asyncio
 
+    async def run() -> None:
+        await server.start()
+        print(banner.format(url=server.url), flush=True)
+        stop_event = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        import signal
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop_event.set)
+            except (NotImplementedError, RuntimeError, ValueError):
+                # Non-posix loops and non-main threads (tests) run without
+                # signal-driven shutdown; Ctrl-C still lands as KeyboardInterrupt.
+                pass
+        try:
+            await stop_event.wait()
+        finally:
+            print("draining...", flush=True)
+            await server.stop(drain=True)
+
+    asyncio.run(run())
+    print("server stopped")
+
+
+def main_serve(argv: Optional[List[str]] = None) -> int:
+    """Serve a saved model over HTTP with micro-batched request coalescing."""
     from repro.core import load_network
     from repro.serving import ModelRunner, PredictionServer
 
@@ -738,41 +776,161 @@ def main_serve(argv: Optional[List[str]] = None) -> int:
         model_path=args.model,
     )
 
-    async def run() -> None:
-        await server.start()
+    _serve_until_interrupted(
+        server,
+        f"serving {args.model} on {{url}}  "
+        f"(batch_size={args.batch_size}, deadline={args.batch_deadline_ms:g}ms, "
+        f"queue_bound={args.max_queue_rows} rows, "
+        f"backend={server.runner._predictor.backend.name})",
+    )
+    return 0
+
+
+# --------------------------------------------------------- declarative runs
+def _summarize_run(result: Dict[str, object]) -> None:
+    """One human line per completed ``repro run`` experiment."""
+    scenario = result.get("scenario", "?")
+    if "best_score" in result:  # hyperopt summary
         print(
-            f"serving {args.model} on {server.url}  "
-            f"(batch_size={args.batch_size}, deadline={args.batch_deadline_ms:g}ms, "
-            f"queue_bound={args.max_queue_rows} rows, "
-            f"backend={server.runner._predictor.backend.name})",
-            flush=True,
+            f"[{scenario}] hyperopt({result['algorithm']}): "
+            f"best {result['metric']}={result['best_score']:.4f} "
+            f"over {result['n_trials']} trials  best_params={result['best_params']}"
         )
-        stop_event = asyncio.Event()
-        loop = asyncio.get_running_loop()
-        import signal
+        return
+    comm = result.get("comm")
+    ranks_note = f"  ranks={comm['ranks']} ({comm['transport']})" if comm else ""
+    print(
+        f"[{scenario}] accuracy={result['accuracy']:.4f}  auc={result['auc']:.4f}  "
+        f"log_loss={result['log_loss']:.4f}  train_time={result['train_seconds']:.1f}s"
+        + ranks_note
+    )
 
-        for sig in (signal.SIGINT, signal.SIGTERM):
-            try:
-                loop.add_signal_handler(sig, stop_event.set)
-            except (NotImplementedError, RuntimeError, ValueError):
-                # Non-posix loops and non-main threads (tests) run without
-                # signal-driven shutdown; Ctrl-C still lands as KeyboardInterrupt.
-                pass
-        try:
-            await stop_event.wait()
-        finally:
-            print("draining...", flush=True)
-            await server.stop(drain=True)
 
-    asyncio.run(run())
-    print("server stopped")
+def main_run(argv: Optional[List[str]] = None) -> int:
+    """Run experiments from declarative config files (``repro run``)."""
+    from repro.config import (
+        build_prediction_server,
+        compose_config,
+        load_config_file,
+        parse_set_overrides,
+        run_experiment,
+    )
+    from repro.datasets.registry import scenario_catalog
+    from repro.exceptions import ConfigError
+
+    parser = argparse.ArgumentParser(
+        prog="repro-run",
+        description=(
+            "Run experiments described by declarative config files.  Each "
+            "config layers built-in defaults < the scenario's defaults < the "
+            "file < dotted --set overrides, is validated against the typed "
+            "schema, and then trains through exactly the same pipeline as "
+            "the repro-train flags (bitwise-identical results for equivalent "
+            "inputs).  JSON configs always load; YAML needs PyYAML "
+            "(pip install 'repro-bcpnn[yaml]').  See docs/configs.md."
+        ),
+    )
+    parser.add_argument(
+        "configs",
+        nargs="*",
+        help="experiment config files (.yaml/.yml/.json); none = pure scenario defaults",
+    )
+    parser.add_argument(
+        "--scenario",
+        type=str,
+        default=None,
+        help=(
+            "scenario name (see --list-scenarios); wins over the file's "
+            "dataset.scenario, loses to --set dataset.scenario=..."
+        ),
+    )
+    parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help=(
+            "dotted override, e.g. --set training.backend=parallel "
+            "--set model.density=0.2 (highest precedence; repeatable)"
+        ),
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: cap events/epochs/trials and disable serving",
+    )
+    parser.add_argument(
+        "--list-scenarios", action="store_true", help="print the scenario catalog and exit"
+    )
+    parser.add_argument("--json", type=str, default=None, help="write results to this JSON file")
+    parser.add_argument("--quiet", action="store_true", help="suppress progress logging")
+    args = parser.parse_args(argv)
+
+    if args.list_scenarios:
+        for entry in scenario_catalog():
+            print(f"{entry['name']:>16}  [{entry['split']}]  {entry['description']}")
+        return 0
+    if not args.quiet:
+        enable_console_logging()
+
+    results: List[Dict[str, object]] = []
+    try:
+        overrides = parse_set_overrides(args.overrides)
+        if args.configs:
+            composed = [
+                (path, compose_config(
+                    load_config_file(path),
+                    overrides=overrides,
+                    scenario=args.scenario,
+                    quick=args.quick,
+                    source=str(path),
+                ))
+                for path in args.configs
+            ]
+        else:
+            composed = [
+                ("<defaults>", compose_config(
+                    {},
+                    overrides=overrides,
+                    scenario=args.scenario,
+                    quick=args.quick,
+                    source="<defaults>",
+                ))
+            ]
+        for source, config in composed:
+            result = run_experiment(config)
+            result["source"] = source
+            _summarize_run(result)
+            results.append(result)
+            if config.serving.enabled and "network" in result:
+                server = build_prediction_server(result["network"], config.serving)
+                _serve_until_interrupted(
+                    server,
+                    f"serving [{result['scenario']}] on {{url}}  "
+                    f"(batch_size={config.serving.batch_size}, "
+                    f"deadline={config.serving.batch_deadline_ms:g}ms, "
+                    f"queue_bound={config.serving.max_queue_rows} rows)",
+                )
+    except ConfigError as exc:
+        print(f"config error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        sanitised = [
+            {k: v for k, v in r.items() if k not in ("network", "masks", "mask_evolution")}
+            for r in results
+        ]
+        report = sanitised[0] if len(sanitised) == 1 else {"runs": sanitised}
+        dump_json_report(report, args.json)
     return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Dispatch ``python -m repro.cli <train|sweep|benchmark|predict|serve> ...``."""
+    """Dispatch ``python -m repro.cli <run|train|sweep|benchmark|predict|serve> ...``."""
     argv = list(sys.argv[1:] if argv is None else argv)
     commands = {
+        "run": main_run,
         "train": main_train,
         "sweep": main_sweep,
         "benchmark": main_benchmark,

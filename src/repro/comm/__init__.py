@@ -26,7 +26,7 @@ driver); :mod:`repro.comm.tasks` holds reusable module-level SPMD programs.
 """
 
 from repro.comm.base import CommRequest, CompletedRequest, Communicator, REDUCE_OPS, split_ranks
-from repro.comm.factory import get_communicator, list_transports
+from repro.comm.factory import get_communicator, list_transports, resolve_comm
 from repro.comm.mpi import HAVE_MPI, MPIComm
 from repro.comm.process import ProcessComm
 from repro.comm.serial import SerialComm
@@ -49,5 +49,6 @@ __all__ = [
     "REDUCE_OPS",
     "split_ranks",
     "get_communicator",
+    "resolve_comm",
     "list_transports",
 ]

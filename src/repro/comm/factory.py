@@ -11,9 +11,28 @@ from repro.comm.serial import SerialComm
 from repro.comm.thread import ThreadComm
 from repro.exceptions import BackendError
 
-__all__ = ["get_communicator", "list_transports"]
+__all__ = ["get_communicator", "resolve_comm", "list_transports"]
 
 CommSpec = Union[str, Communicator, None]
+
+
+def resolve_comm(transport: CommSpec, ranks=None, **kwargs):
+    """Resolve optional ``--comm``/``--ranks``-style settings to a communicator.
+
+    The one shared interpretation of the pair, used by both the ``repro
+    train`` flags and the ``training.comm``/``training.ranks`` config fields
+    so the two paths cannot drift:
+
+    * both unset -> ``None`` (plain single-process training, no comm layer);
+    * ranks > 1 with no transport named -> the thread transport;
+    * otherwise -> :func:`get_communicator` on the named transport.
+    """
+    if transport is None and ranks is None:
+        return None
+    ranks = 1 if ranks is None else int(ranks)
+    if transport is None and ranks > 1:
+        transport = "thread"
+    return get_communicator(transport, ranks=ranks, **kwargs)
 
 
 def get_communicator(spec: CommSpec = None, ranks: int = 1, **kwargs) -> Communicator:

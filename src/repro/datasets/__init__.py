@@ -24,7 +24,17 @@ from repro.datasets.preprocessing import (
     standardize,
 )
 from repro.datasets.splits import train_test_split, stratified_kfold
-from repro.datasets.registry import register_dataset, get_dataset, list_datasets
+from repro.datasets.registry import (
+    register_dataset,
+    get_dataset,
+    list_datasets,
+    SplitSpec,
+    ScenarioSpec,
+    register_scenario,
+    get_scenario,
+    list_scenarios,
+    scenario_catalog,
+)
 from repro.datasets.stream import Batch, BatchStream
 
 __all__ = [
@@ -48,4 +58,10 @@ __all__ = [
     "register_dataset",
     "get_dataset",
     "list_datasets",
+    "SplitSpec",
+    "ScenarioSpec",
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "scenario_catalog",
 ]

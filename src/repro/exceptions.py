@@ -17,6 +17,20 @@ class ConfigurationError(ReproError, ValueError):
     """Raised when a user-supplied hyper-parameter or option is invalid."""
 
 
+class ConfigError(ConfigurationError):
+    """Raised by :mod:`repro.config` on invalid experiment configurations.
+
+    Unlike the generic :class:`ConfigurationError` it always carries the
+    full dotted path to the offending field (``training.comm_overlap``,
+    ``hyperopt.space.model.density.low`` ...), so tooling — and humans
+    running ``repro run`` — can point at exactly one line of the config.
+    """
+
+    def __init__(self, path: str, message: str) -> None:
+        self.path = str(path)
+        super().__init__(f"{self.path}: {message}")
+
+
 class DataError(ReproError, ValueError):
     """Raised when input data fails validation (shape, dtype, encoding)."""
 

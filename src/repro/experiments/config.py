@@ -155,6 +155,37 @@ class HiggsExperimentConfig:
         )
 
     @classmethod
+    def from_schema(cls, config) -> "HiggsExperimentConfig":
+        """Build from a :class:`repro.config.schema.ExperimentConfig`.
+
+        Duck-typed on the section attributes rather than importing
+        ``repro.config`` (which imports this module), mapping every knob the
+        declarative schema shares with this runtime config.  The config path
+        of ``repro run`` and the flag path of ``repro train`` meet here, so
+        equivalent inputs produce identical training runs.
+        """
+        model, dataset, training = config.model, config.dataset, config.training
+        return cls(
+            n_hypercolumns=model.n_hypercolumns,
+            n_minicolumns=model.n_minicolumns,
+            density=model.density,
+            head=model.head,
+            n_bins=dataset.n_bins,
+            n_events=dataset.n_events,
+            taupdt=model.taupdt,
+            hidden_epochs=training.hidden_epochs,
+            classifier_epochs=training.classifier_epochs,
+            batch_size=training.batch_size,
+            backend=training.backend,
+            seed=config.seed,
+            pipeline=training.pipeline,
+            weight_refresh_tol=training.weight_refresh_tol,
+            sparse=training.sparse,
+            comm_overlap=training.comm_overlap,
+            sparse_payload=training.sparse_payload,
+        )
+
+    @classmethod
     def from_scale(cls, scale: ExperimentScale, **overrides) -> "HiggsExperimentConfig":
         base = cls(
             n_events=scale.n_events,

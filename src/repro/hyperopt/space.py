@@ -9,7 +9,7 @@ arbitrary values back into its domain.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
@@ -21,6 +21,7 @@ __all__ = [
     "LogFloatParameter",
     "IntParameter",
     "CategoricalParameter",
+    "parameter_from_dict",
     "SearchSpace",
 ]
 
@@ -38,6 +39,10 @@ class Parameter:
 
     def clip(self, value):
         """Project an arbitrary value back into the domain."""
+        raise NotImplementedError
+
+    def to_dict(self) -> Dict[str, object]:
+        """Declarative spec (round-trips through :func:`parameter_from_dict`)."""
         raise NotImplementedError
 
 
@@ -59,6 +64,9 @@ class FloatParameter(Parameter):
 
     def clip(self, value) -> float:
         return float(np.clip(float(value), self.low, self.high))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"type": "float", "low": self.low, "high": self.high}
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"FloatParameter({self.low}, {self.high})"
@@ -87,6 +95,9 @@ class LogFloatParameter(Parameter):
     def clip(self, value) -> float:
         return float(np.clip(float(value), self.low, self.high))
 
+    def to_dict(self) -> Dict[str, object]:
+        return {"type": "logfloat", "low": self.low, "high": self.high}
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"LogFloatParameter({self.low}, {self.high})"
 
@@ -112,6 +123,9 @@ class IntParameter(Parameter):
 
     def clip(self, value) -> int:
         return int(np.clip(int(round(float(value))), self.low, self.high))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"type": "int", "low": self.low, "high": self.high}
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"IntParameter({self.low}, {self.high})"
@@ -141,8 +155,45 @@ class CategoricalParameter(Parameter):
             return value
         raise SearchError(f"value {value!r} is not a valid choice")
 
+    def to_dict(self) -> Dict[str, object]:
+        return {"type": "categorical", "choices": list(self.choices)}
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"CategoricalParameter({self.choices})"
+
+
+_PARAMETER_TYPES = {
+    "float": FloatParameter,
+    "logfloat": LogFloatParameter,
+    "int": IntParameter,
+    "categorical": CategoricalParameter,
+}
+
+
+def parameter_from_dict(spec: Mapping) -> Parameter:
+    """Rebuild a :class:`Parameter` from its :meth:`~Parameter.to_dict` spec.
+
+    Specs look like ``{"type": "float", "low": 0.05, "high": 0.6}`` or
+    ``{"type": "categorical", "choices": ["sgd", "bcpnn"]}`` — the shape a
+    config file's ``hyperopt.space`` section uses.
+    """
+    if not isinstance(spec, Mapping):
+        raise ConfigurationError(
+            f"parameter spec must be a mapping, got {type(spec).__name__}"
+        )
+    kind = spec.get("type")
+    if kind not in _PARAMETER_TYPES:
+        raise ConfigurationError(
+            f"unknown parameter type {kind!r}; available: {sorted(_PARAMETER_TYPES)}"
+        )
+    if kind == "categorical":
+        if "choices" not in spec:
+            raise ConfigurationError("categorical parameter spec requires 'choices'")
+        return CategoricalParameter(spec["choices"])
+    missing = [key for key in ("low", "high") if key not in spec]
+    if missing:
+        raise ConfigurationError(f"{kind} parameter spec is missing {missing}")
+    return _PARAMETER_TYPES[kind](spec["low"], spec["high"])
 
 
 class SearchSpace:
@@ -197,3 +248,23 @@ class SearchSpace:
     def validate(self, config: Dict[str, object]) -> Dict[str, object]:
         """Clip/validate a configuration into the space."""
         return {name: param.clip(config[name]) for name, param in self.parameters.items()}
+
+    # -------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, Dict[str, object]]:
+        """Declarative form: ``{name: parameter_spec}`` (JSON/YAML-ready)."""
+        return {name: param.to_dict() for name, param in self.parameters.items()}
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping) -> "SearchSpace":
+        """Rebuild a space from :meth:`to_dict` output (round-trip exact)."""
+        if not isinstance(mapping, Mapping):
+            raise ConfigurationError(
+                f"search space must be a mapping of parameter specs, got {type(mapping).__name__}"
+            )
+        parameters = {}
+        for name, spec in mapping.items():
+            try:
+                parameters[name] = parameter_from_dict(spec)
+            except ConfigurationError as exc:
+                raise ConfigurationError(f"parameter {name!r}: {exc}") from exc
+        return cls(parameters)

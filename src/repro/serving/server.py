@@ -277,6 +277,31 @@ class PredictionServer:
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: set = set()
 
+    @classmethod
+    def from_settings(cls, runner: ModelRunner, settings: Dict) -> "PredictionServer":
+        """Build a server from a plain settings mapping (the config-file face).
+
+        Keys mirror the ``serving`` config section: ``host``, ``port``,
+        ``batch_size``, ``batch_deadline_ms``, ``max_queue_rows``,
+        ``request_timeout_ms`` and ``model_path`` — all optional, with the
+        constructor's defaults.  Durations arrive in *milliseconds* (the
+        config-facing unit) and convert to the seconds the constructor takes.
+        """
+        deadline_ms = settings.get("batch_deadline_ms")
+        timeout_ms = settings.get("request_timeout_ms")
+        kwargs = {
+            "host": settings.get("host", "127.0.0.1"),
+            "port": settings.get("port", 0),
+            "batch_size": settings.get("batch_size", 64),
+            "max_queue_rows": settings.get("max_queue_rows", 4096),
+            "model_path": settings.get("model_path"),
+        }
+        if deadline_ms is not None:
+            kwargs["batch_deadline"] = float(deadline_ms) / 1000.0
+        if timeout_ms is not None:
+            kwargs["request_timeout"] = float(timeout_ms) / 1000.0
+        return cls(runner, **kwargs)
+
     # ------------------------------------------------------------ lifecycle
     async def start(self) -> None:
         """Bind the listening socket and start the flush loop.

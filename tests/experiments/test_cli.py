@@ -102,3 +102,97 @@ class TestSparseCli:
             results[mode] = json.loads(json_path.read_text())
         assert results["on"]["accuracy"] == results["off"]["accuracy"]
         assert results["on"]["auc"] == results["off"]["auc"]
+
+
+class TestRunCli:
+    def test_zero_config_scenario_run(self, capsys):
+        from repro.cli import main_run
+
+        code = main_run(["--scenario", "wide-sparse", "--quick", "--quiet"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[wide-sparse]" in out and "auc=" in out
+
+    def test_config_file_run_with_json_report(self, capsys, tmp_path):
+        import json as _json
+
+        from repro.cli import main_run
+
+        config_path = tmp_path / "exp.json"
+        config_path.write_text(
+            _json.dumps(
+                {
+                    "dataset": {"n_events": 1000},
+                    "model": {"n_minicolumns": 15},
+                    "training": {"hidden_epochs": 1, "classifier_epochs": 2},
+                }
+            )
+        )
+        report_path = tmp_path / "report.json"
+        code = main_run([str(config_path), "--quiet", "--json", str(report_path)])
+        assert code == 0
+        assert "[higgs]" in capsys.readouterr().out
+        report = _json.loads(report_path.read_text())
+        assert report["scenario"] == "higgs"
+        assert report["config_dict"]["dataset"]["n_events"] == 1000
+        assert "network" not in report
+
+    def test_set_overrides_reach_the_run(self, capsys):
+        from repro.cli import main_run
+
+        code = main_run(
+            ["--scenario", "higgs", "--quick", "--quiet",
+             "--set", "dataset.scenario=label-noise"]
+        )
+        assert code == 0
+        assert "[label-noise]" in capsys.readouterr().out
+
+    def test_config_error_exits_2_with_field_path(self, capsys):
+        from repro.cli import main_run
+
+        code = main_run(["--quick", "--quiet", "--set", "training.comn=thread"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "config error: training.comn" in err
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        from repro.cli import main_run
+
+        code = main_run(["--scenario", "bogus", "--quick", "--quiet"])
+        assert code == 2
+        assert "dataset.scenario" in capsys.readouterr().err
+
+    def test_cross_field_error_exits_2(self, capsys):
+        from repro.cli import main_run
+
+        code = main_run(
+            ["--quick", "--quiet", "--set", "training.comm=serial", "--set", "training.ranks=3"]
+        )
+        assert code == 2
+        assert "training.ranks" in capsys.readouterr().err
+
+    def test_list_scenarios(self, capsys):
+        from repro.cli import main_run
+
+        code = main_run(["--list-scenarios"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("higgs", "imbalance", "label-noise", "covariate-drift", "wide-sparse"):
+            assert name in out
+
+    def test_dispatcher_routes_run(self, capsys):
+        from repro.cli import main
+
+        code = main(["run", "--list-scenarios"])
+        assert code == 0
+        assert "higgs" in capsys.readouterr().out
+
+    def test_comm_config_reported_like_train_flags(self, capsys):
+        from repro.cli import main_run
+
+        code = main_run(
+            ["--quick", "--quiet",
+             "--set", "training.comm=thread", "--set", "training.ranks=2"]
+        )
+        assert code == 0
+        assert "ranks=2 (thread)" in capsys.readouterr().out

@@ -108,3 +108,56 @@ def test_property_float_sampling_in_bounds(u, low, span):
     param = FloatParameter(low, low + span)
     value = param.sample_from_unit(u)
     assert low <= value <= low + span
+
+
+class TestSerialization:
+    """to_dict/from_dict round-trip for declarative (config-file) spaces."""
+
+    def _space(self):
+        return SearchSpace(
+            {
+                "model.density": FloatParameter(0.05, 0.6),
+                "model.taupdt": LogFloatParameter(1e-3, 1e-1),
+                "training.batch_size": IntParameter(32, 256),
+                "model.head": CategoricalParameter(["sgd", "bcpnn"]),
+            }
+        )
+
+    def test_round_trip_is_exact(self):
+        space = self._space()
+        rebuilt = SearchSpace.from_dict(space.to_dict())
+        assert rebuilt.to_dict() == space.to_dict()
+        assert rebuilt.names() == space.names()
+        for (_, orig), (_, new) in zip(space, rebuilt):
+            assert type(orig) is type(new)
+
+    def test_rebuilt_space_samples_identically(self):
+        space = self._space()
+        rebuilt = SearchSpace.from_dict(space.to_dict())
+        unit = [0.3, 0.7, 0.1, 0.9]
+        assert space.sample_from_unit_vector(unit) == rebuilt.sample_from_unit_vector(unit)
+
+    def test_parameter_spec_shapes(self):
+        d = self._space().to_dict()
+        assert d["model.density"] == {"type": "float", "low": 0.05, "high": 0.6}
+        assert d["model.taupdt"]["type"] == "logfloat"
+        assert d["training.batch_size"] == {"type": "int", "low": 32, "high": 256}
+        assert d["model.head"] == {"type": "categorical", "choices": ["sgd", "bcpnn"]}
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown parameter type"):
+            SearchSpace.from_dict({"x": {"type": "gaussian", "low": 0, "high": 1}})
+
+    def test_missing_bounds_rejected_with_name(self):
+        with pytest.raises(ConfigurationError, match="'x'.*missing"):
+            SearchSpace.from_dict({"x": {"type": "float", "low": 0.1}})
+
+    def test_missing_choices_rejected(self):
+        with pytest.raises(ConfigurationError, match="choices"):
+            SearchSpace.from_dict({"x": {"type": "categorical"}})
+
+    def test_non_mapping_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SearchSpace.from_dict({"x": [0.0, 1.0]})
+        with pytest.raises(ConfigurationError):
+            SearchSpace.from_dict("not a mapping")
