@@ -463,14 +463,18 @@ def test_fused_training_measured_on_every_backend():
 
 
 def test_comm_throughput_measured_on_every_transport():
-    """Every stdlib transport must complete the allreduce timing loop."""
+    """Every stdlib transport (tcp included) must complete the timing loop."""
     from repro.comm.benchmark import measure_comm_throughput
 
     outcome = measure_comm_throughput(
-        transports=("serial", "thread", "process"), ranks=2, repeats=3, warmup=1, timeout=60.0
+        transports=("serial", "thread", "process", "tcp"),
+        ranks=2,
+        repeats=3,
+        warmup=1,
+        timeout=60.0,
     )
     by_name = {row["transport"]: row for row in outcome["transports"]}
-    for name in ("serial", "thread", "process"):
+    for name in ("serial", "thread", "process", "tcp"):
         assert "error" not in by_name[name], by_name[name]
         assert by_name[name]["seconds_per_allreduce"] > 0
 

@@ -24,6 +24,9 @@ algorithm onto the :class:`~repro.comm.Communicator` interface:
 
 from __future__ import annotations
 
+import copy
+import os
+import pickle
 import time
 import zlib
 from dataclasses import dataclass, field
@@ -319,12 +322,27 @@ def _sync_replica(comm: Communicator, layer) -> None:
 
     Broadcasts the traces, the structural-plasticity mask and the RNG state
     (the plasticity rule shares the layer generator, so synchronising it
-    keeps epoch-boundary mask swaps identical across ranks).
+    keeps epoch-boundary mask swaps identical across ranks).  Re-imposing
+    rank 0's generator state matters for the *stochastic* competition modes:
+    their shard-shaped noise draws desynchronise the per-rank generators
+    mid-epoch, and without this resync an epoch boundary would not be a
+    deterministic resume point — a respawned worker could never replay the
+    dead rank's draw stream, breaking the fault-tolerance guarantee that a
+    recovered run is bitwise-identical to an uninterrupted one.
     """
     layer.traces.p_i[:] = comm.bcast(layer.traces.p_i, root=0)
     layer.traces.p_j[:] = comm.bcast(layer.traces.p_j, root=0)
     layer.traces.p_ij[:] = comm.bcast(layer.traces.p_ij, root=0)
     layer.plasticity.mask[:] = comm.bcast(layer.plasticity.mask, root=0)
+    # PCG64 state holds 128-bit integers, so it ships as a pickled blob
+    # rather than a fixed-width array.  Rank 0 round-trips its own state
+    # (a no-op); every other rank adopts it in place — never a new
+    # Generator object, the plasticity rule shares this one.
+    blob = comm.bcast(
+        np.frombuffer(pickle.dumps(layer._rng.bit_generator.state), dtype=np.uint8),
+        root=0,
+    )
+    layer._rng.bit_generator.state = pickle.loads(blob.tobytes())
     layer._refresh_mask()
     layer.refresh_weights()
 
@@ -399,6 +417,24 @@ def train_layer_program(
       the same length-``B`` contractions as the dense one).  Dense packing
       is used automatically in every epoch where plasticity may still
       rewire.
+
+    Three fault-tolerance options support crash-and-resume training on the
+    fault-tolerant transports (see :meth:`DistributedTrainer.train_layer`):
+
+    * ``options["start_epoch"]`` — re-enter the epoch loop at an epoch
+      boundary.  Epoch indices stay *absolute* (schedules like
+      ``frozen_from`` and ``end_epoch`` are unaffected) and the shuffle
+      stream is fast-forwarded by discarding the completed epochs'
+      permutations, so a resumed run draws exactly the orders the
+      uninterrupted run would have — the resume is bitwise-exact.
+    * ``options["progress"]`` — a live dict rank 0 updates at every epoch
+      boundary with the completed-epoch count and a resume snapshot
+      (traces, mask, RNG state).  Rank 0 runs inline in the driver, so the
+      driver still holds the last consistent state after a crash.
+    * ``options["fault_injection"]`` — ``{rank, epoch, batch}`` test hook:
+      the matching rank dies at the start of that global batch (a hard
+      ``os._exit`` on multi-process transports, a raised
+      :class:`BackendError` otherwise).
     """
     rank, size = comm.rank, comm.size
     x = comm.bcast(x, root=0)
@@ -429,6 +465,16 @@ def train_layer_program(
         )
 
     n = x.shape[0]
+    start_epoch = int(options.get("start_epoch", 0))
+    if not 0 <= start_epoch <= epochs:
+        raise BackendError(f"start_epoch must be in [0, {epochs}], got {start_epoch}")
+    if shuffle:
+        # Fast-forward the shuffle stream past the already-completed epochs
+        # so epoch e sees the same permutation as in an uninterrupted run.
+        for _ in range(start_epoch):
+            shuffle_rng.permutation(n)
+    inject = options.get("fault_injection")
+    progress = options.get("progress") if rank == 0 else None
     taupdt = float(layer.hyperparams.taupdt)
     n_input = layer.traces.n_input
     n_hidden = layer.traces.n_hidden
@@ -436,8 +482,10 @@ def train_layer_program(
     packed = np.empty(stats_head + n_input * n_hidden, dtype=np.float64)
     mean_entropy: List[float] = []
     epoch_logs: List[Dict[str, float]] = []
-    total_batches = 0
-    total_swaps = 0
+    # Resumed programs seed the cumulative counters with the completed work
+    # so logs and reports look like one uninterrupted run.
+    total_batches = int(options.get("batches_done", 0))
+    total_swaps = int(options.get("swaps_done", 0))
     # Accumulated taupdt-scaled marginal-trace drift since the last weight
     # refresh (_sync_replica just refreshed, so the weights start fresh).
     # Computed from reduced statistics only, hence identical on every rank.
@@ -560,7 +608,7 @@ def train_layer_program(
     # crosses an epoch boundary (drained before end_epoch reads the traces).
     pending: Optional[Tuple[CommRequest, Optional[Dict[str, object]]]] = None
 
-    for epoch in range(epochs):
+    for epoch in range(start_epoch, epochs):
         started = time.perf_counter()
         order = shuffle_rng.permutation(n) if shuffle else np.arange(n)
         mean_entropy.clear()
@@ -571,6 +619,19 @@ def train_layer_program(
             if layout is not None and (payload_mode == "on" or layout.density < 1.0):
                 ctx = sparse_context(layout)
         for index, start in enumerate(starts):
+            if (
+                inject is not None
+                and epoch == int(inject["epoch"])
+                and index == int(inject["batch"])
+                and rank == int(inject["rank"])
+            ):
+                if rank != 0 and comm.transport in ("process", "tcp"):
+                    # A hard kill, not an exception: exercises the real
+                    # dead-worker detection and respawn/re-admission path.
+                    os._exit(17)
+                raise BackendError(
+                    f"injected crash on rank {rank} at epoch {epoch}, batch {index}"
+                )
             local = pending_local if pending_local is not None else gather_shard(order, start)
             pending_local = None
             if competitive and layer.batches_trained == 0:
@@ -649,6 +710,23 @@ def train_layer_program(
                 float(np.mean(mean_entropy)) if mean_entropy else 0.0
             )
         epoch_logs.append(log)
+        if progress is not None:
+            # Epoch boundaries are consistent resume points: the pipeline is
+            # drained, staleness flushed and plasticity applied, so the
+            # snapshot plus start_epoch=epoch+1 replays the remainder of the
+            # run bitwise-identically.
+            progress["epoch"] = epoch + 1
+            progress["global_batches"] = total_batches
+            progress["swaps"] = total_swaps
+            progress["epoch_logs"] = list(epoch_logs)
+            progress["snapshot"] = {
+                "p_i": layer.traces.p_i.copy(),
+                "p_j": layer.traces.p_j.copy(),
+                "p_ij": layer.traces.p_ij.copy(),
+                "mask": layer.plasticity.mask.copy(),
+                "rng_state": copy.deepcopy(layer._rng.bit_generator.state),
+                "batches_trained": int(layer.batches_trained),
+            }
 
     if is_replica:
         layer.backend.close()  # replica-owned pools/buffers die with the program
@@ -661,6 +739,34 @@ def train_layer_program(
         "iallreduce_calls": int(comm.collective_calls["iallreduce"]),
         "bytes_communicated": int(comm.bytes_communicated),
     }
+
+
+def _layer_snapshot(layer) -> Dict[str, object]:
+    """Everything needed to restore a layer to a consistent resume point."""
+    snapshot: Dict[str, object] = {
+        "p_i": layer.traces.p_i.copy(),
+        "p_j": layer.traces.p_j.copy(),
+        "p_ij": layer.traces.p_ij.copy(),
+        "rng_state": copy.deepcopy(layer._rng.bit_generator.state),
+        "batches_trained": int(layer.batches_trained),
+    }
+    plasticity = getattr(layer, "plasticity", None)
+    if plasticity is not None:
+        snapshot["mask"] = plasticity.mask.copy()
+    return snapshot
+
+
+def _restore_layer(layer, snapshot: Dict[str, object]) -> None:
+    """In-place inverse of :func:`_layer_snapshot` (weights re-derived)."""
+    layer.traces.p_i[:] = snapshot["p_i"]
+    layer.traces.p_j[:] = snapshot["p_j"]
+    layer.traces.p_ij[:] = snapshot["p_ij"]
+    if "mask" in snapshot:
+        layer.plasticity.mask[:] = snapshot["mask"]
+        layer._refresh_mask()
+    layer._rng.bit_generator.state = copy.deepcopy(snapshot["rng_state"])
+    layer.batches_trained = int(snapshot["batches_trained"])
+    layer.refresh_weights()
 
 
 class DistributedTrainer:
@@ -704,6 +810,9 @@ class DistributedTrainer:
         weight_refresh_tol: float = 0.0,
         comm_overlap: str = "auto",
         sparse_payload: str = "auto",
+        fault_tolerance: bool = False,
+        max_restarts: int = 2,
+        fault_injection: Optional[Dict[str, int]] = None,
     ) -> DistributedEpochReport:
         """Train ``layer`` on ``x`` with rank-sharded batches.
 
@@ -732,6 +841,20 @@ class DistributedTrainer:
         ``on_epoch_end`` is invoked on the driver after the program
         completes (the callback cannot cross a process boundary), in epoch
         order, with the rank-0 epoch logs.
+
+        ``fault_tolerance`` arms crash recovery on transports that support
+        it (``comm.fault_tolerant``): when a rank dies mid-program, the
+        dead worker is respawned (process) or re-admitted (tcp) through
+        ``comm.recover()``, the layer is restored from the last
+        completed-epoch snapshot, and training resumes at that epoch
+        boundary with the shuffle stream fast-forwarded — at
+        ``weight_refresh_tol=0`` the recovered run's final weights are
+        bitwise-identical to an uninterrupted run (test-enforced in
+        ``tests/backend/test_fault_tolerance.py``).  ``max_restarts``
+        bounds the recovery attempts per call.  ``fault_injection``
+        (``{"rank": r, "epoch": e, "batch": b}``) kills rank ``r`` at the
+        start of that global batch, exactly once — the test hook behind
+        ``repro train --inject-crash``.
         """
         x = np.ascontiguousarray(x, dtype=np.float64)
         if x.ndim != 2:
@@ -754,45 +877,116 @@ class DistributedTrainer:
             raise DataError(
                 f"sparse_payload must be 'auto', 'on' or 'off', got {sparse_payload!r}"
             )
+        if int(max_restarts) < 0:
+            raise DataError("max_restarts must be non-negative")
+        injection: Optional[Dict[str, int]] = None
+        if fault_injection is not None:
+            missing = {"rank", "epoch", "batch"} - set(fault_injection)
+            if missing:
+                raise DataError(
+                    f"fault_injection needs rank/epoch/batch keys, missing {sorted(missing)}"
+                )
+            injection = {key: int(fault_injection[key]) for key in ("rank", "epoch", "batch")}
+            if not 0 <= injection["rank"] < self.comm.size:
+                raise DataError(
+                    f"fault_injection rank {injection['rank']} out of range for "
+                    f"{self.comm.size} ranks"
+                )
         n = x.shape[0]
-        spec = {
-            "n_hypercolumns": layer.n_hypercolumns,
-            "n_minicolumns": layer.n_minicolumns,
-            "hyperparams": layer.hyperparams.to_dict(),
-            "input_sizes": list(layer.input_spec.hypercolumn_sizes),
-            "name": layer.name,
-            "batches_trained": int(layer.batches_trained),
-            # Worker replicas must compute their shards on the same compute
-            # backend as rank 0, or the reduction mixes precisions.
-            "backend": resolve_backend_name(layer._backend_spec, layer.backend),
-            # ... and on the same execution plan (dense vs block-sparse).
-            "sparse": getattr(layer, "sparse_mode", None),
-        }
-        options = {
-            "spec": spec,
-            "epochs": int(epochs),
-            "batch_size": int(batch_size),
-            "shuffle": bool(shuffle),
-            "mode": mode,
-            "pipeline": bool(pipeline),
-            "weight_refresh_tol": float(weight_refresh_tol),
-            "comm_overlap": comm_overlap,
-            "sparse_payload": sparse_payload,
-            # Drawing the seed consumes the caller's generator, so repeated
-            # calls with one rng get fresh, still-deterministic shuffles.
-            "shuffle_seed": int(rng.integers(2**63)),
-            "rng_layer_state": layer._rng.bit_generator.state,
-        }
-        rank_args: List[tuple] = [(layer, x, options)]
-        rank_args += [(None, None, options) for _ in range(1, self.comm.size)]
-        results = self.comm.run(train_layer_program, rank_args)
+        # Drawing the seed consumes the caller's generator, so repeated
+        # calls with one rng get fresh, still-deterministic shuffles.  A
+        # recovery restart reuses the SAME seed: the resumed program
+        # fast-forwards the stream instead of drawing a new one.
+        shuffle_seed = int(rng.integers(2**63))
+        start_epoch = 0
+        batches_done = 0
+        swaps_done = 0
+        completed_logs: List[Dict[str, float]] = []
+        restarts = 0
+        while True:
+            # The snapshot at attempt start covers crashes before the first
+            # epoch boundary of this attempt (rank 0 trains the caller's
+            # layer in place, so a mid-epoch crash leaves it partial).
+            attempt_state = _layer_snapshot(layer)
+            spec = {
+                "n_hypercolumns": layer.n_hypercolumns,
+                "n_minicolumns": layer.n_minicolumns,
+                "hyperparams": layer.hyperparams.to_dict(),
+                "input_sizes": list(layer.input_spec.hypercolumn_sizes),
+                "name": layer.name,
+                "batches_trained": int(layer.batches_trained),
+                # Worker replicas must compute their shards on the same compute
+                # backend as rank 0, or the reduction mixes precisions.
+                "backend": resolve_backend_name(layer._backend_spec, layer.backend),
+                # ... and on the same execution plan (dense vs block-sparse).
+                "sparse": getattr(layer, "sparse_mode", None),
+            }
+            options = {
+                "spec": spec,
+                "epochs": int(epochs),
+                "batch_size": int(batch_size),
+                "shuffle": bool(shuffle),
+                "mode": mode,
+                "pipeline": bool(pipeline),
+                "weight_refresh_tol": float(weight_refresh_tol),
+                "comm_overlap": comm_overlap,
+                "sparse_payload": sparse_payload,
+                "shuffle_seed": shuffle_seed,
+                "rng_layer_state": layer._rng.bit_generator.state,
+                "start_epoch": start_epoch,
+                "batches_done": batches_done,
+                "swaps_done": swaps_done,
+            }
+            progress: Optional[Dict[str, object]] = None
+            if fault_tolerance:
+                progress = {
+                    "epoch": start_epoch,
+                    "global_batches": batches_done,
+                    "swaps": swaps_done,
+                    "epoch_logs": [],
+                    "snapshot": None,
+                }
+                options["progress"] = progress
+            if injection is not None:
+                options["fault_injection"] = injection
+            rank_args: List[tuple] = [(layer, x, options)]
+            rank_args += [(None, None, options) for _ in range(1, self.comm.size)]
+            try:
+                results = self.comm.run(train_layer_program, rank_args)
+                break
+            except BackendError:
+                if not fault_tolerance:
+                    raise
+                restarts += 1
+                if restarts > int(max_restarts):
+                    raise
+                if not self.comm.recover():
+                    raise
+                injection = None  # injected faults fire exactly once
+                if progress is not None and progress.get("snapshot") is not None:
+                    start_epoch = int(progress["epoch"])
+                    batches_done = int(progress["global_batches"])
+                    swaps_done = int(progress["swaps"])
+                    completed_logs = list(completed_logs) + list(progress["epoch_logs"])
+                    _restore_layer(layer, progress["snapshot"])
+                else:
+                    _restore_layer(layer, attempt_state)
+                logger.warning(
+                    "rank failure during distributed training; resuming layer "
+                    "'%s' from epoch %d (restart %d/%d)",
+                    layer.name,
+                    start_epoch,
+                    restarts,
+                    int(max_restarts),
+                )
         if hasattr(layer, "flush_weights"):
             # Settle the dense weight matrix the sparse plan's packed
             # refreshes defer (a no-op on dense layers).
             layer.flush_weights()
         report = results[0]
+        epoch_logs = completed_logs + list(report["epoch_logs"])
         if on_epoch_end is not None:
-            for epoch, log in enumerate(report["epoch_logs"]):
+            for epoch, log in enumerate(epoch_logs):
                 on_epoch_end(epoch, dict(log))
         return DistributedEpochReport(
             epochs=epochs,
@@ -803,7 +997,8 @@ class DistributedTrainer:
             bytes_communicated=self.comm.bytes_communicated,
             swaps=int(report["swaps"]),
             extra={
-                "epoch_logs": report["epoch_logs"],
+                "epoch_logs": epoch_logs,
                 "iallreduce_calls": int(report.get("iallreduce_calls", 0)),
+                "restarts": restarts,
             },
         )

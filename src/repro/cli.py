@@ -29,10 +29,16 @@ All are also reachable as ``python -m repro.cli <command>``, and all except
 ``serve`` accept ``--json PATH`` to additionally write the results as a
 JSON report.
 
-``train``, ``predict``, ``sweep`` and ``benchmark`` additionally accept
-``--comm {serial,thread,process,mpi}`` and ``--ranks N`` to run
-data-parallel training / process-sharded serving / the comm-throughput
-benchmark over a :mod:`repro.comm` transport.
+``train``, ``predict``, ``sweep``, ``benchmark`` and ``serve`` additionally
+accept ``--comm SPEC`` — a transport spec such as ``serial``, ``thread:4``,
+``process:4``, ``tcp://host:port?ranks=8`` (multi-host sockets) or ``mpi``
+— to run data-parallel training / rank-sharded serving / the
+comm-throughput benchmark over a :mod:`repro.comm` transport.  ``--comm
+help`` prints the capability table (multihost / fault-tolerant /
+nonblocking per transport); the legacy ``--ranks N`` flag still works for
+bare transport names.  ``train`` also accepts ``--fault-tolerance``
+(recover from crashed ranks mid-run on the process/tcp transports) and the
+``--inject-crash RANK:EPOCH:BATCH`` testing hook.
 
 ``train``, ``sweep`` and ``benchmark`` accept ``--pipeline`` (overlapped
 double-buffered training loop; identical results) and
@@ -94,22 +100,50 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 
 def _add_comm(parser: argparse.ArgumentParser) -> None:
-    """``--comm``/``--ranks``: select a repro.comm transport and size."""
+    """``--comm``/``--ranks``: select a repro.comm transport spec and size."""
     parser.add_argument(
         "--comm",
-        choices=["serial", "thread", "process", "mpi"],
+        type=str,
         default=None,
+        metavar="SPEC",
         help=(
-            "communicator transport for data-parallel execution "
-            "(serial: single rank; thread: in-process ranks; process: real OS "
-            "processes over shared memory; mpi: mpi4py when installed)"
+            "communicator transport spec for data-parallel execution: "
+            "'serial', 'thread:N', 'process:N', 'tcp://host:port?ranks=N' "
+            "(multi-host sockets) or 'mpi'; pass 'help' to print the "
+            "transport capability table and exit"
         ),
     )
     parser.add_argument(
         "--ranks",
         type=int,
         default=None,
-        help="number of communicator ranks (default 1; implies --comm thread when > 1)",
+        help=(
+            "legacy rank count for bare transport names (deprecated: embed "
+            "the count in --comm, e.g. 'thread:4'; N > 1 alone implies the "
+            "thread transport)"
+        ),
+    )
+
+
+def _print_comm_help() -> None:
+    """The real transport table behind ``--comm help``."""
+    from repro.comm import transport_capabilities
+
+    rows = []
+    for name, caps in transport_capabilities().items():
+        rows.append(
+            {
+                "transport": name,
+                "example_spec": caps["spec"],
+                "multihost": "yes" if caps["multihost"] else "no",
+                "fault_tolerant": "yes" if caps["fault_tolerant"] else "no",
+                "nonblocking": "yes" if caps["nonblocking"] else "no",
+            }
+        )
+    print(format_table(rows, title="Available comm transports"))
+    print(
+        "Spec grammar: NAME[:RANKS] or tcp://HOST:PORT?ranks=N"
+        "[&timeout=SEC&chunk_bytes=B&spawn=0|1]; see docs/distributed.md."
     )
 
 
@@ -227,14 +261,43 @@ def main_train(argv: Optional[List[str]] = None) -> int:
         metavar="PATH",
         help="save the trained network as a .npz archive (consumed by repro-predict)",
     )
+    parser.add_argument(
+        "--fault-tolerance",
+        action="store_true",
+        help=(
+            "recover from crashed ranks mid-training (fault-tolerant "
+            "transports: process, tcp); the dead rank is respawned or "
+            "re-admitted and training resumes from the last epoch boundary"
+        ),
+    )
+    parser.add_argument(
+        "--inject-crash",
+        type=str,
+        default=None,
+        metavar="RANK:EPOCH:BATCH",
+        help=(
+            "testing hook: kill the given rank at the start of that global "
+            "batch, exactly once (pair with --fault-tolerance to watch the "
+            "run recover)"
+        ),
+    )
     _add_common(parser)
     _add_comm(parser)
     _add_pipeline(parser)
     _add_sparse(parser)
     args = parser.parse_args(argv)
+    if args.comm == "help":
+        _print_comm_help()
+        return 0
     if not args.quiet:
         enable_console_logging()
 
+    fault_injection = None
+    if args.inject_crash is not None:
+        parts = args.inject_crash.split(":")
+        if len(parts) != 3:
+            parser.error("--inject-crash takes RANK:EPOCH:BATCH, e.g. 1:0:2")
+        fault_injection = dict(zip(("rank", "epoch", "batch"), (int(p) for p in parts)))
     scale = get_scale(args.scale)
     config = HiggsExperimentConfig(
         n_hypercolumns=args.hcus,
@@ -252,13 +315,16 @@ def main_train(argv: Optional[List[str]] = None) -> int:
         sparse=args.sparse,
         comm_overlap=args.comm_overlap,
         sparse_payload=args.sparse_payload,
+        fault_tolerance=args.fault_tolerance,
     )
     data = prepare_higgs_data(
         n_events=config.n_events, n_bins=config.n_bins, seed=args.seed, path=args.higgs_path
     )
     comm = _build_comm(args)
     try:
-        result = train_and_evaluate(config, data=data, comm=comm)
+        result = train_and_evaluate(
+            config, data=data, comm=comm, fault_injection=fault_injection
+        )
     finally:
         if comm is not None:
             comm.close()
@@ -307,6 +373,9 @@ def main_sweep(argv: Optional[List[str]] = None) -> int:
     _add_pipeline(parser)
     _add_sparse(parser)
     args = parser.parse_args(argv)
+    if args.comm == "help":
+        _print_comm_help()
+        return 0
     if not args.quiet:
         enable_console_logging()
     scale = get_scale(args.scale)
@@ -317,10 +386,14 @@ def main_sweep(argv: Optional[List[str]] = None) -> int:
         result = runner(scale=scale, seed=args.seed)
     elif args.experiment == "distributed":
         # The distributed sweep compares rank counts on one comm transport;
-        # --ranks caps the sweep, --comm picks the transport.
-        kwargs = {"transport": args.comm or "thread"}
-        if args.ranks is not None:
-            kwargs["rank_counts"] = (1, int(args.ranks))
+        # --comm picks the transport (spec ranks / --ranks cap the sweep).
+        from repro.comm import parse_transport_spec
+
+        spec = parse_transport_spec(args.comm) if args.comm else None
+        kwargs = {"transport": spec.name if spec else "thread"}
+        ranks = args.ranks if args.ranks is not None else (spec.ranks if spec else None)
+        if ranks is not None:
+            kwargs["rank_counts"] = (1, int(ranks))
         result = runner(
             scale=scale,
             seed=args.seed,
@@ -370,6 +443,9 @@ def main_benchmark(argv: Optional[List[str]] = None) -> int:
     # density sweep table into the benchmark run.
     _add_sparse(parser, default=None)
     args = parser.parse_args(argv)
+    if args.comm == "help":
+        _print_comm_help()
+        return 0
     if not args.quiet:
         enable_console_logging()
 
@@ -510,7 +586,7 @@ def main_benchmark(argv: Optional[List[str]] = None) -> int:
     if args.comm is not None or args.ranks is not None:
         from repro.comm.benchmark import measure_comm_throughput
 
-        transports = (args.comm,) if args.comm else ("serial", "thread", "process")
+        transports = (args.comm,) if args.comm else ("serial", "thread", "process", "tcp")
         comm_result = measure_comm_throughput(
             transports=transports,
             ranks=int(args.ranks) if args.ranks else 2,
@@ -600,6 +676,9 @@ def main_predict(argv: Optional[List[str]] = None) -> int:
     # force the gather-GEMM / dense masked paths).
     _add_sparse(parser, default=None)
     args = parser.parse_args(argv)
+    if args.comm == "help":
+        _print_comm_help()
+        return 0
     if not args.quiet:
         enable_console_logging()
 
@@ -749,11 +828,25 @@ def main_serve(argv: Optional[List[str]] = None) -> int:
             "default: each layer's own resolved backend"
         ),
     )
+    parser.add_argument(
+        "--comm",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help=(
+            "communicator transport spec for rank-sharded serving batches "
+            "('process:N', 'tcp://host:port?ranks=N', ...); pass 'help' to "
+            "print the transport capability table and exit"
+        ),
+    )
     parser.add_argument("--quiet", action="store_true", help="suppress progress logging")
     # No default: without --sparse the model's saved policy applies (same
     # semantics as repro-predict).
     _add_sparse(parser, default=None)
     args = parser.parse_args(argv)
+    if args.comm == "help":
+        _print_comm_help()
+        return 0
     if not args.quiet:
         enable_console_logging()
 
@@ -762,7 +855,9 @@ def main_serve(argv: Optional[List[str]] = None) -> int:
         for layer in network.hidden_layers:
             if hasattr(layer, "bind_sparse"):
                 layer.bind_sparse(args.sparse, force=True)
-    runner = ModelRunner(network, batch_size=args.batch_size, backend=args.backend)
+    runner = ModelRunner(
+        network, batch_size=args.batch_size, backend=args.backend, comm=args.comm
+    )
     server = PredictionServer(
         runner,
         host=args.host,
@@ -776,13 +871,16 @@ def main_serve(argv: Optional[List[str]] = None) -> int:
         model_path=args.model,
     )
 
-    _serve_until_interrupted(
-        server,
-        f"serving {args.model} on {{url}}  "
-        f"(batch_size={args.batch_size}, deadline={args.batch_deadline_ms:g}ms, "
-        f"queue_bound={args.max_queue_rows} rows, "
-        f"backend={server.runner._predictor.backend.name})",
-    )
+    try:
+        _serve_until_interrupted(
+            server,
+            f"serving {args.model} on {{url}}  "
+            f"(batch_size={args.batch_size}, deadline={args.batch_deadline_ms:g}ms, "
+            f"queue_bound={args.max_queue_rows} rows, "
+            f"backend={server.runner._predictor.backend.name})",
+        )
+    finally:
+        runner.close()
     return 0
 
 
@@ -833,7 +931,11 @@ def main_run(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "configs",
         nargs="*",
-        help="experiment config files (.yaml/.yml/.json); none = pure scenario defaults",
+        help=(
+            "experiment config files (.yaml/.yml/.json) and/or directories "
+            "of them (a directory runs every config inside, sorted); "
+            "none = pure scenario defaults"
+        ),
     )
     parser.add_argument(
         "--scenario",
@@ -874,56 +976,104 @@ def main_run(argv: Optional[List[str]] = None) -> int:
     if not args.quiet:
         enable_console_logging()
 
-    results: List[Dict[str, object]] = []
     try:
         overrides = parse_set_overrides(args.overrides)
-        if args.configs:
-            composed = [
-                (path, compose_config(
-                    load_config_file(path),
-                    overrides=overrides,
-                    scenario=args.scenario,
-                    quick=args.quick,
-                    source=str(path),
-                ))
-                for path in args.configs
-            ]
-        else:
-            composed = [
-                ("<defaults>", compose_config(
-                    {},
-                    overrides=overrides,
-                    scenario=args.scenario,
-                    quick=args.quick,
-                    source="<defaults>",
-                ))
-            ]
-        for source, config in composed:
-            result = run_experiment(config)
-            result["source"] = source
-            _summarize_run(result)
-            results.append(result)
-            if config.serving.enabled and "network" in result:
-                server = build_prediction_server(result["network"], config.serving)
-                _serve_until_interrupted(
-                    server,
-                    f"serving [{result['scenario']}] on {{url}}  "
-                    f"(batch_size={config.serving.batch_size}, "
-                    f"deadline={config.serving.batch_deadline_ms:g}ms, "
-                    f"queue_bound={config.serving.max_queue_rows} rows)",
-                )
     except ConfigError as exc:
         print(f"config error: {exc}", file=sys.stderr)
         return 2
+
+    # A directory argument expands to every config file inside it (sorted),
+    # so `repro run configs/` executes a whole suite in one invocation.
+    directory_mode = False
+    sources: List[str] = []
+    for entry in args.configs:
+        p = Path(entry)
+        if p.is_dir():
+            directory_mode = True
+            found = sorted(
+                str(q) for q in p.iterdir() if q.suffix.lower() in (".yaml", ".yml", ".json")
+            )
+            if not found:
+                print(
+                    f"config error: no config files (*.yaml/*.yml/*.json) in {entry}",
+                    file=sys.stderr,
+                )
+                return 2
+            sources.extend(found)
+        else:
+            sources.append(str(entry))
+    if not sources:
+        sources = ["<defaults>"]
+
+    results: List[Dict[str, object]] = []
+    failures: List[Dict[str, str]] = []
+    for source in sources:
+        try:
+            raw = load_config_file(source) if source != "<defaults>" else {}
+            config = compose_config(
+                raw,
+                overrides=overrides,
+                scenario=args.scenario,
+                quick=args.quick,
+                source=source,
+            )
+            result = run_experiment(config)
+        except ConfigError as exc:
+            print(f"config error: {exc}", file=sys.stderr)
+            failures.append({"source": source, "error": str(exc)})
+            continue
+        result["source"] = source
+        _summarize_run(result)
+        results.append(result)
+        if config.serving.enabled and "network" in result:
+            server = build_prediction_server(result["network"], config.serving)
+            _serve_until_interrupted(
+                server,
+                f"serving [{result['scenario']}] on {{url}}  "
+                f"(batch_size={config.serving.batch_size}, "
+                f"deadline={config.serving.batch_deadline_ms:g}ms, "
+                f"queue_bound={config.serving.max_queue_rows} rows)",
+            )
+
+    if len(sources) > 1:
+        summary_rows = []
+        for r in results:
+            summary_rows.append(
+                {
+                    "config": r["source"],
+                    "scenario": r.get("scenario", "?"),
+                    "status": "ok",
+                    "accuracy": f"{r['accuracy']:.4f}" if "accuracy" in r else "-",
+                    "auc": f"{r['auc']:.4f}" if "auc" in r else "-",
+                    "train_s": f"{r['train_seconds']:.1f}" if "train_seconds" in r else "-",
+                }
+            )
+        for f in failures:
+            summary_rows.append(
+                {
+                    "config": f["source"],
+                    "scenario": "-",
+                    "status": "FAILED",
+                    "accuracy": "-",
+                    "auc": "-",
+                    "train_s": "-",
+                }
+            )
+        print(format_table(summary_rows, title=f"repro run: {len(results)}/{len(sources)} ok"))
 
     if args.json:
         sanitised = [
             {k: v for k, v in r.items() if k not in ("network", "masks", "mask_evolution")}
             for r in results
         ]
-        report = sanitised[0] if len(sanitised) == 1 else {"runs": sanitised}
+        if directory_mode or len(sources) > 1:
+            report: object = sanitised + [
+                {"source": f["source"], "error": f["error"], "failed": True} for f in failures
+            ]
+        else:
+            report = sanitised[0] if len(sanitised) == 1 else {"runs": sanitised}
         dump_json_report(report, args.json)
-    return 0
+    return 2 if failures else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -2,7 +2,7 @@
 
 The paper's data-parallel BCPNN needs exactly one allreduce of sufficient
 statistics per batch, so the whole distributed stack is written against a
-tiny MPI-shaped :class:`~repro.comm.base.Communicator` interface with four
+tiny MPI-shaped :class:`~repro.comm.base.Communicator` interface with five
 interchangeable transports:
 
 ============  ====================================================================
@@ -15,21 +15,38 @@ transport      implementation
                ``LocalComm`` list semantics).
 ``process``    :class:`ProcessComm` — persistent OS-process worker pool;
                collectives move NumPy arrays through ``shared_memory`` with
-               zero pickling of layer-sized data.
+               zero pickling of layer-sized data.  Fault tolerant: a dead
+               rank is respawned by :meth:`~repro.comm.base.Communicator.recover`.
+``tcp``        :class:`TCPComm` — socket collectives through a driver-side
+               rendezvous hub, so ranks can span hosts.  Multi-host, fault
+               tolerant (crashed workers are respawned or re-admitted) and
+               genuinely nonblocking.
 ``mpi``        :class:`MPIComm` — mpi4py adapter, available when mpi4py is
                importable (``HAVE_MPI``).
 ============  ====================================================================
 
-Entry points: :func:`get_communicator` resolves ``--comm``-style specs;
-:meth:`Communicator.run` launches an SPMD program (rank 0 runs inline in the
-driver); :mod:`repro.comm.tasks` holds reusable module-level SPMD programs.
+Entry points: :func:`parse_transport_spec` parses spec strings ("thread:4",
+"process:4", "tcp://host:port?ranks=8", "mpi"); :func:`resolve_comm` /
+:func:`get_communicator` turn them into communicators;
+:func:`transport_capabilities` reports each transport's ``multihost`` /
+``fault_tolerant`` / ``nonblocking`` flags; :meth:`Communicator.run` launches
+an SPMD program (rank 0 runs inline in the driver); :mod:`repro.comm.tasks`
+holds reusable module-level SPMD programs.
 """
 
 from repro.comm.base import CommRequest, CompletedRequest, Communicator, REDUCE_OPS, split_ranks
-from repro.comm.factory import get_communicator, list_transports, resolve_comm
+from repro.comm.factory import (
+    TransportSpec,
+    get_communicator,
+    list_transports,
+    parse_transport_spec,
+    resolve_comm,
+    transport_capabilities,
+)
 from repro.comm.mpi import HAVE_MPI, MPIComm
 from repro.comm.process import ProcessComm
 from repro.comm.serial import SerialComm
+from repro.comm.tcp import TCPComm
 from repro.comm.thread import ThreadComm
 
 #: Backwards-compatible alias: the old simulated-MPI ``LocalComm`` exposed the
@@ -43,12 +60,16 @@ __all__ = [
     "SerialComm",
     "ThreadComm",
     "ProcessComm",
+    "TCPComm",
     "MPIComm",
     "LocalComm",
     "HAVE_MPI",
     "REDUCE_OPS",
     "split_ranks",
+    "TransportSpec",
+    "parse_transport_spec",
     "get_communicator",
     "resolve_comm",
+    "transport_capabilities",
     "list_transports",
 ]

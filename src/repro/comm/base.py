@@ -125,8 +125,25 @@ class Communicator(ABC):
     mpi4py transports.
     """
 
-    #: Transport name ("serial", "thread", "process", "mpi").
+    #: Transport name ("serial", "thread", "process", "tcp", "mpi").
     transport: str = "abstract"
+
+    #: Capability flags (class attributes, surfaced by
+    #: :func:`repro.comm.factory.transport_capabilities`):
+    #:
+    #: * ``multihost`` — ranks may live on different machines (socket/MPI
+    #:   transports); shared-memory and in-process transports are pinned to
+    #:   one host.
+    #: * ``fault_tolerant`` — :meth:`recover` can restore the communicator
+    #:   after a failed rank (respawn or re-admission), so the driver may
+    #:   retry a program instead of failing the job.
+    #: * ``nonblocking`` — ``iallreduce`` is genuinely split-phase (the
+    #:   overlap window is real); transports without it complete eagerly via
+    #:   :class:`CompletedRequest`, which is semantically identical but
+    #:   hides no latency.
+    multihost: bool = False
+    fault_tolerant: bool = False
+    nonblocking: bool = False
 
     def __init__(self) -> None:
         self.collective_calls: Dict[str, int] = {
@@ -352,6 +369,18 @@ class Communicator(ABC):
         return [a.copy() for a in arrays]
 
     # -------------------------------------------------------------- lifecycle
+    def recover(self) -> bool:
+        """Attempt to restore the communicator after a failed rank.
+
+        Fault-tolerant transports (``fault_tolerant`` is ``True``) respawn a
+        dead worker (process transport) or re-admit a reconnecting one (tcp
+        transport) and return ``True`` once the pool is whole again, so the
+        driver can roll its model back to the last snapshot and re-launch the
+        SPMD program.  The default — transports without a recovery path —
+        returns ``False``: the caller must treat the failure as fatal.
+        """
+        return False
+
     def close(self) -> None:
         """Release transport resources (worker pools, shared memory)."""
 

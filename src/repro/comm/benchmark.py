@@ -13,14 +13,14 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.comm import tasks
-from repro.comm.factory import get_communicator
+from repro.comm.factory import get_communicator, parse_transport_spec
 from repro.exceptions import BackendError
 
 __all__ = ["measure_comm_throughput"]
 
 
 def measure_comm_throughput(
-    transports: Sequence[str] = ("serial", "thread", "process"),
+    transports: Sequence[str] = ("serial", "thread", "process", "tcp"),
     ranks: int = 2,
     shape: Sequence[int] = (281, 300),
     repeats: int = 20,
@@ -32,6 +32,9 @@ def measure_comm_throughput(
     Every transport runs the same SPMD loop (:func:`repro.comm.tasks.allreduce_loop`)
     over a ``shape`` float64 payload at ``ranks`` ranks (the serial transport
     is always measured at one rank — it has no peers by construction).
+    Entries are transport *specs* (``"tcp"`` measures a loopback rendezvous
+    with spawned workers; ``"tcp://host:port?ranks=N"`` works too); a spec's
+    embedded rank count wins over ``ranks``.
 
     Each row also reports the nonblocking path
     (:func:`repro.comm.tasks.iallreduce_loop`): ``seconds_per_iallreduce``
@@ -41,11 +44,21 @@ def measure_comm_throughput(
     """
     rows: List[Dict[str, object]] = []
     for transport in transports:
-        n_ranks = 1 if transport == "serial" else int(ranks)
+        parsed = parse_transport_spec(transport)
+        if parsed.name == "serial":
+            n_ranks = 1
+        elif parsed.ranks is not None:
+            n_ranks = int(parsed.ranks)
+        else:
+            n_ranks = int(ranks)
         kwargs = {}
-        if timeout is not None and transport in ("thread", "process"):
+        if timeout is not None and parsed.name in ("thread", "process", "tcp"):
             kwargs["timeout"] = timeout
-        comm = get_communicator(transport, ranks=n_ranks, **kwargs)
+        try:
+            comm = get_communicator(transport, ranks=n_ranks, **kwargs)
+        except BackendError as exc:  # pragma: no cover - constrained sandboxes
+            rows.append({"transport": parsed.name, "ranks": n_ranks, "error": str(exc)})
+            continue
         try:
             results = comm.run(
                 tasks.allreduce_loop,
@@ -63,7 +76,7 @@ def measure_comm_throughput(
             nb_issue = float(nb_rank0["issue_seconds"])
             rows.append(
                 {
-                    "transport": transport,
+                    "transport": parsed.name,
                     "ranks": n_ranks,
                     "seconds_per_allreduce": seconds,
                     "payload_mbytes": nbytes / 1e6,
@@ -73,7 +86,7 @@ def measure_comm_throughput(
                 }
             )
         except BackendError as exc:  # pragma: no cover - constrained sandboxes
-            rows.append({"transport": transport, "ranks": n_ranks, "error": str(exc)})
+            rows.append({"transport": parsed.name, "ranks": n_ranks, "error": str(exc)})
         finally:
             comm.close()
     return {

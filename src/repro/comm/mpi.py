@@ -64,6 +64,8 @@ class MPIComm(Communicator):  # pragma: no cover - exercised only with mpi4py
     """mpi4py-backed communicator (requires an ``mpirun`` launch)."""
 
     transport = "mpi"
+    multihost = True
+    nonblocking = True
 
     def __init__(self, comm=None) -> None:
         super().__init__()

@@ -170,7 +170,13 @@ class _ShmPeer:
             capacity = self._min_slot_bytes
             while capacity < arr.nbytes:
                 capacity *= 2
-            new_gen = (own[1] if own is not None else 0) + 1
+            # A rank with no slot yet continues the generation sequence from
+            # its control-block row rather than restarting at 1: a respawned
+            # worker (see :meth:`ProcessComm.recover`) must not reuse a
+            # generation number its peers may still have cached attachments
+            # for, or they would silently read the dead rank's stale segment.
+            base_gen = own[1] if own is not None else int(self._header_row(self._rank, slot)[0])
+            new_gen = base_gen + 1
             replacement = SharedMemory(
                 create=True, size=capacity, name=self._slot_name(self._rank, new_gen, slot)
             )
@@ -415,6 +421,8 @@ class _ProcessRankView(_ProcessCollectives, Communicator):
     """Per-rank handle constructed inside each worker process."""
 
     transport = "process"
+    fault_tolerant = True
+    nonblocking = True
 
     def __init__(
         self,
@@ -471,6 +479,10 @@ def _worker_main(
                     barrier.abort()
                 except Exception:  # pragma: no cover - barrier already broken
                     pass
+                # A program aborted mid-flight may leave a nonblocking
+                # request undrained; clear it so the next task's iallreduce
+                # is not rejected by the one-outstanding guard.
+                view._nb_pending = None
                 result_queue.put((task_id, rank, False, traceback.format_exc()))
     finally:
         view._release()  # noqa: SLF001 - worker-side cleanup of its own peer
@@ -503,6 +515,8 @@ class ProcessComm(_ProcessCollectives, Communicator):
     """
 
     transport = "process"
+    fault_tolerant = True
+    nonblocking = True
 
     def __init__(
         self,
@@ -520,7 +534,11 @@ class ProcessComm(_ProcessCollectives, Communicator):
         self._closed = False
         self._in_program = False
         self._task_counter = 0
+        self._stranded: Tuple[Optional[int], List[int]] = (None, [])
         ctx = get_context(start_method)
+        # Kept for recover(): a dead worker is respawned with the same
+        # context and shared-memory session it originally joined.
+        self._ctx = ctx
         session = f"rcomm{os.getpid():x}{uuid.uuid4().hex[:8]}"
         barrier = ctx.Barrier(size) if size > 1 else threading.Barrier(1)
         control_bytes = size * _SLOT_ROWS * _HEADER_BYTES
@@ -529,8 +547,13 @@ class ProcessComm(_ProcessCollectives, Communicator):
         _ShmPeer.__init__(
             self, 0, int(size), session, barrier, timeout, min_slot_bytes, max_slot_bytes, control
         )
+        # One task queue AND one result queue per worker.  A process killed
+        # mid-queue-operation leaves the queue's shared lock held forever
+        # (the documented multiprocessing caveat), so queues must never be
+        # shared between workers: a dead rank may wedge its own pair, which
+        # recover() simply replaces, but it can never silence a survivor.
         self._task_queues = [ctx.Queue() for _ in range(size - 1)]
-        self._result_queue = ctx.Queue() if size > 1 else None
+        self._result_queues = [ctx.Queue() for _ in range(size - 1)]
         self._workers = [
             ctx.Process(
                 target=_worker_main,
@@ -540,7 +563,7 @@ class ProcessComm(_ProcessCollectives, Communicator):
                     session,
                     barrier,
                     self._task_queues[rank - 1],
-                    self._result_queue,
+                    self._result_queues[rank - 1],
                     timeout,
                     min_slot_bytes,
                     max_slot_bytes,
@@ -602,7 +625,18 @@ class ProcessComm(_ProcessCollectives, Communicator):
 
         # Workers can lag rank 0 by at most one rendezvous timeout plus their
         # local epilogue, so the collection deadline tracks the comm timeout.
-        remote = self._collect(task_id, expect=size - 1, deadline=self._timeout + 5.0)
+        got: Dict[int, Tuple[bool, object]] = {}
+        try:
+            remote = self._collect(
+                task_id, expect=size - 1, deadline=self._timeout + 5.0, into=got
+            )
+        except BackendError:
+            # A rank died or wedged mid-program.  Remember which survivors
+            # have not reported yet: recover() must wait them out of the
+            # program (their failure report follows their barrier abort)
+            # before the barrier can safely be reset.
+            self._stranded = (task_id, [r for r in range(1, size) if r not in got])
+            raise
         if getattr(self._barrier, "broken", False):
             try:
                 self._barrier.reset()
@@ -620,39 +654,159 @@ class ProcessComm(_ProcessCollectives, Communicator):
         results = [local_result] + [remote[rank][1] for rank in range(1, size)]
         return results
 
-    def _collect(self, task_id, expect: int, deadline: float) -> Dict[int, Tuple[bool, object]]:
+    def _collect(
+        self,
+        task_id,
+        expect: int,
+        deadline: float,
+        into: Optional[Dict[int, Tuple[bool, object]]] = None,
+        ranks: Optional[Sequence[int]] = None,
+    ) -> Dict[int, Tuple[bool, object]]:
         """Drain ``expect`` result messages for ``task_id`` from the workers.
 
-        Polls in short slices so a dead worker is detected promptly instead
-        of burning the whole deadline on a queue read that can never succeed.
+        Each worker reports on its own result queue (see ``__init__``), so
+        collection is a round-robin poll in short slices — a dead worker is
+        detected promptly and can never block a survivor's report.  ``into``
+        exposes the partial results to the caller even when this raises;
+        ``ranks`` restricts polling and the dead-worker check to a subset
+        (used by :meth:`recover` while dead ranks await respawning).
         """
         import time as _time
         from queue import Empty
 
-        got: Dict[int, Tuple[bool, object]] = {}
+        got: Dict[int, Tuple[bool, object]] = {} if into is None else into
+        watched = sorted(set(range(1, self._size)) if ranks is None else set(ranks))
         give_up_at = _time.monotonic() + deadline
         while len(got) < expect:
-            try:
-                msg_id, rank, ok, payload = self._result_queue.get(timeout=0.25)
-            except Empty:
-                dead = [
-                    worker.name
-                    for index, worker in enumerate(self._workers, start=1)
-                    if index not in got and not worker.is_alive()
-                ]
-                if dead:
-                    raise BackendError(
-                        f"worker process(es) died without reporting a result: {dead}"
-                    ) from None
-                if _time.monotonic() > give_up_at:
-                    raise BackendError(
-                        f"timed out after {deadline}s waiting for worker results"
-                    ) from None
+            progressed = False
+            for rank in watched:
+                if rank in got:
+                    continue
+                try:
+                    msg_id, _rank, ok, payload = self._result_queues[rank - 1].get_nowait()
+                except Empty:
+                    continue
+                progressed = True
+                if msg_id != task_id:
+                    continue  # stale result from an aborted task
+                got[rank] = (ok, payload)
+            if progressed:
                 continue
-            if msg_id != task_id:
-                continue  # stale result from an aborted task
-            got[rank] = (ok, payload)
+            dead = [
+                self._workers[rank - 1].name
+                for rank in watched
+                if rank not in got and not self._workers[rank - 1].is_alive()
+            ]
+            if dead:
+                raise BackendError(
+                    f"worker process(es) died without reporting a result: {dead}"
+                ) from None
+            if _time.monotonic() > give_up_at:
+                raise BackendError(
+                    f"timed out after {deadline}s waiting for worker results"
+                ) from None
+            _time.sleep(0.05)
         return got
+
+    # -------------------------------------------------------- fault tolerance
+    def recover(self) -> bool:
+        """Respawn every dead worker into the existing shared-memory session.
+
+        The respawned rank re-joins the same control block and barrier it
+        originally held (with a fresh task/result queue pair — the old pair
+        may be wedged by locks the dead process took to its grave).  Its old
+        data slots are unlinked but their
+        generation numbers stay in the control block, so the worker's first
+        publish continues the sequence (see :meth:`_ShmPeer._publish`) and
+        the survivors' cached attachments invalidate naturally.  Returns
+        ``True`` once the pool is whole again — the caller then rolls its
+        model back to the last snapshot and re-launches the SPMD program.
+        """
+        if self._closed:
+            return False
+        # Wait the stranded survivors of the failed program out of it first:
+        # a worker reports its failure only *after* aborting the barrier, so
+        # once every survivor has reported, no late abort can re-break the
+        # barrier we are about to reset.
+        stranded_task, stranded = self._stranded
+        survivors = [r for r in stranded if self._workers[r - 1].is_alive()]
+        if survivors:
+            drained: Dict[int, Tuple[bool, object]] = {}
+            try:
+                self._collect(
+                    stranded_task,
+                    expect=len(survivors),
+                    deadline=self._timeout + 5.0,
+                    ranks=survivors,
+                    into=drained,
+                )
+            except BackendError:
+                # A survivor that died while draining is respawned below; one
+                # still alive but unreported is wedged mid-program — the pool
+                # is not quiescent and cannot be recovered.
+                wedged = [
+                    r for r in survivors if r not in drained and self._workers[r - 1].is_alive()
+                ]
+                if wedged:
+                    self._stranded = (stranded_task, wedged)
+                    return False
+        self._stranded = (None, [])
+        if getattr(self._barrier, "broken", False):
+            try:
+                self._barrier.reset()
+            except Exception:  # pragma: no cover - irrecoverable barrier
+                return False
+        self._nb_pending = None
+        dead = [
+            rank for rank in range(1, self._size) if not self._workers[rank - 1].is_alive()
+        ]
+        if not dead:
+            return True
+        for rank in dead:
+            self._workers[rank - 1].join(timeout=2.0)
+            for slot in range(_SLOT_ROWS):
+                gen = int(self._header_row(rank, slot)[0])
+                if gen > 0:
+                    try:
+                        stale = _attach(self._slot_name(rank, gen, slot))
+                        stale.close()
+                        stale.unlink()
+                    except FileNotFoundError:
+                        pass
+                    except Exception:  # pragma: no cover - already cleaned up
+                        pass
+                cached = self._peers.pop((rank, slot), None)
+                if cached is not None:
+                    cached[1].close()
+            # The dead rank may have died holding its queues' shared locks
+            # (killed while idle in get(), or before its feeder thread
+            # released the write lock) — both queues are unsalvageable in
+            # general, so the respawned worker gets a fresh pair.
+            self._task_queues[rank - 1] = self._ctx.Queue()
+            self._result_queues[rank - 1] = self._ctx.Queue()
+            replacement = self._ctx.Process(
+                target=_worker_main,
+                args=(
+                    rank,
+                    self._size,
+                    self._session,
+                    self._barrier,
+                    self._task_queues[rank - 1],
+                    self._result_queues[rank - 1],
+                    self._timeout,
+                    self._min_slot_bytes,
+                    self._max_slot_bytes,
+                ),
+                daemon=True,
+                name=f"comm-rank{rank}",
+            )
+            replacement.start()
+            self._workers[rank - 1] = replacement
+        try:
+            self._collect("ready", expect=len(dead), deadline=max(self._timeout, 60.0))
+        except BackendError:
+            return False
+        return True
 
     # -------------------------------------------------------------- lifecycle
     def close(self) -> None:

@@ -1,0 +1,1001 @@
+"""The tcp transport: socket collectives so ranks can span hosts.
+
+``TCPComm`` is the first :class:`~repro.comm.base.Communicator` whose ranks
+are not pinned to one machine.  The topology is a **hub**: the driver
+process (rank 0) owns a listening *rendezvous* socket; every rank —
+including rank 0's own view, over loopback — holds exactly one connection
+to it.  A collective is a **round**: each rank posts one tagged frame, the
+hub waits until all ``size`` frames for the round have arrived, verifies the
+ops match, computes the result (reducing strictly in rank order, so results
+are deterministic and bit-identical to the other transports), and replies to
+every rank.
+
+* **Chunked framing** — every frame is a small pickled header followed by
+  the payload split into length-prefixed chunks of at most ``chunk_bytes``,
+  so arrays larger than one send cross the wire incrementally and the
+  framing is self-describing (peers may use different chunk sizes).
+* **Crash/timeout -> BackendError, never a hang** — a lost connection is
+  detected by the hub's per-rank reader thread the moment the socket
+  closes; a wedged rank trips the hub's per-round timeout.  Either way the
+  hub broadcasts an ``abort`` frame and every surviving rank raises
+  :class:`~repro.exceptions.BackendError` from its next (or pending)
+  collective.  All client reads carry a socket timeout as a second line of
+  defence.
+* **Nonblocking collectives** — ``iallreduce`` is genuinely split-phase:
+  the contribution is posted immediately and ``wait()`` reads the reply
+  later, so the overlap window is as real as the process transport's (with
+  the same at-most-one-outstanding contract, enforced per rank).
+* **Fault tolerance** — the rendezvous listener stays open for the
+  communicator's whole life.  :meth:`TCPComm.recover` respawns locally
+  spawned workers (or simply waits for an external worker to reconnect and
+  claim its old rank) and re-arms the hub, so a driver can roll back to its
+  last model snapshot and re-launch the SPMD program after a crash.
+
+Workers are locally spawned by default (``spawn_workers=True``), which makes
+``tcp://127.0.0.1`` a drop-in, conformance-identical alternative to the
+process transport.  For true multi-host runs, construct the driver with
+``spawn_workers=False`` and start each remote worker with::
+
+    python -m repro.comm.tcp --connect HOST:PORT [--rank R]
+
+Workers that omit ``--rank`` are assigned the lowest free rank by the hub.
+"""
+
+from __future__ import annotations
+
+import pickle
+import select
+import socket
+import struct
+import threading
+import time
+import traceback
+from collections import deque
+from multiprocessing import get_context
+from queue import Empty, Queue
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.comm.base import (
+    REDUCE_OPS,
+    CommRequest,
+    Communicator,
+    _reduce_in_rank_order,
+    split_ranks,
+)
+from repro.exceptions import BackendError
+
+__all__ = ["TCPComm"]
+
+_PICKLE_PROTOCOL = 4
+_MISSING = object()
+
+
+# ------------------------------------------------------------------ framing
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise ``ConnectionError`` on EOF."""
+    buf = bytearray()
+    while len(buf) < n:
+        piece = sock.recv(n - len(buf))
+        if not piece:
+            raise ConnectionError("peer closed the connection")
+        buf += piece
+    return bytes(buf)
+
+
+def _send_frame(
+    sock: socket.socket,
+    lock: threading.Lock,
+    header: Dict[str, Any],
+    payload: bytes,
+    chunk_bytes: int,
+) -> None:
+    """One frame: header length + payload length, header, then chunked payload.
+
+    The payload travels as length-prefixed chunks of at most ``chunk_bytes``
+    each, so arbitrarily large arrays never require one giant send and the
+    receiver can account for progress chunk by chunk.
+    """
+    head = pickle.dumps(header, protocol=_PICKLE_PROTOCOL)
+    with lock:
+        sock.sendall(struct.pack(">IQ", len(head), len(payload)))
+        sock.sendall(head)
+        for lo in range(0, len(payload), chunk_bytes):
+            chunk = payload[lo : lo + chunk_bytes]
+            sock.sendall(struct.pack(">I", len(chunk)))
+            sock.sendall(chunk)
+
+
+def _recv_frame(sock: socket.socket) -> Tuple[Dict[str, Any], bytes]:
+    """Inverse of :func:`_send_frame`; chunk prefixes are re-validated."""
+    head_len, payload_len = struct.unpack(">IQ", _recv_exact(sock, 12))
+    header = pickle.loads(_recv_exact(sock, head_len))
+    buf = bytearray()
+    while len(buf) < payload_len:
+        (chunk_len,) = struct.unpack(">I", _recv_exact(sock, 4))
+        if chunk_len == 0 or len(buf) + chunk_len > payload_len:
+            raise ConnectionError(f"corrupt chunk framing ({chunk_len} bytes)")
+        buf += _recv_exact(sock, chunk_len)
+    return header, bytes(buf)
+
+
+def _dumps(obj: Any) -> bytes:
+    return pickle.dumps(obj, protocol=_PICKLE_PROTOCOL)
+
+
+# ---------------------------------------------------------------- rank view
+class _TCPRankView(Communicator):
+    """One rank's endpoint: a single socket to the hub."""
+
+    transport = "tcp"
+    multihost = True
+    fault_tolerant = True
+    nonblocking = True
+
+    #: Worker views always run inside a program; the driver (TCPComm)
+    #: toggles this in :meth:`TCPComm.run` (same guard as the process
+    #: transport: a driver-side SPMD collective outside run() fails fast).
+    _in_program = True
+
+    def __init__(
+        self, rank: int, size: int, sock: socket.socket, timeout: float, chunk_bytes: int
+    ) -> None:
+        Communicator.__init__(self)
+        self._rank = int(rank)
+        self._size = int(size)
+        self._sock = sock
+        self._timeout = float(timeout)
+        self._chunk = int(chunk_bytes)
+        self._send_lock = threading.Lock()
+        # Collective sequencing is scoped per run() task: _begin_task resets
+        # the counter and discards buffered replies, so frames from an
+        # aborted task can never be confused with the current one (every
+        # frame carries its task id).
+        self._task = 0
+        self._seq = 0
+        self._replies: Dict[int, bytes] = {}
+        self._aborted: Optional[str] = None
+        self._nb_pending: Optional["_TCPRequest"] = None
+        sock.settimeout(self._timeout)
+
+    # ------------------------------------------------------------- identity
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def run(self, fn: Callable, rank_args: Optional[Sequence[tuple]] = None) -> List[object]:
+        raise BackendError("run() cannot be nested inside an SPMD program")
+
+    # ------------------------------------------------------------- plumbing
+    def _begin_task(self, task: int) -> None:
+        self._task = int(task)
+        self._seq = 0
+        self._replies.clear()
+        self._aborted = None
+        self._nb_pending = None
+
+    def _guard(self) -> None:
+        if not self._in_program and self._size > 1:
+            raise BackendError(
+                "SPMD collectives on a size>1 communicator must be called from "
+                "inside run(); for driver-side combines use reduce_parts()/"
+                "gather_parts() (or pass a list of per-rank contributions)"
+            )
+
+    def _post(self, op: str, obj: Any, **extra: Any) -> int:
+        """Send this rank's contribution to the hub; returns its sequence."""
+        self._guard()
+        seq = self._seq
+        self._seq += 1
+        header = {"kind": "coll", "op": op, "task": self._task, "seq": seq, "rank": self._rank}
+        header.update(extra)
+        payload = _dumps(obj) if obj is not None else b""
+        try:
+            _send_frame(self._sock, self._send_lock, header, payload, self._chunk)
+        except (OSError, ConnectionError) as exc:
+            raise BackendError(f"tcp hub connection lost while sending: {exc}") from exc
+        return seq
+
+    def _read_frame(self) -> None:
+        """Read and route one frame from the hub (reply/abort; stale dropped)."""
+        try:
+            header, payload = _recv_frame(self._sock)
+        except socket.timeout as exc:
+            raise BackendError(
+                f"tcp collective timed out after {self._timeout}s "
+                "(a rank crashed or stalled)"
+            ) from exc
+        except (OSError, ConnectionError, EOFError) as exc:
+            raise BackendError(f"tcp hub connection lost: {exc}") from exc
+        kind = header.get("kind")
+        if header.get("task") != self._task:
+            return  # stale frame from a finished or aborted task
+        if kind == "abort":
+            self._aborted = str(header.get("reason", "aborted"))
+        elif kind == "reply":
+            self._replies[int(header["seq"])] = payload
+
+    def _await(self, seq: int) -> Any:
+        """Block until the hub's reply for ``seq`` arrives (order-tolerant)."""
+        while True:
+            if self._aborted is not None:
+                raise BackendError(f"tcp collective aborted: {self._aborted}")
+            payload = self._replies.pop(seq, _MISSING)
+            if payload is not _MISSING:
+                return pickle.loads(payload) if payload else None
+            self._read_frame()
+
+    def _send_result(self, task: int, ok: bool, result: Any) -> None:
+        _send_frame(
+            self._sock,
+            self._send_lock,
+            {"kind": "result", "task": int(task), "rank": self._rank, "ok": bool(ok)},
+            _dumps(result),
+            self._chunk,
+        )
+
+    # ------------------------------------------------------ SPMD collectives
+    def _allreduce_array(self, array: np.ndarray, op: str) -> np.ndarray:
+        if op not in REDUCE_OPS:
+            raise BackendError(f"unknown reduction '{op}'; available: {sorted(REDUCE_OPS)}")
+        arr = np.ascontiguousarray(array)
+        seq = self._post("allreduce", arr, reduce=op)
+        out = np.asarray(self._await(seq))
+        self.collective_calls["allreduce"] += 1
+        self.bytes_communicated += arr.nbytes * self._size
+        return out
+
+    def _iallreduce_array(self, array: np.ndarray, op: str) -> CommRequest:
+        if op not in REDUCE_OPS:
+            raise BackendError(f"unknown reduction '{op}'; available: {sorted(REDUCE_OPS)}")
+        if self._nb_pending is not None:
+            raise BackendError(
+                "a nonblocking collective is already outstanding on this rank; "
+                "wait() on it before issuing the next one"
+            )
+        arr = np.ascontiguousarray(array)
+        # Genuinely split-phase: the contribution goes on the wire now, the
+        # reply is read in wait() — local compute overlaps the reduction.
+        seq = self._post("allreduce", arr, reduce=op)
+        request = _TCPRequest(self, seq, arr.nbytes)
+        self._nb_pending = request
+        self.collective_calls["iallreduce"] += 1
+        return request
+
+    def _allgather_array(self, array: np.ndarray) -> List[np.ndarray]:
+        arr = np.ascontiguousarray(array)
+        seq = self._post("allgather", arr)
+        parts = [np.asarray(p) for p in self._await(seq)]
+        self.collective_calls["allgather"] += 1
+        self.bytes_communicated += sum(p.nbytes for p in parts)
+        return parts
+
+    def bcast(self, array: Optional[np.ndarray], root: int = 0) -> np.ndarray:
+        if not 0 <= root < self._size:
+            raise BackendError(f"root {root} out of range for size {self._size}")
+        if self._rank == root:
+            if array is None:
+                raise BackendError("bcast root must provide an array")
+            seq = self._post("bcast", np.ascontiguousarray(array), root=int(root))
+        else:
+            seq = self._post("bcast", None, root=int(root))
+        out = np.asarray(self._await(seq))
+        self.collective_calls["bcast"] += 1
+        self.bytes_communicated += out.nbytes
+        return out
+
+    def barrier(self) -> None:
+        seq = self._post("barrier", None)
+        self._await(seq)
+        self.collective_calls["barrier"] += 1
+
+    def scatter_rows(self, x: Optional[np.ndarray], root: int = 0) -> np.ndarray:
+        if not 0 <= root < self._size:
+            raise BackendError(f"root {root} out of range for size {self._size}")
+        if self._rank == root:
+            x = np.asarray(x)
+            if x.ndim != 2:
+                raise BackendError("scatter_rows root must provide a 2-D matrix")
+            seq = self._post("scatter", np.ascontiguousarray(x), root=int(root))
+        else:
+            seq = self._post("scatter", None, root=int(root))
+        out = np.asarray(self._await(seq))
+        self.collective_calls["scatter"] += 1
+        self.bytes_communicated += out.nbytes
+        return out
+
+
+class _TCPRequest(CommRequest):
+    """In-flight nonblocking allreduce on the tcp transport.
+
+    The contribution was posted to the hub at ``iallreduce`` time (captured
+    on the wire), so the caller's buffer is immediately reusable; ``wait()``
+    reads the hub's reply, buffering any out-of-order frames for later
+    collectives of the same task.
+    """
+
+    __slots__ = ("_view", "_seq", "_nbytes", "_result", "_done")
+
+    def __init__(self, view: _TCPRankView, seq: int, nbytes: int) -> None:
+        self._view = view
+        self._seq = seq
+        self._nbytes = int(nbytes)
+        self._result: Optional[np.ndarray] = None
+        self._done = False
+
+    def wait(self) -> np.ndarray:
+        if self._done:
+            return self._result
+        out = np.asarray(self._view._await(self._seq))
+        self._result = out
+        self._done = True
+        self._view._nb_pending = None
+        self._view.bytes_communicated += self._nbytes * self._view._size
+        return out
+
+    def test(self) -> bool:
+        if self._done:
+            return True
+        view = self._view
+        # Opportunistically drain frames already on the wire (non-blocking).
+        while self._seq not in view._replies and view._aborted is None:
+            readable, _, _ = select.select([view._sock], [], [], 0)
+            if not readable:
+                break
+            view._read_frame()
+        # An abort means wait() would raise promptly — that counts as ready.
+        return self._seq in view._replies or view._aborted is not None
+
+
+# --------------------------------------------------------------- handshake
+def _handshake(
+    rank: Optional[int], address: Tuple[str, int], timeout: float, chunk_bytes: int
+) -> Tuple[socket.socket, int, int, int]:
+    """Connect to the hub; returns ``(sock, rank, size, chunk_bytes)``.
+
+    ``rank=None`` asks the hub to assign the lowest free worker rank (the
+    multi-host rendezvous mode).
+    """
+    host, port = address
+    try:
+        sock = socket.create_connection((host, int(port)), timeout=max(float(timeout), 10.0))
+    except OSError as exc:
+        raise BackendError(f"could not reach the tcp rendezvous at {host}:{port}: {exc}") from exc
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(max(float(timeout), 10.0))
+        _send_frame(sock, threading.Lock(), {"kind": "hello", "rank": rank}, b"", chunk_bytes)
+        header, _ = _recv_frame(sock)
+    except (OSError, ConnectionError) as exc:
+        sock.close()
+        raise BackendError(f"tcp rendezvous handshake failed: {exc}") from exc
+    if header.get("kind") != "welcome":
+        reason = header.get("reason", header)
+        sock.close()
+        raise BackendError(f"tcp rendezvous rejected the connection: {reason}")
+    return (
+        sock,
+        int(header["rank"]),
+        int(header["size"]),
+        int(header.get("chunk_bytes", chunk_bytes)),
+    )
+
+
+# --------------------------------------------------------------------- hub
+class _Hub:
+    """Driver-side rendezvous: listener, per-rank readers, round engine."""
+
+    def __init__(self, size: int, host: str, port: int, timeout: float, chunk_bytes: int) -> None:
+        self._size = int(size)
+        self._timeout = float(timeout)
+        self._chunk = int(chunk_bytes)
+        self._listener = socket.create_server((host, int(port)), backlog=max(8, size))
+        self._listener.settimeout(0.5)
+        bound_host, bound_port = self._listener.getsockname()[:2]
+        self.address: Tuple[str, int] = (host if host else bound_host, int(bound_port))
+        self._cond = threading.Condition()
+        self._conns: List[Optional[socket.socket]] = [None] * self._size
+        self._send_locks = [threading.Lock() for _ in range(self._size)]
+        self._queues: List[deque] = [deque() for _ in range(self._size)]
+        self._results: "Queue[Tuple[int, int, bool, Any]]" = Queue()
+        self._dead: set = set()
+        self._failed: Optional[str] = None
+        self._task = 0
+        self._closed = False
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="tcp-hub-accept", daemon=True
+        )
+        self._round_thread = threading.Thread(
+            target=self._round_loop, name="tcp-hub-rounds", daemon=True
+        )
+        self._accept_thread.start()
+        self._round_thread.start()
+
+    # ------------------------------------------------------------ rendezvous
+    def _accept_loop(self) -> None:
+        while True:
+            with self._cond:
+                if self._closed:
+                    return
+            try:
+                sock, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed
+            threading.Thread(
+                target=self._admit, args=(sock,), name="tcp-hub-admit", daemon=True
+            ).start()
+
+    def _admit(self, sock: socket.socket) -> None:
+        """Handshake one connection: hello -> rank assignment -> welcome."""
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.settimeout(max(self._timeout, 10.0))
+            header, _ = _recv_frame(sock)
+        except (OSError, ConnectionError):
+            sock.close()
+            return
+        if header.get("kind") != "hello":
+            sock.close()
+            return
+        requested = header.get("rank")
+        with self._cond:
+            if self._closed:
+                sock.close()
+                return
+            if requested is None:
+                free = [r for r in range(1, self._size) if self._conns[r] is None]
+                rank = free[0] if free else None
+                reason = f"no free rank (size {self._size})"
+            else:
+                rank = int(requested)
+                if not 0 <= rank < self._size:
+                    rank, reason = None, f"rank {requested} out of range for size {self._size}"
+                elif self._conns[rank] is not None:
+                    rank, reason = None, f"rank {requested} is already connected"
+            try:
+                if rank is None:
+                    _send_frame(
+                        sock, threading.Lock(), {"kind": "reject", "reason": reason}, b"", self._chunk
+                    )
+                    sock.close()
+                    return
+                _send_frame(
+                    sock,
+                    self._send_locks[rank],
+                    {
+                        "kind": "welcome",
+                        "rank": rank,
+                        "size": self._size,
+                        "chunk_bytes": self._chunk,
+                    },
+                    b"",
+                    self._chunk,
+                )
+            except (OSError, ConnectionError):
+                sock.close()
+                return
+            sock.settimeout(None)  # readers block; the round timer bounds rounds
+            self._conns[rank] = sock
+            self._dead.discard(rank)
+            threading.Thread(
+                target=self._reader, args=(rank, sock), name=f"tcp-hub-read{rank}", daemon=True
+            ).start()
+            self._cond.notify_all()
+
+    def _reader(self, rank: int, sock: socket.socket) -> None:
+        """Route one rank's frames: collectives to the round engine, results up."""
+        try:
+            while True:
+                header, payload = _recv_frame(sock)
+                kind = header.get("kind")
+                if kind == "coll":
+                    with self._cond:
+                        if header.get("task") == self._task and self._conns[rank] is sock:
+                            self._queues[rank].append((header, payload))
+                            self._cond.notify_all()
+                elif kind == "result":
+                    self._results.put(
+                        (int(header["task"]), rank, bool(header["ok"]), pickle.loads(payload))
+                    )
+        except (OSError, ConnectionError, EOFError, pickle.UnpicklingError):
+            pass
+        finally:
+            with self._cond:
+                if self._conns[rank] is sock:
+                    self._conns[rank] = None
+                    self._dead.add(rank)
+                    if not self._closed:
+                        self._fail_locked(f"rank {rank} lost its connection")
+                    self._cond.notify_all()
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    # ---------------------------------------------------------- round engine
+    def _round_loop(self) -> None:
+        while True:
+            with self._cond:
+                round_started: Optional[float] = None
+                while True:
+                    if self._closed:
+                        return
+                    if self._failed is None and all(self._queues):
+                        break
+                    if self._failed is None and any(self._queues):
+                        now = time.monotonic()
+                        if round_started is None:
+                            round_started = now
+                        elif now - round_started > self._timeout:
+                            self._fail_locked(
+                                "tcp collective rendezvous timed out after "
+                                f"{self._timeout}s (a rank crashed or stalled)"
+                            )
+                    else:
+                        round_started = None
+                    self._cond.wait(0.1)
+                frames = [self._queues[r].popleft() for r in range(self._size)]
+            try:
+                self._process_round(frames)
+            except BaseException as exc:  # noqa: BLE001 - surfaced as an abort
+                with self._cond:
+                    self._fail_locked(f"collective round failed: {exc}")
+
+    def _process_round(self, frames: List[Tuple[Dict[str, Any], bytes]]) -> None:
+        headers = [h for h, _ in frames]
+        ops = {h.get("op") for h in headers}
+        seqs = {h.get("seq") for h in headers}
+        if len(ops) != 1 or len(seqs) != 1:
+            raise BackendError(
+                f"ranks issued mismatched collectives: ops={sorted(map(str, ops))} "
+                f"seqs={sorted(map(str, seqs))}"
+            )
+        op = headers[0]["op"]
+        size = self._size
+        objs = [pickle.loads(p) if p else None for _, p in frames]
+        if op == "allreduce":
+            reduces = {h.get("reduce") for h in headers}
+            if len(reduces) != 1:
+                raise BackendError(f"ranks disagree on the reduction op: {sorted(reduces)}")
+            out = _reduce_in_rank_order([np.asarray(o) for o in objs], headers[0]["reduce"])
+            replies: List[Any] = [out] * size
+        elif op == "allgather":
+            parts = [np.asarray(o) for o in objs]
+            replies = [parts] * size
+        elif op == "bcast":
+            root = int(headers[0]["root"])
+            if objs[root] is None:
+                raise BackendError("bcast root provided no array")
+            replies = [np.asarray(objs[root])] * size
+        elif op == "barrier":
+            replies = [None] * size
+        elif op == "scatter":
+            root = int(headers[0]["root"])
+            x = np.asarray(objs[root])
+            if x.ndim != 2:
+                raise BackendError("scatter_rows root must provide a 2-D matrix")
+            replies = [x[lo:hi] for lo, hi in split_ranks(x.shape[0], size)]
+        else:
+            raise BackendError(f"unknown collective op {op!r}")
+        task = int(headers[0]["task"])
+        shared: Optional[bytes] = None
+        for rank in range(size):
+            if shared is None or replies[rank] is not replies[0]:
+                payload = _dumps(replies[rank]) if replies[rank] is not None else b""
+            else:
+                payload = shared
+            if rank == 0:
+                shared = payload
+            header = {"kind": "reply", "task": task, "seq": int(headers[rank]["seq"]), "op": op}
+            conn = self._conns[rank]
+            if conn is None:
+                raise BackendError(f"rank {rank} disconnected mid-round")
+            try:
+                _send_frame(conn, self._send_locks[rank], header, payload, self._chunk)
+            except (OSError, ConnectionError) as exc:
+                raise BackendError(f"sending the round reply to rank {rank} failed: {exc}") from exc
+
+    def _fail_locked(self, reason: str) -> None:
+        """Poison the current task and tell every live rank (cond held)."""
+        if self._failed is not None:
+            return
+        self._failed = reason
+        for q in self._queues:
+            q.clear()
+        abort = {"kind": "abort", "task": self._task, "reason": reason}
+        for rank, conn in enumerate(self._conns):
+            if conn is None:
+                continue
+            try:
+                _send_frame(conn, self._send_locks[rank], abort, b"", self._chunk)
+            except (OSError, ConnectionError):
+                pass
+        self._cond.notify_all()
+
+    # ------------------------------------------------------------- task API
+    def begin_task(self, task: int) -> None:
+        with self._cond:
+            self._task = int(task)
+            self._failed = None
+            for q in self._queues:
+                q.clear()
+            self._cond.notify_all()
+
+    def fail(self, reason: str) -> None:
+        with self._cond:
+            self._fail_locked(reason)
+
+    def send_task(self, rank: int, task: int, fn: Callable, args: tuple) -> None:
+        with self._cond:
+            conn = self._conns[rank]
+        if conn is None:
+            raise BackendError(
+                f"worker rank {rank} is not connected (crashed and not recovered?)"
+            )
+        try:
+            _send_frame(
+                conn,
+                self._send_locks[rank],
+                {"kind": "task", "task": int(task)},
+                _dumps((fn, tuple(args))),
+                self._chunk,
+            )
+        except (OSError, ConnectionError) as exc:
+            raise BackendError(f"sending the task to worker rank {rank} failed: {exc}") from exc
+
+    def collect(self, task: int, expect: int, deadline: float) -> Dict[int, Tuple[bool, Any]]:
+        """Drain ``expect`` result messages for ``task`` (stale ones skipped)."""
+        got: Dict[int, Tuple[bool, Any]] = {}
+        give_up_at = time.monotonic() + deadline
+        while len(got) < expect:
+            try:
+                msg_task, rank, ok, payload = self._results.get(timeout=0.25)
+            except Empty:
+                with self._cond:
+                    lost = sorted(r for r in self._dead if r not in got)
+                if lost:
+                    raise BackendError(
+                        f"worker rank(s) lost their connection without reporting "
+                        f"a result: {lost}"
+                    ) from None
+                if time.monotonic() > give_up_at:
+                    raise BackendError(
+                        f"timed out after {deadline}s waiting for worker results"
+                    ) from None
+                continue
+            if msg_task != task:
+                continue  # stale result from an aborted task
+            got[rank] = (ok, payload)
+        return got
+
+    # ------------------------------------------------------------ membership
+    def missing_ranks(self) -> List[int]:
+        with self._cond:
+            return [r for r in range(self._size) if self._conns[r] is None]
+
+    def wait_connected(self, deadline: float) -> None:
+        give_up_at = time.monotonic() + deadline
+        with self._cond:
+            while any(conn is None for conn in self._conns):
+                if self._closed:
+                    raise BackendError("tcp hub closed while waiting for ranks")
+                remaining = give_up_at - time.monotonic()
+                if remaining <= 0:
+                    missing = [r for r in range(self._size) if self._conns[r] is None]
+                    raise BackendError(
+                        f"timed out after {deadline}s waiting for rank(s) {missing} "
+                        f"to join the tcp rendezvous at {self.address[0]}:{self.address[1]}"
+                    )
+                self._cond.wait(min(0.1, remaining))
+
+    def clear_failure(self) -> None:
+        with self._cond:
+            self._failed = None
+
+    # -------------------------------------------------------------- lifecycle
+    def shutdown_workers(self) -> None:
+        with self._cond:
+            targets = [
+                (rank, conn) for rank, conn in enumerate(self._conns) if rank > 0 and conn
+            ]
+        for rank, conn in targets:
+            try:
+                _send_frame(conn, self._send_locks[rank], {"kind": "shutdown"}, b"", self._chunk)
+            except (OSError, ConnectionError):
+                pass
+
+    def close(self) -> None:
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            conns = list(self._conns)
+            self._cond.notify_all()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        for conn in conns:
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+
+# ------------------------------------------------------------------ workers
+def _worker_loop(view: _TCPRankView) -> None:
+    """Task loop of one tcp worker (spawned locally or started remotely)."""
+    sock = view._sock
+    while True:
+        readable, _, _ = select.select([sock], [], [], 1.0)
+        if not readable:
+            continue
+        try:
+            header, payload = _recv_frame(sock)
+        except (OSError, ConnectionError, EOFError):
+            return
+        kind = header.get("kind")
+        if kind == "shutdown":
+            return
+        if kind != "task":
+            continue  # stale reply/abort from a finished task
+        task = int(header["task"])
+        view._begin_task(task)
+        try:
+            fn, args = pickle.loads(payload)
+            result: Any = fn(view, *args)
+            ok = True
+        except BaseException:  # noqa: BLE001 - relayed to the driver
+            result = traceback.format_exc()
+            ok = False
+        try:
+            view._send_result(task, ok, result)
+        except (OSError, ConnectionError):
+            return
+
+
+def _tcp_worker_main(
+    rank: Optional[int],
+    address: Tuple[str, int],
+    timeout: float,
+    chunk_bytes: int,
+) -> None:
+    """Entry point of one worker process (module-level: spawn-picklable)."""
+    sock, assigned, size, chunk = _handshake(rank, address, timeout, chunk_bytes)
+    view = _TCPRankView(assigned, size, sock, timeout, chunk)
+    try:
+        _worker_loop(view)
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+# ------------------------------------------------------------------- driver
+class TCPComm(_TCPRankView):
+    """Socket communicator; the driver process is rank 0 and hosts the hub.
+
+    Parameters
+    ----------
+    size:
+        Total number of ranks.
+    host / port:
+        Rendezvous listener address.  ``port=0`` (the default) binds an
+        ephemeral port; the bound address is exposed as :attr:`address` and
+        handed to spawned workers.  Use a routable ``host`` for multi-host
+        runs.
+    timeout:
+        Bound, in seconds, on every collective rendezvous, socket read and
+        result collection; a crash or wedge surfaces as a
+        :class:`~repro.exceptions.BackendError` within this bound.
+    chunk_bytes:
+        Maximum payload chunk per send: frames for larger arrays are split
+        into length-prefixed chunks of at most this size (the chunked
+        framing is self-describing, so peers may differ).
+    spawn_workers:
+        ``True`` (default): spawn ``size - 1`` local worker processes that
+        connect back over loopback — a drop-in alternative to the process
+        transport.  ``False``: workers are external; the constructor blocks
+        (up to ``timeout``) until every rank has joined the rendezvous
+        (``python -m repro.comm.tcp --connect HOST:PORT``).
+    start_method:
+        ``multiprocessing`` start method for locally spawned workers.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = 120.0,
+        chunk_bytes: int = 1 << 20,
+        spawn_workers: bool = True,
+        start_method: str = "spawn",
+    ) -> None:
+        if int(size) <= 0:
+            raise BackendError("communicator size must be positive")
+        if int(chunk_bytes) <= 0:
+            raise BackendError("chunk_bytes must be positive")
+        self._closed = False
+        self._task_counter = 0
+        self._spawn = bool(spawn_workers)
+        self._workers: Dict[int, Any] = {}
+        self._ctx = get_context(start_method) if self._spawn and int(size) > 1 else None
+        self._hub = _Hub(int(size), host, int(port), float(timeout), int(chunk_bytes))
+        self.address = self._hub.address
+        try:
+            if self._spawn:
+                for rank in range(1, int(size)):
+                    self._workers[rank] = self._start_worker(rank, float(timeout), int(chunk_bytes))
+            sock, _rank, _size, chunk = _handshake(
+                0, self.address, float(timeout), int(chunk_bytes)
+            )
+            _TCPRankView.__init__(self, 0, int(size), sock, float(timeout), chunk)
+            self._in_program = False
+            self._hub.wait_connected(deadline=max(float(timeout), 60.0))
+        except BaseException:
+            self.close()
+            raise
+
+    def _start_worker(self, rank: int, timeout: float, chunk_bytes: int):
+        proc = self._ctx.Process(
+            target=_tcp_worker_main,
+            args=(rank, self.address, timeout, chunk_bytes),
+            daemon=True,
+            name=f"tcp-rank{rank}",
+        )
+        proc.start()
+        return proc
+
+    # --------------------------------------------------------- program launch
+    def run(self, fn: Callable, rank_args: Optional[Sequence[tuple]] = None) -> List[object]:
+        if self._closed:
+            raise BackendError("communicator has been closed")
+        size = self.size
+        if rank_args is None:
+            rank_args = [()] * size
+        if len(rank_args) != size:
+            raise BackendError(
+                f"run expected {size} per-rank argument tuples, got {len(rank_args)}"
+            )
+        missing = [r for r in self._hub.missing_ranks() if r != 0]
+        if missing:
+            raise BackendError(
+                f"worker rank(s) {missing} are not connected; call recover() "
+                "before launching another program"
+            )
+        self.collective_calls["run"] += 1
+        self._task_counter += 1
+        task_id = self._task_counter
+        self._hub.begin_task(task_id)
+        self._begin_task(task_id)
+        for rank in range(1, size):
+            self._hub.send_task(rank, task_id, fn, tuple(rank_args[rank]))
+
+        local_error: Optional[BaseException] = None
+        local_result: object = None
+        self._in_program = True
+        try:
+            local_result = fn(self, *rank_args[0])
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            local_error = exc
+            self._hub.fail(f"driver rank 0 failed: {type(exc).__name__}: {exc}")
+        finally:
+            self._in_program = False
+
+        remote: Dict[int, Tuple[bool, Any]] = {}
+        if size > 1:
+            remote = self._hub.collect(task_id, expect=size - 1, deadline=self._timeout + 5.0)
+        failures = {rank: payload for rank, (ok, payload) in remote.items() if not ok}
+        if local_error is not None and not isinstance(local_error, BackendError):
+            raise local_error
+        if failures:
+            rank, text = sorted(failures.items())[0]
+            raise BackendError(f"worker rank {rank} failed:\n{text}")
+        if local_error is not None:
+            raise local_error
+        return [local_result] + [remote[rank][1] for rank in range(1, size)]
+
+    # -------------------------------------------------------- fault tolerance
+    def recover(self) -> bool:
+        """Respawn (or await re-admission of) every missing rank.
+
+        Locally spawned workers are reaped and respawned; external workers
+        keep their rank reserved and are simply waited for (the rendezvous
+        listener is open for the communicator's whole life, so a restarted
+        remote worker reconnects with ``--rank R`` and is re-admitted).
+        Returns ``True`` once every rank is connected again.
+        """
+        if self._closed:
+            return False
+        for rank in [r for r in self._hub.missing_ranks() if r != 0]:
+            proc = self._workers.get(rank)
+            if proc is not None:
+                proc.join(timeout=2.0)
+                if proc.is_alive():  # pragma: no cover - wedged worker
+                    proc.terminate()
+                    proc.join(timeout=1.0)
+                self._workers[rank] = self._start_worker(rank, self._timeout, self._chunk)
+        try:
+            self._hub.wait_connected(deadline=max(self._timeout, 60.0))
+        except BackendError:
+            return False
+        self._hub.clear_failure()
+        return True
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        if getattr(self, "_closed", False):
+            return
+        self._closed = True
+        hub = getattr(self, "_hub", None)
+        if hub is not None:
+            hub.shutdown_workers()
+        sock = getattr(self, "_sock", None)
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        for proc in getattr(self, "_workers", {}).values():
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - wedged worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+        if hub is not None:
+            hub.close()
+
+    def __del__(self) -> None:  # pragma: no cover - gc-timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# --------------------------------------------------- external worker entry
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.comm.tcp --connect HOST:PORT [--rank R]``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.comm.tcp",
+        description="join a repro tcp rendezvous as one worker rank",
+    )
+    parser.add_argument(
+        "--connect", required=True, metavar="HOST:PORT", help="driver rendezvous address"
+    )
+    parser.add_argument(
+        "--rank",
+        type=int,
+        default=None,
+        help="rank to claim (default: hub assigns the lowest free worker rank)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=120.0, help="collective/rendezvous timeout (s)"
+    )
+    parser.add_argument(
+        "--chunk-bytes", type=int, default=1 << 20, help="max payload chunk per send"
+    )
+    args = parser.parse_args(argv)
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        parser.error("--connect must be HOST:PORT")
+    try:
+        _tcp_worker_main(args.rank, (host, int(port)), args.timeout, args.chunk_bytes)
+    except BackendError as exc:
+        print(f"error: {exc}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

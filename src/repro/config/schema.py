@@ -46,7 +46,6 @@ __all__ = [
 ]
 
 _MODES = ("auto", "on", "off")
-_TRANSPORTS = ("serial", "thread", "process", "mpi")
 _HEADS = ("sgd", "bcpnn")
 _HYPEROPT_ALGORITHMS = ("random", "halton", "evolution")
 _HYPEROPT_METRICS = ("auc", "accuracy")
@@ -89,14 +88,19 @@ class TrainingSection:
     pipeline: bool = False
     weight_refresh_tol: float = 0.0
     sparse: str = "auto"
-    #: Communicator transport for data-parallel training; ``None`` keeps the
-    #: single-process path (exactly like omitting ``--comm`` on the CLI).
+    #: Communicator transport spec for data-parallel training: a string from
+    #: the :func:`repro.comm.parse_transport_spec` grammar (``"thread:4"``,
+    #: ``"process:4"``, ``"tcp://host:port?ranks=8"``, ``"mpi"``).  ``None``
+    #: keeps the single-process path (exactly like omitting ``--comm``).
     comm: Optional[str] = None
-    #: Communicator size; ``None`` defaults to 1 (``> 1`` without ``comm``
-    #: implies the thread transport, mirroring the CLI resolver).
+    #: Legacy communicator size for bare transport names; ``None`` defaults
+    #: to 1 (``> 1`` without ``comm`` implies the thread transport).  Prefer
+    #: embedding the count in the spec — the pair is deprecated.
     ranks: Optional[int] = None
     comm_overlap: str = "auto"
     sparse_payload: str = "auto"
+    #: Recover from crashed ranks mid-training (fault-tolerant transports).
+    fault_tolerance: bool = False
 
 
 @dataclass(frozen=True)
@@ -282,7 +286,15 @@ def _validate_fields(cfg: ExperimentConfig) -> None:
     _check_choice(tr.comm_overlap, _MODES, "training.comm_overlap")
     _check_choice(tr.sparse_payload, _MODES, "training.sparse_payload")
     if tr.comm is not None:
-        _check_choice(tr.comm, _TRANSPORTS, "training.comm")
+        # The one shared grammar: whatever parse_transport_spec accepts (and
+        # only that) is a valid training.comm value.
+        from repro.comm import parse_transport_spec
+        from repro.exceptions import BackendError
+
+        try:
+            parse_transport_spec(tr.comm)
+        except BackendError as exc:
+            raise ConfigError("training.comm", str(exc)) from None
     if tr.ranks is not None:
         _check_positive(tr.ranks, "training.ranks")
 
@@ -316,20 +328,45 @@ _SEARCHABLE_SECTIONS = ("model", "training")
 def _validate_cross(cfg: ExperimentConfig) -> None:
     """Reject combinations that validate field-by-field but contradict."""
     tr = cfg.training
-    ranks = 1 if tr.ranks is None else tr.ranks
+    parsed = None
+    if tr.comm is not None:
+        from repro.comm import parse_transport_spec
 
-    if tr.comm_overlap == "on" and (tr.comm is None or tr.comm == "serial"):
+        parsed = parse_transport_spec(tr.comm)  # already field-validated
+    name = parsed.name if parsed is not None else None
+    if parsed is not None and parsed.ranks is not None and tr.ranks not in (None, 1, parsed.ranks):
+        raise ConfigError(
+            "training.ranks",
+            f"ranks={tr.ranks} disagrees with the rank count {parsed.ranks} "
+            f"embedded in training.comm {tr.comm!r}; drop training.ranks",
+        )
+    ranks = 1 if tr.ranks is None else tr.ranks
+    if parsed is not None and parsed.ranks is not None:
+        ranks = parsed.ranks
+
+    if tr.comm_overlap == "on" and name in (None, "serial"):
         raise ConfigError(
             "training.comm_overlap",
             "'on' requires a multi-rank communicator, but training.comm is "
-            f"{tr.comm!r}; set training.comm to thread/process/mpi or drop the override",
+            f"{tr.comm!r}; set training.comm to thread/process/tcp/mpi or drop "
+            "the override",
         )
-    if tr.comm == "serial" and ranks > 1:
+    if name == "serial" and ranks > 1:
         raise ConfigError(
             "training.ranks",
             f"the serial transport is single-rank but ranks={ranks}; "
-            "use training.comm: thread or process",
+            "use training.comm: thread:N or process:N",
         )
+    if tr.fault_tolerance:
+        from repro.comm import transport_capabilities
+
+        caps = transport_capabilities().get(name) if name is not None else None
+        if caps is None or not caps["fault_tolerant"]:
+            raise ConfigError(
+                "training.fault_tolerance",
+                "requires a fault-tolerant transport, but training.comm is "
+                f"{tr.comm!r}; use process:N or tcp://host:port?ranks=N",
+            )
     if tr.sparse == "on" and cfg.model.density >= 1.0:
         raise ConfigError(
             "training.sparse",

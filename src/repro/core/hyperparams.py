@@ -209,6 +209,12 @@ class TrainingSchedule:
     comm_overlap: str = "auto"
     #: Sparse-packed allreduce payloads on frozen masks ("auto"/"on"/"off").
     sparse_payload: str = "auto"
+    #: Recover from crashed ranks during comm training (fault-tolerant
+    #: transports only): the dead rank is respawned/re-admitted and the run
+    #: resumes from the last epoch boundary, bitwise-exact at ``tol=0``.
+    fault_tolerance: bool = False
+    #: Recovery attempts per hidden-layer training call before giving up.
+    max_restarts: int = 2
 
     def __post_init__(self) -> None:
         check_positive_int(self.hidden_epochs, "hidden_epochs", minimum=0)
@@ -216,6 +222,7 @@ class TrainingSchedule:
         check_positive_int(self.batch_size, "batch_size")
         check_positive_int(self.sgd_epochs, "sgd_epochs", minimum=0)
         check_positive_int(self.prefetch_batches, "prefetch_batches", minimum=0)
+        check_positive_int(self.max_restarts, "max_restarts", minimum=0)
         if self.sgd_learning_rate <= 0:
             raise ConfigurationError("sgd_learning_rate must be positive")
         if not 0.0 <= self.sgd_momentum < 1.0:
@@ -253,4 +260,6 @@ class TrainingSchedule:
             "sparse": self.sparse,
             "comm_overlap": self.comm_overlap,
             "sparse_payload": self.sparse_payload,
+            "fault_tolerance": self.fault_tolerance,
+            "max_restarts": self.max_restarts,
         }

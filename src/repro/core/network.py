@@ -157,10 +157,16 @@ class Network:
         sparse=None,
         comm_overlap: Optional[str] = None,
         sparse_payload: Optional[str] = None,
+        fault_tolerance: Optional[bool] = None,
+        fault_injection=None,
     ) -> History:
         """Train the network; returns the training :class:`History`.
 
-        ``comm`` (a :class:`repro.comm.Communicator`) switches the hidden
+        ``comm`` (a :class:`repro.comm.Communicator` or a transport spec
+        string — ``"thread:4"``, ``"process:4"``,
+        ``"tcp://host:port?ranks=8"``, ``"mpi"``; see
+        :func:`repro.comm.resolve_comm`; spec-created communicators are
+        closed when ``fit`` returns) switches the hidden
         layers to data-parallel training: every rank holds an identical
         layer replica, each global batch is sharded over the ranks, and the
         sufficient statistics are combined with one allreduce per batch (see
@@ -202,8 +208,19 @@ class Network:
         verbose:
             Log per-epoch progress.
         comm:
-            Optional :class:`repro.comm.Communicator` for data-parallel
-            hidden-layer training (see above).
+            Optional :class:`repro.comm.Communicator` or transport spec
+            string for data-parallel hidden-layer training (see above).
+        fault_tolerance:
+            Override of the schedule's ``fault_tolerance`` flag: recover
+            from crashed ranks mid-fit on fault-tolerant transports
+            (process, tcp) by respawning/re-admitting the dead rank and
+            resuming from the last epoch boundary — bitwise-exact at
+            ``weight_refresh_tol=0``.
+        fault_injection:
+            Test hook forwarded to the first comm-trained hidden layer:
+            ``{"rank": r, "epoch": e, "batch": b}`` kills rank ``r`` at
+            that global batch, exactly once (the ``repro train
+            --inject-crash`` flag).
         pipeline / weight_refresh_tol / sparse / comm_overlap / sparse_payload:
             Per-call overrides of the matching schedule fields (see above
             and :class:`TrainingSchedule`); ``None`` leaves the schedule's
@@ -237,6 +254,8 @@ class Network:
             overrides["comm_overlap"] = str(comm_overlap)
         if sparse_payload is not None:
             overrides["sparse_payload"] = str(sparse_payload)
+        if fault_tolerance is not None:
+            overrides["fault_tolerance"] = bool(fault_tolerance)
         if overrides:
             schedule = schedule.replace(**overrides)
         x = np.asarray(x, dtype=np.float64)
@@ -270,15 +289,36 @@ class Network:
                 layer.bind_sparse(schedule.sparse, force=True)
             elif getattr(layer, "_sparse_spec", None) is None:
                 layer.configure_execution(sparse=schedule.sparse)
+        # Spec strings resolve through the one shared factory; a communicator
+        # fit creates it also owns (and closes before returning).
+        owns_comm = False
+        if isinstance(comm, str):
+            from repro.comm import resolve_comm
+
+            comm = resolve_comm(comm)
+            owns_comm = comm is not None
         representation = x
-        for layer in self.hidden_layers:
-            if comm is not None:
-                self._train_hidden_layer_comm(
-                    layer, representation, schedule, comm, callback_list, verbose
-                )
-            else:
-                self._train_hidden_layer(layer, representation, schedule, callback_list, verbose)
-            representation = layer.forward(representation)
+        try:
+            for layer in self.hidden_layers:
+                if comm is not None:
+                    self._train_hidden_layer_comm(
+                        layer,
+                        representation,
+                        schedule,
+                        comm,
+                        callback_list,
+                        verbose,
+                        fault_injection=fault_injection,
+                    )
+                    fault_injection = None  # the hook targets one layer, once
+                else:
+                    self._train_hidden_layer(
+                        layer, representation, schedule, callback_list, verbose
+                    )
+                representation = layer.forward(representation)
+        finally:
+            if owns_comm:
+                comm.close()
 
         # -------------------------------------------- phase 2: classification
         self._train_head(representation, y, schedule, callback_list, verbose)
@@ -404,6 +444,7 @@ class Network:
         comm,
         callbacks: CallbackList,
         verbose: bool,
+        fault_injection=None,
     ) -> None:
         """Data-parallel hidden-layer phase over a :mod:`repro.comm` transport.
 
@@ -463,6 +504,9 @@ class Network:
                 weight_refresh_tol=schedule.weight_refresh_tol,
                 comm_overlap=schedule.comm_overlap,
                 sparse_payload=schedule.sparse_payload,
+                fault_tolerance=schedule.fault_tolerance,
+                max_restarts=schedule.max_restarts,
+                fault_injection=fault_injection,
             )
         finally:
             # Phase boundary: settle the dense weight matrix the sparse

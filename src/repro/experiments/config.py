@@ -118,6 +118,8 @@ class HiggsExperimentConfig:
     comm_overlap: str = "auto"
     #: Sparse-packed allreduce payloads on frozen masks ("auto"/"on"/"off").
     sparse_payload: str = "auto"
+    #: Recover from crashed ranks during comm training (process/tcp).
+    fault_tolerance: bool = False
 
     def __post_init__(self) -> None:
         if self.head not in ("sgd", "bcpnn"):
@@ -152,6 +154,7 @@ class HiggsExperimentConfig:
             sparse=self.sparse,
             comm_overlap=self.comm_overlap,
             sparse_payload=self.sparse_payload,
+            fault_tolerance=self.fault_tolerance,
         )
 
     @classmethod
@@ -183,6 +186,7 @@ class HiggsExperimentConfig:
             sparse=training.sparse,
             comm_overlap=training.comm_overlap,
             sparse_payload=training.sparse_payload,
+            fault_tolerance=getattr(training, "fault_tolerance", False),
         )
 
     @classmethod

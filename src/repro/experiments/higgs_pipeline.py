@@ -121,13 +121,16 @@ def train_and_evaluate(
     callbacks: Optional[List[TrainingCallback]] = None,
     seed_offset: int = 0,
     comm=None,
+    fault_injection=None,
 ) -> Dict[str, object]:
     """Train one network and report accuracy, AUC and timing.
 
     Returns a dict with keys ``accuracy``, ``auc``, ``log_loss``,
     ``train_seconds``, ``train_accuracy``, ``network`` and ``config``.
-    ``comm`` (a :class:`repro.comm.Communicator`) switches hidden-layer
-    training to the data-parallel path (see ``Network.fit``).
+    ``comm`` (a :class:`repro.comm.Communicator` or a transport spec string)
+    switches hidden-layer training to the data-parallel path (see
+    ``Network.fit``); ``fault_injection`` is the crash-testing hook
+    forwarded to ``fit`` (requires ``config.fault_tolerance`` to survive).
     """
     if data is None:
         data = prepare_higgs_data(
@@ -142,6 +145,7 @@ def train_and_evaluate(
         schedule=config.schedule(),
         callbacks=callbacks,
         comm=comm,
+        fault_injection=fault_injection,
     )
     train_seconds = time.perf_counter() - start
     evaluation = network.evaluate(data.x_test, data.y_test)

@@ -68,12 +68,18 @@ def format_comparison(
     return format_table(rows, columns=["method", *metrics], precision=precision, title=title)
 
 
-def dump_json_report(data: Mapping[str, object], path: Union[str, Path]) -> Path:
-    """Write a result mapping as indented JSON (creating parent directories)."""
+def dump_json_report(data, path: Union[str, Path]) -> Path:
+    """Write a result mapping (or list of them) as indented JSON.
+
+    Parent directories are created.  A mapping is copied to a plain dict;
+    a list (``repro run`` directory mode emits one entry per config) is
+    written as a JSON array.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    document = list(data) if isinstance(data, (list, tuple)) else dict(data)
     with path.open("w", encoding="utf-8") as handle:
-        json.dump(dict(data), handle, indent=2, sort_keys=True, default=_json_default)
+        json.dump(document, handle, indent=2, sort_keys=True, default=_json_default)
         handle.write("\n")
     return path
 

@@ -221,7 +221,11 @@ class StreamingPredictor(BackendExecutionMixin):
         valid while batch ``k`` computes).  Bit-for-bit the same outputs as
         the sequential loop — only the schedule changes.
     comm:
-        Optional :class:`repro.comm.Communicator`.  With ``size > 1`` each
+        Optional :class:`repro.comm.Communicator` or transport spec string
+        (``"thread:4"``, ``"process:4"``, ``"tcp://host:port?ranks=4"`` —
+        see :func:`repro.comm.resolve_comm`; spec-created communicators are
+        owned by the predictor and released by :meth:`close`).  With
+        ``size > 1`` each
         ``predict_stream``/``predict_proba_stream`` call scatters the rows
         over the ranks (real threads or OS processes), streams every shard
         concurrently and recombines the outputs with a single allgather.
@@ -238,7 +242,7 @@ class StreamingPredictor(BackendExecutionMixin):
         backend=None,
         double_buffer: bool = False,
         pipeline: bool = False,
-        comm: Optional[Communicator] = None,
+        comm: Union[Communicator, str, None] = None,
     ) -> None:
         head = getattr(network, "head", None)
         if head is None or not head.is_built:
@@ -251,8 +255,19 @@ class StreamingPredictor(BackendExecutionMixin):
             # settle them once up front (a no-op on exactly-trained layers).
             if hasattr(layer, "flush_weights"):
                 layer.flush_weights()
-        if comm is not None and not isinstance(comm, Communicator):
-            raise DataError("comm must be a repro.comm.Communicator")
+        self._owns_comm = False
+        if isinstance(comm, str):
+            # Transport spec strings ("thread:4", "process:4",
+            # "tcp://host:port?ranks=4") resolve through the one shared
+            # factory; the predictor owns — and must close — the result.
+            from repro.comm import resolve_comm
+
+            comm = resolve_comm(comm)
+            self._owns_comm = comm is not None
+        elif comm is not None and not isinstance(comm, Communicator):
+            raise DataError(
+                "comm must be a repro.comm.Communicator or a transport spec string"
+            )
         self.network = network
         self.head = head
         self.comm = comm
@@ -265,6 +280,20 @@ class StreamingPredictor(BackendExecutionMixin):
             _LayerStage(layer, self._stage_backend(layer), self.batch_size, self.n_buffers)
             for layer in network.hidden_layers
         ]
+
+    # ----------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Release the communicator when the predictor created it from a spec."""
+        if self._owns_comm and self.comm is not None:
+            self.comm.close()
+            self.comm = None
+            self._owns_comm = False
+
+    def __enter__(self) -> "StreamingPredictor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------- backend
     def _stage_backend(self, layer):
@@ -479,7 +508,9 @@ class StreamingPredictor(BackendExecutionMixin):
         recombines the results in rank order.
         """
         comm = self.comm
-        ship_model = comm.transport == "process"
+        # Transports whose worker ranks live in other processes (or on other
+        # hosts) need the model shipped as a blob; thread ranks share memory.
+        ship_model = comm.transport in ("process", "tcp")
         model_token = self._model_token()
         ship_blob = True
         blob = None

@@ -16,7 +16,12 @@ Endpoints
     ``{"predictions": [...], "model_version": N, "batch_rows": K}``
     (plus ``"probabilities"`` when ``proba`` is true).  Backpressure is
     explicit: a full queue replies ``503`` with ``Retry-After``; a request
-    older than the per-request deadline replies ``504``.
+    older than the per-request deadline replies ``504``.  Optional
+    ``"backend"`` and ``"sparse"`` keys override the execution choice for
+    that request alone (validated against the backend registry / the
+    ``auto``/``on``/``off`` modes — unknown names reply ``400``); override
+    requests run on a cached per-override predictor and skip the
+    micro-batcher, so they never perturb default-path coalescing.
 ``GET /healthz``
     ``200 {"status": "ok", ...}`` while serving, ``503`` while draining.
 ``GET /metrics``
@@ -99,6 +104,21 @@ class ModelRunner:
     backend:
         Optional backend name/instance forced onto the whole stack
         (default: each layer's own resolved backend).
+    comm:
+        Optional :class:`repro.comm.Communicator` or transport spec string
+        (``"process:4"``, ``"tcp://host:port?ranks=8"``): serving batches
+        are row-sharded across the ranks (see
+        :class:`StreamingPredictor`).  A spec string is resolved once here
+        and released by :meth:`close`; an instance stays caller-owned.
+
+    Per-request overrides
+    ---------------------
+    ``POST /predict`` may name a ``"backend"`` and/or ``"sparse"`` mode for
+    that request alone.  The runner keeps one cached predictor per distinct
+    override tuple (workspaces are the expensive part), invalidated on
+    every :meth:`swap`.  A sparse override rebuilds its network from the
+    serialized blob first, because ``bind_sparse(force=True)`` mutates the
+    layer spec in place and must not leak into the default path.
 
     Raises
     ------
@@ -106,14 +126,21 @@ class ModelRunner:
         If the network's head (or any hidden layer) is not built.
     """
 
-    def __init__(self, network, batch_size: int = 64, backend=None) -> None:
+    def __init__(self, network, batch_size: int = 64, backend=None, comm=None) -> None:
+        from repro.comm import resolve_comm
+
         self._lock = threading.Lock()
         self._backend = backend
         self._batch_size = int(batch_size)
+        self._comm = resolve_comm(comm) if isinstance(comm, str) else comm
+        self._owns_comm = isinstance(comm, str) and self._comm is not None
         self.version = 0
         self.network = None
         self.n_features = 0
         self._predictor: Optional[StreamingPredictor] = None
+        self._override_predictors: Dict[
+            Tuple[Optional[str], Optional[str]], StreamingPredictor
+        ] = {}
         self.swap(network)
 
     def _feature_width(self, network) -> int:
@@ -135,32 +162,82 @@ class ModelRunner:
         serving untouched.
         """
         predictor = StreamingPredictor(
-            network, batch_size=self._batch_size, backend=self._backend
+            network, batch_size=self._batch_size, backend=self._backend, comm=self._comm
         )
         width = self._feature_width(network)
         with self._lock:
             self.network = network
             self._predictor = predictor
             self.n_features = width
+            self._override_predictors.clear()
             self.version += 1
             return self.version
 
-    def run_batch(self, matrix: np.ndarray) -> BatchResult:
+    def _override_predictor(
+        self, backend: Optional[str], sparse: Optional[str]
+    ) -> StreamingPredictor:
+        """The cached predictor for one ``(backend, sparse)`` override tuple.
+
+        Called under :attr:`_lock` (the build blocks a concurrent swap, like
+        any other dispatch).  Backend-only overrides share the serving
+        network — the backend is a per-predictor execution choice; sparse
+        overrides clone it through the serialization blob first because
+        ``bind_sparse(force=True)`` rewrites the layer spec in place.
+        """
+        key = (backend, sparse)
+        predictor = self._override_predictors.get(key)
+        if predictor is None:
+            network = self.network
+            if sparse is not None:
+                from repro.core import network_from_bytes, network_to_bytes
+
+                network = network_from_bytes(network_to_bytes(self.network))
+                for layer in network.hidden_layers:
+                    if hasattr(layer, "bind_sparse"):
+                        layer.bind_sparse(sparse, force=True)
+            predictor = StreamingPredictor(
+                network,
+                batch_size=self._batch_size,
+                backend=backend if backend is not None else self._backend,
+                comm=self._comm,
+            )
+            self._override_predictors[key] = predictor
+        return predictor
+
+    def run_batch(
+        self,
+        matrix: np.ndarray,
+        backend: Optional[str] = None,
+        sparse: Optional[str] = None,
+    ) -> BatchResult:
         """One micro-batch through the cached predictor (dispatch callable).
 
         Runs on the batcher's dispatch thread.  Probabilities are computed
         once (one fused forward + head pass through the preallocated
         workspaces) and the hard predictions derived by row-argmax, so a
         mixed batch of ``proba`` and plain requests costs one dispatch.
+        ``backend``/``sparse`` select a per-request override predictor
+        (validated names only — see :meth:`_override_predictor`).
         """
         with self._lock:
-            proba = self._predictor.predict_proba_stream(matrix)
+            if backend is None and sparse is None:
+                predictor = self._predictor
+            else:
+                predictor = self._override_predictor(backend, sparse)
+            proba = predictor.predict_proba_stream(matrix)
             version = self.version
         return BatchResult(
             predictions=np.argmax(proba, axis=1),
             probabilities=proba,
             model_version=version,
         )
+
+    def close(self) -> None:
+        """Release the communicator when this runner resolved it from a spec."""
+        if self._owns_comm and self._comm is not None:
+            self._comm.close()
+            self._comm = None
+            self._owns_comm = False
 
 
 class ServingMetrics:
@@ -495,7 +572,9 @@ class PredictionServer:
         payload["draining"] = self._draining
         return payload
 
-    def _parse_predict_body(self, body: bytes) -> Tuple[np.ndarray, bool]:
+    def _parse_predict_body(
+        self, body: bytes
+    ) -> Tuple[np.ndarray, bool, Optional[str], Optional[str]]:
         try:
             doc = json.loads(body.decode("utf-8"))
         except (ValueError, UnicodeDecodeError) as exc:
@@ -504,6 +583,18 @@ class PredictionServer:
             raise _BadRequest('request body must be a JSON object with a "rows" key')
         rows = doc["rows"]
         proba = bool(doc.get("proba", False))
+        backend = doc.get("backend")
+        if backend is not None:
+            from repro.backend import list_backends
+
+            known = list_backends()
+            if not isinstance(backend, str) or backend not in known:
+                raise _BadRequest(
+                    f'unknown "backend" {backend!r} (available: {", ".join(known)})'
+                )
+        sparse = doc.get("sparse")
+        if sparse is not None and sparse not in ("auto", "on", "off"):
+            raise _BadRequest(f'"sparse" must be "auto", "on" or "off", got {sparse!r}')
         if not isinstance(rows, list) or not rows:
             raise _BadRequest('"rows" must be a non-empty list of feature rows')
         try:
@@ -519,7 +610,7 @@ class PredictionServer:
             )
         if not np.isfinite(matrix).all():
             raise _BadRequest('"rows" contains NaN or infinite values')
-        return matrix, proba
+        return matrix, proba, backend, sparse
 
     async def _predict(
         self, request: _Request
@@ -529,10 +620,32 @@ class PredictionServer:
             self.metrics.observe("/predict", 503)
             return 503, {"error": "server is draining"}, {"Retry-After": "1"}
         try:
-            matrix, proba = self._parse_predict_body(request.body)
+            matrix, proba, backend, sparse = self._parse_predict_body(request.body)
         except _BadRequest as exc:
             self.metrics.observe("/predict", exc.status)
             return exc.status, {"error": str(exc)}, None
+        if backend is not None or sparse is not None:
+            # Override requests cannot coalesce with default-path traffic
+            # (different predictor, possibly different network clone), so
+            # they bypass the micro-batcher and dispatch standalone off-loop.
+            loop = asyncio.get_running_loop()
+            try:
+                result = await loop.run_in_executor(
+                    None,
+                    lambda: self.runner.run_batch(matrix, backend=backend, sparse=sparse),
+                )
+            except ReproError as exc:
+                self.metrics.observe("/predict", 500)
+                return 500, {"error": str(exc)}, None
+            payload: Dict[str, object] = {
+                "predictions": result.predictions.tolist(),
+                "model_version": result.model_version,
+                "batch_rows": int(matrix.shape[0]),
+            }
+            if proba:
+                payload["probabilities"] = result.probabilities.tolist()
+            self.metrics.observe("/predict", 200, latency=time.perf_counter() - start)
+            return 200, payload, None
         try:
             result = await self.batcher.submit(matrix)
         except QueueFullError as exc:

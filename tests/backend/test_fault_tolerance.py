@@ -1,0 +1,142 @@
+"""Fault-tolerant training: an injected crash must not change the result.
+
+The guarantee under test (``DistributedTrainer.train_layer`` with
+``fault_tolerance=True``): when a worker rank dies mid-epoch, the failed
+rank is respawned (process transport) or re-admitted (tcp transport), the
+layer is restored from the last completed epoch boundary, and the run
+converges to *bitwise-identical* final weights, traces and mask as the
+uninterrupted run at ``weight_refresh_tol=0`` — same shuffle stream, same
+RNG state, same batch count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend.distributed import DistributedTrainer
+from repro.comm import ProcessComm, TCPComm, ThreadComm
+from repro.core import BCPNNHyperParameters, StructuralPlasticityLayer
+from repro.core.layers import InputSpec
+from repro.exceptions import BackendError, DataError
+from repro.utils.rng import as_rng
+
+
+def _make_layer(seed: int = 7, competition: str = "softmax") -> StructuralPlasticityLayer:
+    hp = BCPNNHyperParameters(taupdt=0.05, density=0.5, competition=competition)
+    layer = StructuralPlasticityLayer(2, 6, hyperparams=hp, seed=seed)
+    layer.build(InputSpec.uniform(4, 3))
+    return layer
+
+
+def _make_data() -> np.ndarray:
+    n, f, m = 64, 4, 3
+    x = np.zeros((n, f * m))
+    winners = np.random.default_rng(5).integers(0, m, size=(n, f))
+    for b in range(f):
+        x[np.arange(n), b * m + winners[:, b]] = 1.0
+    return np.tile(x, (4, 1))
+
+
+def _train(comm, inject=None, fault_tolerance=False, competition="softmax"):
+    layer = _make_layer(competition=competition)
+    trainer = DistributedTrainer(comm)
+    report = trainer.train_layer(
+        layer,
+        _make_data(),
+        epochs=3,
+        batch_size=64,
+        rng=as_rng(5),
+        shuffle=True,
+        fault_tolerance=fault_tolerance,
+        fault_injection=inject,
+    )
+    return layer, report
+
+
+@pytest.mark.parametrize(
+    "transport,competition",
+    [
+        ("process", "softmax"),
+        ("tcp", "softmax"),
+        # The stochastic mode is the hard case: its shard-shaped noise draws
+        # desynchronise the per-rank generators mid-epoch, so the guarantee
+        # depends on _sync_replica re-imposing rank 0's RNG state at every
+        # epoch boundary (the respawned worker can only replay from there).
+        ("process", "sample"),
+        ("tcp", "sample"),
+    ],
+)
+def test_mid_epoch_crash_is_bitwise_invisible(transport, competition):
+    """Injected crash + recovery == uninterrupted run, bit for bit (tol=0)."""
+    factory = {
+        "process": lambda: ProcessComm(3, timeout=60.0),
+        "tcp": lambda: TCPComm(3, timeout=60.0),
+    }[transport]
+
+    comm = factory()
+    try:
+        base_layer, base_report = _train(comm, competition=competition)
+    finally:
+        comm.close()
+
+    comm = factory()
+    try:
+        ft_layer, ft_report = _train(
+            comm,
+            inject={"rank": 1, "epoch": 1, "batch": 2},
+            fault_tolerance=True,
+            competition=competition,
+        )
+    finally:
+        comm.close()
+
+    assert ft_report.extra["restarts"] == 1
+    assert ft_report.global_batches == base_report.global_batches
+    assert len(ft_report.extra["epoch_logs"]) == 3
+    assert np.array_equal(ft_layer.weights, base_layer.weights)
+    assert np.array_equal(ft_layer.traces.p_i, base_layer.traces.p_i)
+    assert np.array_equal(ft_layer.traces.p_j, base_layer.traces.p_j)
+    assert np.array_equal(ft_layer.traces.p_ij, base_layer.traces.p_ij)
+    assert np.array_equal(ft_layer.plasticity.mask, base_layer.plasticity.mask)
+
+
+def test_crash_without_fault_tolerance_raises():
+    """fault_tolerance=False keeps the historical contract: a hard error."""
+    with ThreadComm(2) as comm:
+        with pytest.raises(BackendError):
+            _train(comm, inject={"rank": 0, "epoch": 0, "batch": 0})
+
+
+def test_injection_validation():
+    with ThreadComm(2) as comm:
+        layer = _make_layer()
+        trainer = DistributedTrainer(comm)
+        with pytest.raises(DataError):
+            trainer.train_layer(
+                layer,
+                _make_data(),
+                epochs=1,
+                batch_size=64,
+                rng=as_rng(5),
+                fault_injection={"rank": 9, "epoch": 0, "batch": 0},
+            )
+        with pytest.raises(DataError):
+            trainer.train_layer(
+                layer,
+                _make_data(),
+                epochs=1,
+                batch_size=64,
+                rng=as_rng(5),
+                fault_tolerance=True,
+                max_restarts=-1,
+            )
+
+
+def test_uninjected_fault_tolerant_run_matches_plain_run():
+    """fault_tolerance=True on a healthy run changes nothing (thread transport)."""
+    with ThreadComm(3) as comm:
+        plain_layer, plain_report = _train(comm)
+    with ThreadComm(3) as comm:
+        ft_layer, ft_report = _train(comm, fault_tolerance=True)
+    assert ft_report.extra["restarts"] == 0
+    assert np.array_equal(ft_layer.weights, plain_layer.weights)
+    assert np.array_equal(ft_layer.traces.p_ij, plain_layer.traces.p_ij)

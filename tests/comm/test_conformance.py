@@ -1,0 +1,227 @@
+"""Transport-conformance suite: one contract, every transport.
+
+Every :class:`~repro.comm.Communicator` must present *identical* collective
+semantics, honour the one-outstanding ``iallreduce`` contract, survive
+chunked payloads at tiny chunk caps, and turn a crashed rank into a
+:class:`~repro.exceptions.BackendError` instead of a hang.  The suite runs
+the same SPMD programs (:mod:`repro.comm.tasks`) over serial, thread,
+process and tcp, so a new transport passes or fails the whole matrix at
+once.
+
+The module-scope process/tcp fixtures are shared across tests (pool/hub
+start-up costs ~a second per worker under the spawn start method); the
+crash tests construct their own throwaway communicators.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    ProcessComm,
+    SerialComm,
+    TCPComm,
+    ThreadComm,
+    get_communicator,
+    list_transports,
+    parse_transport_spec,
+    resolve_comm,
+    tasks,
+    transport_capabilities,
+)
+from repro.exceptions import BackendError
+
+TRANSPORTS = ["serial", "thread", "process", "tcp"]
+
+
+@pytest.fixture(scope="module")
+def process_comm():
+    comm = ProcessComm(2, timeout=60.0)
+    yield comm
+    comm.close()
+
+
+@pytest.fixture(scope="module")
+def tcp_comm():
+    comm = TCPComm(2, timeout=60.0)
+    yield comm
+    comm.close()
+
+
+@pytest.fixture(params=TRANSPORTS)
+def comm(request, process_comm, tcp_comm):
+    if request.param == "serial":
+        with SerialComm() as c:
+            yield c
+    elif request.param == "thread":
+        with ThreadComm(2) as c:
+            yield c
+    elif request.param == "process":
+        yield process_comm
+    else:
+        yield tcp_comm
+
+
+class TestCollectiveConformance:
+    def test_identity(self, comm):
+        results = comm.run(tasks.echo_rank)
+        assert [r["rank"] for r in results] == list(range(comm.size))
+        assert all(r["size"] == comm.size for r in results)
+
+    def test_collective_semantics_identical(self, comm):
+        """allreduce/allgather/bcast/barrier/scatter_rows agree on every transport."""
+        results = comm.run(tasks.collective_checks)
+        expected_sum = float(sum(range(comm.size)))
+        for r in results:
+            assert np.allclose(r["reduced"], expected_sum)
+            assert np.allclose(r["maxed"], comm.size - 1)
+            assert r["gathered_sizes"] == [k + 1 for k in range(comm.size)]
+            assert np.allclose(r["broadcast"], [0.0, 1.0, 2.0])
+            assert r["int_ranks"] == list(range(comm.size))
+        stitched = np.concatenate([r["shard"] for r in results], axis=0)
+        assert np.allclose(stitched, np.arange(30).reshape(10, 3))
+
+    def test_iallreduce_capture_and_idempotency(self, comm):
+        """Nonblocking reductions capture at call time; wait() is idempotent."""
+        results = comm.run(tasks.iallreduce_checks)
+        rank_sum = float(sum(range(1, comm.size + 1)))
+        for r in results:
+            for round_no, round_result in enumerate(r["rounds"]):
+                assert round_result["value"] == rank_sum * (round_no + 1)
+                assert round_result["same"] and round_result["done"]
+            assert r["maxed"] == float(comm.size - 1)
+
+    def test_iallreduce_one_outstanding_contract(self, comm):
+        """A second in-flight iallreduce either completes or raises — never corrupts.
+
+        The rendezvous transports (process, tcp) support exactly one
+        outstanding reduction per rank and must reject the second *call*;
+        the eagerly-completing transports accept it.  Either way the first
+        request's value must be exact on every rank.
+        """
+        results = comm.run(tasks.iallreduce_outstanding_error)
+        expected_reject = comm.transport in ("process", "tcp")
+        for r in results:
+            assert r["rejected"] == expected_reject
+            assert r["value"] == float(sum(range(comm.size)))
+
+
+class TestChunking:
+    """Payloads far above the per-message cap still reduce exactly."""
+
+    def test_process_small_slot_cap(self):
+        with ProcessComm(2, timeout=60.0, max_slot_bytes=256) as comm:
+            self._check(comm)
+
+    def test_tcp_small_chunk_bytes(self):
+        with TCPComm(2, timeout=60.0, chunk_bytes=256) as comm:
+            self._check(comm)
+
+    @staticmethod
+    def _check(comm):
+        results = comm.run(tasks.chunked_allreduce_checks, [(201,)] * comm.size)
+        for r in results:
+            assert np.array_equal(r["reduced"], r["expected"])
+            assert r["matrix_max"] == float(comm.size)
+            assert r["empty_size"] == 0
+            assert r["single"] == float(sum(range(comm.size)))
+            assert r["nonblocking_matches"]
+
+
+class TestCrashSemantics:
+    """A dead rank surfaces as BackendError on the survivors — never a hang."""
+
+    def test_process_crash_raises(self):
+        with ProcessComm(2, timeout=30.0) as comm:
+            with pytest.raises(BackendError):
+                comm.run(tasks.crash_rank, [(1,)] * comm.size)
+
+    def test_tcp_crash_raises_and_recovers(self):
+        with TCPComm(2, timeout=30.0) as comm:
+            with pytest.raises(BackendError):
+                comm.run(tasks.crash_rank, [(1,)] * comm.size)
+            assert comm.recover()
+            results = comm.run(tasks.echo_rank)
+            assert [r["rank"] for r in results] == [0, 1]
+
+    def test_tcp_crash_mid_chunked_payload(self):
+        with TCPComm(2, timeout=30.0, chunk_bytes=256) as comm:
+            with pytest.raises(BackendError):
+                comm.run(tasks.crash_rank_chunked, [(1, 512)] * comm.size)
+
+
+class TestCapabilities:
+    def test_list_transports_is_honest(self):
+        from repro.comm import HAVE_MPI
+
+        names = list_transports()
+        assert {"serial", "thread", "process", "tcp"} <= set(names)
+        assert ("mpi" in names) == HAVE_MPI
+
+    def test_capability_flags_match_classes(self, comm):
+        caps = transport_capabilities()[comm.transport]
+        assert caps["multihost"] == comm.multihost
+        assert caps["fault_tolerant"] == comm.fault_tolerant
+        assert caps["nonblocking"] == comm.nonblocking
+
+    def test_tcp_capability_flags(self):
+        caps = transport_capabilities()["tcp"]
+        assert caps["multihost"] and caps["fault_tolerant"] and caps["nonblocking"]
+
+
+class TestSpecParsing:
+    def test_bare_and_counted_names(self):
+        assert parse_transport_spec("serial").name == "serial"
+        spec = parse_transport_spec("thread:4")
+        assert (spec.name, spec.ranks) == ("thread", 4)
+        spec = parse_transport_spec("process:2")
+        assert (spec.name, spec.ranks) == ("process", 2)
+
+    def test_tcp_url_spec(self):
+        spec = parse_transport_spec("tcp://10.0.0.5:9400?ranks=8&timeout=30&chunk_bytes=4096")
+        assert spec.name == "tcp" and spec.ranks == 8
+        assert spec.options["host"] == "10.0.0.5"
+        assert spec.options["port"] == 9400
+        assert spec.options["timeout"] == 30.0
+        assert spec.options["chunk_bytes"] == 4096
+
+    @pytest.mark.parametrize(
+        "bad", ["tcp:4", "serial:2", "mpi:3", "thread:0", "warp-drive", "tcp://h:p?ranks=x"]
+    )
+    def test_malformed_specs_raise(self, bad):
+        with pytest.raises(BackendError):
+            parse_transport_spec(bad)
+
+    def test_get_communicator_accepts_specs(self):
+        with get_communicator("thread:3") as comm:
+            assert comm.transport == "thread" and comm.size == 3
+        with get_communicator("tcp?ranks=2&timeout=60") as comm:
+            assert comm.transport == "tcp" and comm.size == 2
+
+    def test_embedded_rank_conflicts_rejected(self):
+        with pytest.raises(BackendError):
+            get_communicator("thread:3", ranks=2)
+
+    def test_resolve_comm_none_paths(self):
+        assert resolve_comm(None, None) is None
+        comm = resolve_comm(None, 2)
+        try:
+            assert comm.transport == "thread" and comm.size == 2
+        finally:
+            comm.close()
+
+    def test_resolve_comm_deprecation_shim(self):
+        """The legacy comm=/ranks= pair still works, with a DeprecationWarning."""
+        with pytest.warns(DeprecationWarning):
+            comm = resolve_comm("thread", 3)
+        try:
+            assert comm.transport == "thread" and comm.size == 3
+        finally:
+            comm.close()
+
+    def test_spec_strings_do_not_warn(self, recwarn):
+        comm = resolve_comm("thread:3")
+        try:
+            assert comm.size == 3
+        finally:
+            comm.close()
+        assert not [w for w in recwarn.list if w.category is DeprecationWarning]

@@ -63,6 +63,16 @@ class TestCommSharding:
                 sharded.predict_stream(inputs), local.predict_stream(inputs)
             )
 
-    def test_comm_must_be_a_communicator(self, trained_network):
-        with pytest.raises(DataError):
-            StreamingPredictor(trained_network, comm="process")
+    def test_comm_spec_string_resolves(self, trained_network, inputs):
+        """The redesigned API accepts transport spec strings directly."""
+        expected = trained_network.predict(inputs)
+        with StreamingPredictor(trained_network, batch_size=64, comm="thread:3") as predictor:
+            assert np.array_equal(predictor.predict_stream(inputs), expected)
+
+    def test_comm_must_be_a_communicator_or_spec(self, trained_network):
+        from repro.exceptions import BackendError
+
+        with pytest.raises(BackendError):
+            StreamingPredictor(trained_network, comm="warp-drive:2")
+        with pytest.raises((BackendError, DataError)):
+            StreamingPredictor(trained_network, comm=3.14)

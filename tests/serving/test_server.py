@@ -296,6 +296,74 @@ class TestPredictionServer:
         assert status == 405
 
 
+class TestPredictOverrides:
+    """Per-request ``"backend"``/``"sparse"`` overrides on POST /predict."""
+
+    def test_backend_override_matches_default(self, live_server, trained_network, encoded_higgs):
+        rows = encoded_higgs["x_test"][:4]
+        _, base, _ = _request(
+            live_server, "POST", "/predict", {"rows": rows.tolist(), "proba": True}
+        )
+        status, doc, _ = _request(
+            live_server,
+            "POST",
+            "/predict",
+            {"rows": rows.tolist(), "proba": True, "backend": "numpy"},
+        )
+        assert status == 200
+        np.testing.assert_allclose(doc["probabilities"], base["probabilities"], atol=1e-12)
+
+    def test_sparse_override_is_execution_choice_only(
+        self, live_server, trained_network, encoded_higgs
+    ):
+        rows = encoded_higgs["x_test"][:4]
+        _, base, _ = _request(
+            live_server, "POST", "/predict", {"rows": rows.tolist(), "proba": True}
+        )
+        for mode in ("on", "off"):
+            status, doc, _ = _request(
+                live_server,
+                "POST",
+                "/predict",
+                {"rows": rows.tolist(), "proba": True, "sparse": mode},
+            )
+            assert status == 200
+            np.testing.assert_allclose(doc["probabilities"], base["probabilities"], atol=1e-9)
+
+    def test_unknown_backend_400(self, live_server, encoded_higgs):
+        rows = encoded_higgs["x_test"][:1]
+        status, doc, _ = _request(
+            live_server, "POST", "/predict", {"rows": rows.tolist(), "backend": "warp-drive"}
+        )
+        assert status == 400
+        assert "unknown" in doc["error"] and "warp-drive" in doc["error"]
+
+    def test_invalid_sparse_mode_400(self, live_server, encoded_higgs):
+        rows = encoded_higgs["x_test"][:1]
+        status, doc, _ = _request(
+            live_server, "POST", "/predict", {"rows": rows.tolist(), "sparse": "maybe"}
+        )
+        assert status == 400
+        assert "sparse" in doc["error"]
+
+    def test_override_predictors_cached_and_invalidated_on_swap(
+        self, live_server, trained_network, encoded_higgs
+    ):
+        runner = live_server.server.runner
+        runner.swap(trained_network)  # start from an empty override cache
+        rows = encoded_higgs["x_test"][:1]
+        for body in (
+            {"rows": rows.tolist(), "backend": "numpy"},
+            {"rows": rows.tolist(), "backend": "numpy"},
+            {"rows": rows.tolist(), "sparse": "off"},
+        ):
+            status, _, _ = _request(live_server, "POST", "/predict", body)
+            assert status == 200
+        assert set(runner._override_predictors) == {("numpy", None), (None, "off")}
+        runner.swap(trained_network)
+        assert runner._override_predictors == {}
+
+
 class TestCLIServe:
     def test_main_serve_starts_and_answers(self, tmp_path, trained_network, encoded_higgs):
         """`repro serve` end to end: save, serve on an ephemeral port, POST."""
