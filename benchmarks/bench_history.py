@@ -57,6 +57,7 @@ METRICS = {
         ("comm_overlap", "overlapped_seconds_per_batch"),
         False,
     ),
+    "checkpoint_overhead": (("checkpoint_overhead", "overhead"), False),
 }
 
 

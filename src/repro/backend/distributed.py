@@ -34,7 +34,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro import kernels
+from repro import faults, kernels
 from repro.backend.base import Backend
 from repro.comm import CommRequest, Communicator, LocalComm, split_ranks
 from repro.engine.pipeline import mean_activation_entropy, resolve_comm_overlap
@@ -727,6 +727,20 @@ def train_layer_program(
                 "rng_state": copy.deepcopy(layer._rng.bit_generator.state),
                 "batches_trained": int(layer.batches_trained),
             }
+        if rank == 0:
+            # Driver-side epoch-boundary hook (rank 0 runs inline): the same
+            # consistent state the in-memory snapshot above captures, handed
+            # to the durable checkpoint layer.
+            hook = options.get("on_epoch_boundary")
+            if hook is not None:
+                hook(
+                    epoch,
+                    {
+                        "epoch_logs": [dict(log) for log in epoch_logs],
+                        "global_batches": total_batches,
+                        "swaps": total_swaps,
+                    },
+                )
 
     if is_replica:
         layer.backend.close()  # replica-owned pools/buffers die with the program
@@ -813,6 +827,8 @@ class DistributedTrainer:
         fault_tolerance: bool = False,
         max_restarts: int = 2,
         fault_injection: Optional[Dict[str, int]] = None,
+        resume_state: Optional[Dict[str, object]] = None,
+        on_epoch_boundary: Optional[Callable[[int, Dict[str, object]], None]] = None,
     ) -> DistributedEpochReport:
         """Train ``layer`` on ``x`` with rank-sharded batches.
 
@@ -841,6 +857,21 @@ class DistributedTrainer:
         ``on_epoch_end`` is invoked on the driver after the program
         completes (the callback cannot cross a process boundary), in epoch
         order, with the rank-0 epoch logs.
+
+        ``resume_state`` re-enters an interrupted call exactly where a prior
+        one stopped (the on-disk twin of in-memory worker recovery; used by
+        :mod:`repro.checkpoint`): ``{"shuffle_seed", "start_epoch",
+        "batches_done", "swaps_done", "completed_logs"}``.  The stored
+        shuffle seed is reused instead of drawing from ``rng`` — the
+        caller's generator already advanced past that draw before the
+        checkpoint was taken — and the program fast-forwards the shuffle
+        stream to ``start_epoch``, so the resumed run is bitwise-identical
+        to an uninterrupted one at ``weight_refresh_tol=0``.
+        ``on_epoch_boundary(epoch, info)`` fires on the driver (rank 0 runs
+        inline) at every completed epoch boundary *during* the program —
+        the state is consistent there, which is what makes mid-layer
+        checkpoints possible; ``info`` carries the shuffle seed, cumulative
+        batch/swap counters and all completed epoch logs.
 
         ``fault_tolerance`` arms crash recovery on transports that support
         it (``comm.fault_tolerant``): when a rank dies mid-program, the
@@ -879,6 +910,10 @@ class DistributedTrainer:
             )
         if int(max_restarts) < 0:
             raise DataError("max_restarts must be non-negative")
+        if fault_injection is None:
+            # An env-activated ``worker.crash`` rule (REPRO_FAULTS) subsumes
+            # the explicit hook, so chaos runs need no plumbing changes.
+            fault_injection = faults.crash_injection_from_plan()
         injection: Optional[Dict[str, int]] = None
         if fault_injection is not None:
             missing = {"rank", "epoch", "batch"} - set(fault_injection)
@@ -896,12 +931,21 @@ class DistributedTrainer:
         # Drawing the seed consumes the caller's generator, so repeated
         # calls with one rng get fresh, still-deterministic shuffles.  A
         # recovery restart reuses the SAME seed: the resumed program
-        # fast-forwards the stream instead of drawing a new one.
-        shuffle_seed = int(rng.integers(2**63))
-        start_epoch = 0
-        batches_done = 0
-        swaps_done = 0
-        completed_logs: List[Dict[str, float]] = []
+        # fast-forwards the stream instead of drawing a new one.  A
+        # checkpoint resume supplies the stored seed for the same reason —
+        # the caller's generator consumed the draw before the checkpoint.
+        if resume_state is not None:
+            shuffle_seed = int(resume_state["shuffle_seed"])
+            start_epoch = int(resume_state.get("start_epoch", 0))
+            batches_done = int(resume_state.get("batches_done", 0))
+            swaps_done = int(resume_state.get("swaps_done", 0))
+            completed_logs = [dict(log) for log in resume_state.get("completed_logs", [])]
+        else:
+            shuffle_seed = int(rng.integers(2**63))
+            start_epoch = 0
+            batches_done = 0
+            swaps_done = 0
+            completed_logs = []
         restarts = 0
         while True:
             # The snapshot at attempt start covers crashes before the first
@@ -949,7 +993,25 @@ class DistributedTrainer:
                 options["progress"] = progress
             if injection is not None:
                 options["fault_injection"] = injection
-            rank_args: List[tuple] = [(layer, x, options)]
+            # The boundary hook is a live driver-side closure, so it rides a
+            # rank-0-only shallow copy: worker ranks keep the original,
+            # picklable options dict (they share the same ``progress``
+            # object through the copy, which rank 0 mutates inline).
+            rank0_options = options
+            if on_epoch_boundary is not None:
+                prior_logs = [dict(log) for log in completed_logs]
+
+                def _boundary_hook(
+                    epoch: int, info: Dict[str, object], _prior=prior_logs
+                ) -> None:
+                    payload = dict(info)
+                    payload["shuffle_seed"] = shuffle_seed
+                    payload["epoch_logs"] = _prior + list(info["epoch_logs"])
+                    on_epoch_boundary(epoch, payload)
+
+                rank0_options = dict(options)
+                rank0_options["on_epoch_boundary"] = _boundary_hook
+            rank_args: List[tuple] = [(layer, x, rank0_options)]
             rank_args += [(None, None, options) for _ in range(1, self.comm.size)]
             try:
                 results = self.comm.run(train_layer_program, rank_args)
@@ -962,7 +1024,11 @@ class DistributedTrainer:
                     raise
                 if not self.comm.recover():
                     raise
-                injection = None  # injected faults fire exactly once
+                # An explicit fault_injection dict fires exactly once; a
+                # REPRO_FAULTS worker.crash rule with count=N re-arms until
+                # its budget is spent (how the chaos tests exceed
+                # max_restarts with genuine repeat crashes).
+                injection = faults.crash_injection_from_plan()
                 if progress is not None and progress.get("snapshot") is not None:
                     start_epoch = int(progress["epoch"])
                     batches_done = int(progress["global_batches"])

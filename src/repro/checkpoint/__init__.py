@@ -1,0 +1,36 @@
+"""Durable, atomic, self-validating on-disk training checkpoints.
+
+Layers of the subsystem (each usable on its own):
+
+* :mod:`repro.checkpoint.atomic` — crash-safe file replacement
+  (temp + fsync + rename), shared with model saving and the hyperopt
+  journal;
+* :mod:`repro.checkpoint.manager` — the directory format: versioned
+  ``.npz`` archives plus a SHA-256 manifest with ``keep_last`` rotation,
+  and a loader that rejects truncated/corrupt/foreign files with a pathed
+  :class:`~repro.exceptions.CheckpointError`;
+* :mod:`repro.checkpoint.training` — full ``Network.fit`` state capture and
+  bitwise-exact resume (see ``docs/reliability.md``).
+"""
+
+from repro.checkpoint.atomic import atomic_write_bytes, fsync_directory
+from repro.checkpoint.manager import FORMAT_VERSION, MAGIC, MANIFEST_NAME, CheckpointManager
+from repro.checkpoint.training import (
+    ResumeState,
+    TrainingCheckpointer,
+    network_from_checkpoint,
+    training_fingerprint,
+)
+
+__all__ = [
+    "atomic_write_bytes",
+    "fsync_directory",
+    "CheckpointManager",
+    "MAGIC",
+    "FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "ResumeState",
+    "TrainingCheckpointer",
+    "network_from_checkpoint",
+    "training_fingerprint",
+]

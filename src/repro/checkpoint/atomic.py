@@ -1,0 +1,74 @@
+"""Durable atomic file writes (temp + fsync + rename + directory fsync).
+
+Every on-disk artifact the checkpoint subsystem produces — checkpoint
+archives, manifests, saved models, hyperopt journal segments — goes through
+:func:`atomic_write_bytes`, so a crash at *any* instant leaves either the
+complete old file or the complete new file, never a torn one:
+
+1. the payload is written to a same-directory temp file,
+2. the temp file is flushed and ``fsync``'d (durability),
+3. ``os.replace`` atomically installs it under the final name,
+4. the directory entry is ``fsync``'d so the rename itself is durable.
+
+The :mod:`repro.faults` sites ``checkpoint.fsync`` and
+``checkpoint.short_write`` hook steps 2 and 1 respectively, letting the
+chaos tests prove the old file survives a failed write.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+from repro import faults
+from repro.exceptions import CheckpointError
+
+__all__ = ["atomic_write_bytes", "fsync_directory"]
+
+
+def fsync_directory(directory: Union[str, Path]) -> None:
+    """Flush a directory entry to disk (no-op where unsupported)."""
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - e.g. network filesystems
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes, durable: bool = True) -> Path:
+    """Atomically replace ``path`` with ``data``; returns the final path.
+
+    On any failure the target file is left exactly as it was (the temp file
+    is cleaned up best-effort) and a pathed :class:`CheckpointError` is
+    raised.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            if faults.fault_point("checkpoint.short_write", path=str(path)) is not None:
+                handle.write(data[: max(1, len(data) // 2)])
+                raise OSError("injected short write")
+            handle.write(data)
+            handle.flush()
+            if durable:
+                if faults.fault_point("checkpoint.fsync", path=str(path)) is not None:
+                    raise OSError("injected fsync failure")
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except OSError as exc:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise CheckpointError(path, f"atomic write failed: {exc}") from exc
+    if durable:
+        fsync_directory(path.parent)
+    return path

@@ -281,6 +281,40 @@ def main_train(argv: Optional[List[str]] = None) -> int:
             "run recover)"
         ),
     )
+    parser.add_argument(
+        "--checkpoint-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help=(
+            "durable training checkpoints: write an atomic, checksummed "
+            "checkpoint into DIR at epoch boundaries (see docs/reliability.md)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="checkpoint every N epoch boundaries (default 1)",
+    )
+    parser.add_argument(
+        "--checkpoint-keep",
+        type=int,
+        default=3,
+        metavar="N",
+        help="keep the newest N checkpoints, rotating older ones out (default 3)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume from the latest checkpoint in --checkpoint-dir; the run "
+            "continues bitwise-identically to an uninterrupted one at "
+            "--weight-refresh-tol 0 (hyperparameters must match — the "
+            "checkpoint's schedule fingerprint is verified)"
+        ),
+    )
     _add_common(parser)
     _add_comm(parser)
     _add_pipeline(parser)
@@ -316,6 +350,10 @@ def main_train(argv: Optional[List[str]] = None) -> int:
         comm_overlap=args.comm_overlap,
         sparse_payload=args.sparse_payload,
         fault_tolerance=args.fault_tolerance,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_keep=args.checkpoint_keep,
+        resume=args.resume,
     )
     data = prepare_higgs_data(
         n_events=config.n_events, n_bins=config.n_bins, seed=args.seed, path=args.higgs_path
@@ -1096,7 +1134,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     command, rest = argv[0], argv[1:]
     if command in commands:
-        return commands[command](rest)
+        from repro.exceptions import ReproError
+
+        try:
+            return commands[command](rest)
+        except ReproError as exc:
+            # The CLI's error contract: a pathed one-line message and exit 2,
+            # never a traceback.  Subcommand mains still *raise* (tests call
+            # them directly); only the dispatcher renders.
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     print(f"unknown command {command!r}", file=sys.stderr)
     return 2
 

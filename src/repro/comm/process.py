@@ -781,7 +781,16 @@ class ProcessComm(_ProcessCollectives, Communicator):
             # The dead rank may have died holding its queues' shared locks
             # (killed while idle in get(), or before its feeder thread
             # released the write lock) — both queues are unsalvageable in
-            # general, so the respawned worker gets a fresh pair.
+            # general, so the respawned worker gets a fresh pair.  The old
+            # pair must be closed here or every recovery cycle leaks their
+            # pipe fds in the driver (cancel_join_thread: the feeder may be
+            # wedged on the very lock the dead worker held).
+            for old in (self._task_queues[rank - 1], self._result_queues[rank - 1]):
+                try:
+                    old.cancel_join_thread()
+                    old.close()
+                except Exception:  # pragma: no cover - queue already broken
+                    pass
             self._task_queues[rank - 1] = self._ctx.Queue()
             self._result_queues[rank - 1] = self._ctx.Queue()
             replacement = self._ctx.Process(

@@ -96,7 +96,19 @@ def _send_frame(
     The payload travels as length-prefixed chunks of at most ``chunk_bytes``
     each, so arbitrarily large arrays never require one giant send and the
     receiver can account for progress chunk by chunk.
+
+    Every frame passes through the deterministic fault-injection hooks
+    ``tcp.delay`` (sleep before sending) and ``tcp.drop`` (swallow the frame
+    entirely — the peer observes a stall/timeout, exactly like a lossy
+    link); see :mod:`repro.faults`.
     """
+    from repro import faults
+
+    rule = faults.fault_point("tcp.delay", bytes=len(payload))
+    if rule is not None:
+        time.sleep(rule.param_float("seconds", 0.05))
+    if faults.fault_point("tcp.drop", bytes=len(payload)) is not None:
+        return
     head = pickle.dumps(header, protocol=_PICKLE_PROTOCOL)
     with lock:
         sock.sendall(struct.pack(">IQ", len(head), len(payload)))

@@ -127,7 +127,12 @@ def run_hyperopt(config: ExperimentConfig, data=None) -> Dict[str, Any]:
         "halton": HaltonSearch,
         "evolution": EvolutionarySearch,
     }
-    search = drivers[hp.algorithm](space, seed=seed)
+    journal = None
+    if hp.journal is not None:
+        from repro.hyperopt import ExperimentJournal
+
+        journal = ExperimentJournal(hp.journal, experiment=scenario.name)
+    search = drivers[hp.algorithm](space, seed=seed, journal=journal, resume=hp.resume)
     outcome = search.optimize(objective, n_trials=hp.trials)
     best = outcome.best_trial
     logger.info(

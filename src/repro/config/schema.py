@@ -101,6 +101,15 @@ class TrainingSection:
     sparse_payload: str = "auto"
     #: Recover from crashed ranks mid-training (fault-tolerant transports).
     fault_tolerance: bool = False
+    #: Durable checkpoint directory for crash-safe training (null = off);
+    #: see ``docs/reliability.md``.
+    checkpoint_dir: Optional[str] = None
+    #: Save a checkpoint every N epoch boundaries.
+    checkpoint_every: int = 1
+    #: Keep the newest N checkpoints, rotating older ones out.
+    checkpoint_keep: int = 3
+    #: Resume from the latest checkpoint in ``checkpoint_dir``.
+    resume: bool = False
 
 
 @dataclass(frozen=True)
@@ -131,6 +140,11 @@ class HyperoptSection:
     #: ``model.taupdt`` ...) to parameter specs understood by
     #: :meth:`repro.hyperopt.SearchSpace.from_dict`.
     space: Mapping[str, Any] = field(default_factory=dict)
+    #: Checksummed trial journal path (null = no journal); finished trials
+    #: recorded here survive a killed sweep.
+    journal: Optional[str] = None
+    #: Resume the sweep from the journal, skipping already-finished trials.
+    resume: bool = False
 
 
 @dataclass(frozen=True)
@@ -195,6 +209,8 @@ _OPTIONAL_TYPES: Dict[Tuple[str, str], type] = {
     ("serving", "request_timeout_ms"): float,
     ("serving", "backend"): str,
     ("hyperopt", "seed"): int,
+    ("training", "checkpoint_dir"): str,
+    ("hyperopt", "journal"): str,
 }
 
 _FREEFORM_MAPPINGS = {("dataset", "params"), ("hyperopt", "space")}
@@ -297,6 +313,8 @@ def _validate_fields(cfg: ExperimentConfig) -> None:
             raise ConfigError("training.comm", str(exc)) from None
     if tr.ranks is not None:
         _check_positive(tr.ranks, "training.ranks")
+    _check_positive(tr.checkpoint_every, "training.checkpoint_every")
+    _check_positive(tr.checkpoint_keep, "training.checkpoint_keep")
 
     _check_positive(sv.batch_size, "serving.batch_size")
     if sv.port < 0 or sv.port > 65535:
@@ -367,6 +385,18 @@ def _validate_cross(cfg: ExperimentConfig) -> None:
                 "requires a fault-tolerant transport, but training.comm is "
                 f"{tr.comm!r}; use process:N or tcp://host:port?ranks=N",
             )
+    if tr.resume and tr.checkpoint_dir is None:
+        raise ConfigError(
+            "training.resume",
+            "resume: true requires training.checkpoint_dir to point at the "
+            "checkpoint directory to resume from",
+        )
+    if cfg.hyperopt.resume and cfg.hyperopt.journal is None:
+        raise ConfigError(
+            "hyperopt.resume",
+            "resume: true requires hyperopt.journal to point at the trial "
+            "journal to resume from",
+        )
     if tr.sparse == "on" and cfg.model.density >= 1.0:
         raise ConfigError(
             "training.sparse",

@@ -32,6 +32,7 @@ from repro.engine.pipeline import (
     mean_activation_entropy,
     train_layer_pipelined,
 )
+from repro import faults
 from repro.exceptions import ConfigurationError, DataError, NotFittedError
 from repro.metrics.classification import accuracy as accuracy_metric
 from repro.metrics.classification import log_loss as log_loss_metric
@@ -159,6 +160,10 @@ class Network:
         sparse_payload: Optional[str] = None,
         fault_tolerance: Optional[bool] = None,
         fault_injection=None,
+        checkpoint_dir=None,
+        checkpoint_every: int = 1,
+        checkpoint_keep: int = 3,
+        resume: bool = False,
     ) -> History:
         """Train the network; returns the training :class:`History`.
 
@@ -221,6 +226,23 @@ class Network:
             ``{"rank": r, "epoch": e, "batch": b}`` kills rank ``r`` at
             that global batch, exactly once (the ``repro train
             --inject-crash`` flag).
+        checkpoint_dir / checkpoint_every / checkpoint_keep / resume:
+            Durable driver-side crash recovery (:mod:`repro.checkpoint`):
+            with ``checkpoint_dir`` set, the full training state — every
+            layer's traces/mask/weights, all RNG streams, the history and a
+            phase cursor — is persisted atomically every
+            ``checkpoint_every`` epoch boundaries (rotating all but the
+            last ``checkpoint_keep``).  ``resume=True`` restores the newest
+            checkpoint (validated against a schedule fingerprint — resuming
+            under changed hyperparameters raises a pathed
+            :class:`~repro.exceptions.CheckpointError`) and fast-forwards:
+            the finished portion is skipped, and at
+            ``weight_refresh_tol=0`` the resumed run's final weights,
+            predictions and metrics are bitwise-identical to an
+            uninterrupted run.  An empty checkpoint directory with
+            ``resume=True`` simply starts fresh, so restart loops are
+            idempotent.  Mid-layer resumes must use the same execution mode
+            (serial vs ``comm``) the checkpoint was written under.
         pipeline / weight_refresh_tol / sparse / comm_overlap / sparse_payload:
             Per-call overrides of the matching schedule fields (see above
             and :class:`TrainingSchedule`); ``None`` leaves the schedule's
@@ -272,6 +294,62 @@ class Network:
         callback_list = CallbackList(callbacks)
         self.history = History()
         self.history.start()
+
+        # --------------------------------------- durable checkpoint/resume
+        checkpointer = None
+        resume_state = None
+        if checkpoint_dir is not None:
+            from repro.checkpoint import TrainingCheckpointer
+
+            checkpointer = TrainingCheckpointer(
+                self,
+                schedule,
+                checkpoint_dir,
+                x_shape=x.shape,
+                every=int(checkpoint_every),
+                keep_last=int(checkpoint_keep),
+            )
+            if resume:
+                resume_state = checkpointer.load_for_resume()
+        elif resume:
+            raise ConfigurationError("resume=True requires checkpoint_dir")
+        start_layer = 0
+        hidden_start_epoch = 0
+        head_start_epoch = 0
+        unit_extras = None
+        resume_done = False
+        if resume_state is not None:
+            cursor = resume_state.cursor
+            if cursor["phase"] == "hidden":
+                start_layer = int(cursor["layer_index"])
+                hidden_start_epoch = int(cursor["epochs_done"])
+                unit_extras = resume_state.unit
+            elif cursor["phase"] == "head":
+                start_layer = len(self.hidden_layers)
+                head_start_epoch = int(cursor["epochs_done"])
+            else:  # "done" — nothing left to train, history already restored
+                start_layer = len(self.hidden_layers)
+                resume_done = True
+
+        boundary_step = {"count": 0}
+
+        def boundary(cursor: Dict[str, object], unit=None) -> None:
+            """One completed epoch boundary: checkpoint, then fault hooks."""
+            step = boundary_step["count"]
+            boundary_step["count"] = step + 1
+            if checkpointer is not None:
+                checkpointer.maybe_save(cursor, unit)
+            rule = faults.fault_point(
+                "driver.kill", epoch=step, phase=str(cursor.get("phase"))
+            )
+            if rule is not None:
+                faults.kill_driver(rule, cursor=dict(cursor))
+
+        def advance(cursor: Dict[str, object]) -> None:
+            """A unit finished: persist the cursor pointing at the next one."""
+            if checkpointer is not None:
+                checkpointer.save(cursor)
+
         callback_list.on_train_begin(self)
 
         # ------------------------------------------- phase 1: hidden layers
@@ -299,7 +377,65 @@ class Network:
             owns_comm = comm is not None
         representation = x
         try:
-            for layer in self.hidden_layers:
+            representation = self._fit_phases(
+                representation,
+                y,
+                schedule,
+                comm,
+                owns_comm,
+                callback_list,
+                verbose,
+                fault_injection,
+                start_layer,
+                hidden_start_epoch,
+                head_start_epoch,
+                unit_extras,
+                resume_done,
+                boundary,
+                advance,
+            )
+        except BaseException:
+            # Join the in-flight checkpoint commit without letting its own
+            # failure mask the exception already on its way out.
+            if checkpointer is not None:
+                checkpointer.flush(suppress=True)
+            raise
+        if checkpointer is not None:
+            checkpointer.flush()
+
+        self.history.finish()
+        callback_list.on_train_end(self)
+        self._fitted = True
+        return self.history
+
+    def _fit_phases(
+        self,
+        representation,
+        y,
+        schedule,
+        comm,
+        owns_comm,
+        callback_list,
+        verbose,
+        fault_injection,
+        start_layer,
+        hidden_start_epoch,
+        head_start_epoch,
+        unit_extras,
+        resume_done,
+        boundary,
+        advance,
+    ):
+        """Run the hidden-layer and head training phases for ``fit``."""
+        try:
+            for index, layer in enumerate(self.hidden_layers):
+                if index < start_layer:
+                    # Already trained (restored from the checkpoint): only
+                    # its forward pass is needed to feed the next unit.
+                    representation = layer.forward(representation)
+                    continue
+                layer_start = hidden_start_epoch if index == start_layer else 0
+                layer_unit = unit_extras if index == start_layer else None
                 if comm is not None:
                     self._train_hidden_layer_comm(
                         layer,
@@ -309,24 +445,51 @@ class Network:
                         callback_list,
                         verbose,
                         fault_injection=fault_injection,
+                        layer_index=index,
+                        start_epoch=layer_start,
+                        resume_unit=layer_unit,
+                        boundary=boundary,
                     )
                     fault_injection = None  # the hook targets one layer, once
                 else:
+                    if layer_unit is not None:
+                        raise ConfigurationError(
+                            "the checkpoint was written mid-layer under "
+                            "data-parallel (comm) training; resume with the "
+                            "same execution mode"
+                        )
                     self._train_hidden_layer(
-                        layer, representation, schedule, callback_list, verbose
+                        layer,
+                        representation,
+                        schedule,
+                        callback_list,
+                        verbose,
+                        layer_index=index,
+                        start_epoch=layer_start,
+                        boundary=boundary,
                     )
+                if index + 1 < len(self.hidden_layers):
+                    advance({"phase": "hidden", "layer_index": index + 1, "epochs_done": 0})
+                else:
+                    advance({"phase": "head", "epochs_done": 0})
                 representation = layer.forward(representation)
         finally:
             if owns_comm:
                 comm.close()
 
         # -------------------------------------------- phase 2: classification
-        self._train_head(representation, y, schedule, callback_list, verbose)
-
-        self.history.finish()
-        callback_list.on_train_end(self)
-        self._fitted = True
-        return self.history
+        if not resume_done:
+            self._train_head(
+                representation,
+                y,
+                schedule,
+                callback_list,
+                verbose,
+                start_epoch=head_start_epoch,
+                boundary=boundary,
+            )
+            advance({"phase": "done", "epochs_done": 0})
+        return representation
 
     def _batch_stream(
         self, x: np.ndarray, y: Optional[np.ndarray], schedule: TrainingSchedule
@@ -359,6 +522,9 @@ class Network:
         schedule: TrainingSchedule,
         callbacks: CallbackList,
         verbose: bool,
+        layer_index: int = 0,
+        start_epoch: int = 0,
+        boundary=None,
     ) -> None:
         # Double buffering is only needed when the entropy reduction runs on
         # the worker thread (batch k's activations must survive batch k+1's
@@ -394,6 +560,17 @@ class Network:
                     f"entropy={metrics['mean_activation_entropy']:.3f} swaps={swaps} "
                     f"({duration:.2f}s)"
                 )
+            if boundary is not None:
+                # The network RNG has drawn this epoch's permutation and the
+                # record is appended, so a checkpoint here resumes exactly at
+                # the next epoch.
+                boundary(
+                    {
+                        "phase": "hidden",
+                        "layer_index": layer_index,
+                        "epochs_done": epoch + 1,
+                    }
+                )
 
         try:
             if schedule.pipeline:
@@ -411,9 +588,10 @@ class Network:
                         logs["mean_activation_entropy"],
                         int(logs["swaps"]),
                     ),
+                    start_epoch=start_epoch,
                 )
             else:
-                for epoch in range(schedule.hidden_epochs):
+                for epoch in range(start_epoch, schedule.hidden_epochs):
                     start = time.perf_counter()
                     batch_entropy = []
                     for batch in stream:
@@ -445,6 +623,10 @@ class Network:
         callbacks: CallbackList,
         verbose: bool,
         fault_injection=None,
+        layer_index: int = 0,
+        start_epoch: int = 0,
+        resume_unit=None,
+        boundary=None,
     ) -> None:
         """Data-parallel hidden-layer phase over a :mod:`repro.comm` transport.
 
@@ -488,8 +670,45 @@ class Network:
                 )
 
         # Derive a per-phase shuffle stream from the network RNG (advancing
-        # it, so stacked layers do not reuse one permutation sequence).
-        shuffle_rng = as_rng(int(self._rng.integers(2**63)))
+        # it, so stacked layers do not reuse one permutation sequence).  A
+        # checkpoint resume into this layer reuses the *stored* seed instead:
+        # the restored network RNG state was captured after the draw, so
+        # drawing again would desynchronise every later layer's stream.
+        resume_arg = None
+        if resume_unit is not None:
+            resume_arg = {
+                "shuffle_seed": int(resume_unit["shuffle_seed"]),
+                "start_epoch": int(start_epoch),
+                "batches_done": int(resume_unit.get("batches", 0)),
+                "swaps_done": int(resume_unit.get("swaps", 0)),
+                "completed_logs": list(resume_unit.get("epoch_logs", [])),
+            }
+            shuffle_rng = None
+        elif start_epoch > 0:
+            raise ConfigurationError(
+                "the checkpoint was written mid-layer under serial training; "
+                "resume with the same execution mode"
+            )
+        else:
+            shuffle_rng = as_rng(int(self._rng.integers(2**63)))
+        on_epoch_boundary = None
+        if boundary is not None:
+
+            def on_epoch_boundary(epoch: int, info: Dict[str, object]) -> None:
+                boundary(
+                    {
+                        "phase": "hidden",
+                        "layer_index": layer_index,
+                        "epochs_done": epoch + 1,
+                    },
+                    unit={
+                        "shuffle_seed": int(info["shuffle_seed"]),
+                        "epoch_logs": list(info["epoch_logs"]),
+                        "batches": int(info["global_batches"]),
+                        "swaps": int(info["swaps"]),
+                    },
+                )
+
         try:
             trainer.train_layer(
                 layer,
@@ -507,6 +726,8 @@ class Network:
                 fault_tolerance=schedule.fault_tolerance,
                 max_restarts=schedule.max_restarts,
                 fault_injection=fault_injection,
+                resume_state=resume_arg,
+                on_epoch_boundary=on_epoch_boundary,
             )
         finally:
             # Phase boundary: settle the dense weight matrix the sparse
@@ -520,6 +741,8 @@ class Network:
         schedule: TrainingSchedule,
         callbacks: CallbackList,
         verbose: bool,
+        start_epoch: int = 0,
+        boundary=None,
     ) -> None:
         head = self.head
         epochs = schedule.classifier_epochs
@@ -531,7 +754,7 @@ class Network:
         try:
             self._run_head_epochs(
                 head, representation, y, stream, schedule, total_epochs, epochs,
-                callbacks, verbose,
+                callbacks, verbose, start_epoch=start_epoch, boundary=boundary,
             )
         finally:
             if isinstance(head, BCPNNClassifier):
@@ -551,8 +774,10 @@ class Network:
         epochs: int,
         callbacks: CallbackList,
         verbose: bool,
+        start_epoch: int = 0,
+        boundary=None,
     ) -> None:
-        for epoch in range(total_epochs):
+        for epoch in range(start_epoch, total_epochs):
             start = time.perf_counter()
             losses = []
             fine_tuning = epoch >= epochs
@@ -590,6 +815,8 @@ class Network:
                     f"[head:{head.name}] epoch {epoch + 1}/{total_epochs} "
                     f"train_acc={metrics['train_accuracy']:.4f} ({duration:.2f}s)"
                 )
+            if boundary is not None:
+                boundary({"phase": "head", "epochs_done": epoch + 1})
 
     # ------------------------------------------------------------ inference
     def _require_fitted(self) -> None:

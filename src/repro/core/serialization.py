@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import io
 import json
+import zipfile
 from pathlib import Path
 from typing import Dict, List, Union
 
@@ -62,15 +63,24 @@ def _network_payload(network: Network) -> Dict[str, np.ndarray]:
 
 
 def save_network(network: Network, path: Union[str, Path]) -> Path:
-    """Serialise a fitted (or at least built) network to ``path`` (.npz)."""
+    """Serialise a fitted (or at least built) network to ``path`` (.npz).
+
+    The write is crash-safe: the archive is staged to a temp file, fsync'd
+    and atomically renamed over ``path`` (see
+    :func:`repro.checkpoint.atomic.atomic_write_bytes`), so an interrupted
+    save never leaves a truncated model where a good one used to be.
+    """
+    from repro.checkpoint.atomic import atomic_write_bytes
+    from repro.exceptions import CheckpointError
+
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
-    payload = _network_payload(network)
-    path.parent.mkdir(parents=True, exist_ok=True)
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **_network_payload(network))
     try:
-        np.savez_compressed(path, **payload)
-    except OSError as exc:
+        atomic_write_bytes(path, buffer.getvalue())
+    except CheckpointError as exc:
         raise SerializationError(f"failed to write {path}: {exc}") from exc
     return path
 
@@ -107,7 +117,11 @@ def load_network(path: Union[str, Path]) -> Network:
             header_bytes = bytes(archive["header"].tobytes())
             header = json.loads(header_bytes.decode("utf-8"))
             arrays = {key: archive[key] for key in archive.files if key != "header"}
-    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+    # Truncated/corrupt archives surface as BadZipFile/EOFError from the zip
+    # layer, ValueError/KeyError from npy parsing, JSONDecodeError/
+    # UnicodeDecodeError from the header — all collapse to one pathed
+    # SerializationError (a DataError) instead of a stack-specific traceback.
+    except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile) as exc:
         raise SerializationError(f"failed to read {path}: {exc}") from exc
     return _network_from_state(header, arrays, source=str(path))
 
@@ -119,7 +133,7 @@ def network_from_bytes(blob: bytes) -> Network:
             header_bytes = bytes(archive["header"].tobytes())
             header = json.loads(header_bytes.decode("utf-8"))
             arrays = {key: archive[key] for key in archive.files if key != "header"}
-    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+    except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile) as exc:
         raise SerializationError(f"failed to read network blob: {exc}") from exc
     return _network_from_state(header, arrays, source="<bytes>")
 

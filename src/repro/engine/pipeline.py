@@ -187,6 +187,7 @@ def train_layer_pipelined(
     epochs: int,
     on_epoch_end: Optional[Callable[[int, Dict[str, float]], None]] = None,
     offload: Optional[bool] = None,
+    start_epoch: int = 0,
 ) -> List[Dict[str, float]]:
     """Run the pipelined unsupervised training loop for one hidden layer.
 
@@ -210,6 +211,8 @@ def train_layer_pipelined(
     """
     if epochs < 0:
         raise BackendError("epochs must be non-negative")
+    if not 0 <= int(start_epoch) <= int(epochs):
+        raise BackendError(f"start_epoch must be in [0, {epochs}], got {start_epoch}")
     if offload is None:
         offload = helper_threads_available()
     results: List[Dict[str, float]] = []
@@ -217,7 +220,10 @@ def train_layer_pipelined(
     if offload:
         worker = PipelineWorker(name=f"repro-pipeline-{getattr(layer, 'name', 'layer')}")
     try:
-        for epoch in range(int(epochs)):
+        # Resumed runs re-enter at an absolute epoch index: schedules keyed
+        # on the epoch number (plasticity cadence) are unaffected, and the
+        # stream's RNG is expected to already sit past the completed epochs.
+        for epoch in range(int(start_epoch), int(epochs)):
             start = time.perf_counter()
             entropies: List[float] = []
             pending: Optional[PipelineTask] = None

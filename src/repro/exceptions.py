@@ -43,8 +43,34 @@ class BackendError(ReproError, RuntimeError):
     """Raised when a compute backend cannot execute the requested kernel."""
 
 
-class SerializationError(ReproError, RuntimeError):
-    """Raised when a model state file cannot be written or restored."""
+class SerializationError(DataError, RuntimeError):
+    """Raised when a model state file cannot be written or restored.
+
+    Subclasses :class:`DataError` so callers validating untrusted on-disk
+    blobs (truncated downloads, corrupt model files) can catch one data
+    category; the ``RuntimeError`` base is kept for backward compatibility.
+    """
+
+
+class CheckpointError(DataError):
+    """Raised by :mod:`repro.checkpoint` on invalid or corrupt checkpoints.
+
+    Always carries the filesystem path of the offending checkpoint (or
+    manifest) so a failed resume points at exactly one file instead of a
+    numpy traceback.
+    """
+
+    def __init__(self, path, message: str) -> None:
+        self.path = str(path)
+        super().__init__(f"{self.path}: {message}")
+
+
+class FaultInjected(ReproError, RuntimeError):
+    """Raised by :mod:`repro.faults` rules configured with ``mode=raise``.
+
+    Lets in-process tests exercise driver-kill and I/O fault paths without
+    actually terminating the interpreter.
+    """
 
 
 class SearchError(ReproError, RuntimeError):

@@ -120,6 +120,14 @@ class HiggsExperimentConfig:
     sparse_payload: str = "auto"
     #: Recover from crashed ranks during comm training (process/tcp).
     fault_tolerance: bool = False
+    #: Durable checkpoint directory for crash-safe training (None = off).
+    checkpoint_dir: Optional[str] = None
+    #: Save a checkpoint every N epoch boundaries (1 = every boundary).
+    checkpoint_every: int = 1
+    #: Keep the newest N checkpoints in the directory (older ones rotate out).
+    checkpoint_keep: int = 3
+    #: Resume from the latest checkpoint in ``checkpoint_dir``.
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if self.head not in ("sgd", "bcpnn"):
@@ -128,6 +136,12 @@ class HiggsExperimentConfig:
             raise ConfigurationError("density must be in [0, 1]")
         if self.weight_refresh_tol < 0:
             raise ConfigurationError("weight_refresh_tol must be non-negative")
+        if self.checkpoint_every < 1:
+            raise ConfigurationError("checkpoint_every must be at least 1")
+        if self.checkpoint_keep < 1:
+            raise ConfigurationError("checkpoint_keep must be at least 1")
+        if self.resume and self.checkpoint_dir is None:
+            raise ConfigurationError("resume=True requires checkpoint_dir")
         check_sparse_mode(self.sparse)
         for knob, value in (
             ("comm_overlap", self.comm_overlap),
@@ -187,6 +201,10 @@ class HiggsExperimentConfig:
             comm_overlap=training.comm_overlap,
             sparse_payload=training.sparse_payload,
             fault_tolerance=getattr(training, "fault_tolerance", False),
+            checkpoint_dir=getattr(training, "checkpoint_dir", None),
+            checkpoint_every=getattr(training, "checkpoint_every", 1),
+            checkpoint_keep=getattr(training, "checkpoint_keep", 3),
+            resume=getattr(training, "resume", False),
         )
 
     @classmethod

@@ -146,6 +146,10 @@ def train_and_evaluate(
         callbacks=callbacks,
         comm=comm,
         fault_injection=fault_injection,
+        checkpoint_dir=config.checkpoint_dir,
+        checkpoint_every=config.checkpoint_every,
+        checkpoint_keep=config.checkpoint_keep,
+        resume=config.resume,
     )
     train_seconds = time.perf_counter() - start
     evaluation = network.evaluate(data.x_test, data.y_test)

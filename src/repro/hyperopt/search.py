@@ -91,10 +91,23 @@ class SearchResult:
 
 
 class _BaseSearch:
-    """Shared trial-evaluation plumbing."""
+    """Shared trial-evaluation plumbing.
+
+    With ``resume=True`` (requires a journal) the driver replays the
+    journal's finished trials instead of re-running their objectives: every
+    driver generates its trial sequence deterministically from the seed, so
+    a killed sweep restarted with the same seed/space regenerates the same
+    ``(index, config)`` pairs and skips straight past the recorded prefix.
+    Replayed trials are not re-recorded, keeping the journal append-only.
+    """
 
     def __init__(
-        self, space: SearchSpace, seed=None, ignore_failures: bool = False, journal=None
+        self,
+        space: SearchSpace,
+        seed=None,
+        ignore_failures: bool = False,
+        journal=None,
+        resume: bool = False,
     ) -> None:
         if not isinstance(space, SearchSpace):
             raise SearchError("space must be a SearchSpace")
@@ -102,6 +115,44 @@ class _BaseSearch:
         self._rng = as_rng(seed)
         self.ignore_failures = bool(ignore_failures)
         self.journal = journal
+        self._completed: Dict[object, Dict[str, object]] = {}
+        if resume:
+            if journal is None:
+                raise SearchError("resume=True requires a journal")
+            self._completed = journal.completed_trials(journal.experiment)
+            if self._completed:
+                logger.info(
+                    "resuming search: %d finished trial(s) found in %s",
+                    len(self._completed),
+                    journal.path,
+                )
+
+    def _replay(
+        self, config: Dict[str, object], index: int, budget: Optional[float]
+    ) -> Optional[Trial]:
+        """The journaled trial matching ``(index, config, budget)``, if any."""
+        if not self._completed:
+            return None
+        import json as _json
+
+        from repro.hyperopt.journal import _default as _journal_default
+
+        key = (
+            int(index),
+            _json.dumps(config, sort_keys=True, default=_journal_default),
+            float(budget) if budget is not None else None,
+        )
+        record = self._completed.get(key)
+        if record is None:
+            return None
+        return Trial(
+            index=int(record["index"]),
+            config=dict(config),
+            score=float(record.get("score", -math.inf)),
+            duration_seconds=float(record.get("duration_seconds", 0.0)),
+            budget=budget,
+            failed=bool(record.get("failed", False)),
+        )
 
     def _evaluate(
         self,
@@ -110,6 +161,10 @@ class _BaseSearch:
         index: int,
         budget: Optional[float] = None,
     ) -> Trial:
+        replayed = self._replay(config, index, budget)
+        if replayed is not None:
+            logger.info("trial %d replayed from journal (score=%s)", index, replayed.score)
+            return replayed
         start = time.perf_counter()
         failed = False
         try:
@@ -186,8 +241,11 @@ class EvolutionarySearch(_BaseSearch):
         seed=None,
         ignore_failures: bool = False,
         journal=None,
+        resume: bool = False,
     ) -> None:
-        super().__init__(space, seed=seed, ignore_failures=ignore_failures, journal=journal)
+        super().__init__(
+            space, seed=seed, ignore_failures=ignore_failures, journal=journal, resume=resume
+        )
         if population_size <= 0 or offspring_per_parent <= 0:
             raise SearchError("population_size and offspring_per_parent must be positive")
         if mutation_scale <= 0:
@@ -249,8 +307,11 @@ class SuccessiveHalving(_BaseSearch):
         seed=None,
         ignore_failures: bool = False,
         journal=None,
+        resume: bool = False,
     ) -> None:
-        super().__init__(space, seed=seed, ignore_failures=ignore_failures, journal=journal)
+        super().__init__(
+            space, seed=seed, ignore_failures=ignore_failures, journal=journal, resume=resume
+        )
         if min_budget <= 0 or max_budget < min_budget:
             raise SearchError("budgets must satisfy 0 < min_budget <= max_budget")
         if reduction_factor < 2:

@@ -693,10 +693,23 @@ class PredictionServer:
         loop = asyncio.get_running_loop()
 
         def load_and_swap() -> int:
+            from pathlib import Path
+
             from repro.core import load_network
 
             # load + swap run off-loop; swap only flips the pointer, so the
             # event loop (and any in-flight batch) never blocks on the load.
+            # A path inside a checkpoint directory (its parent holds a
+            # MANIFEST.json) routes through the checkpoint loader, which
+            # re-verifies the archive's SHA-256 against the manifest before
+            # any byte of it reaches the runner — a corrupt or truncated
+            # checkpoint is rejected here (400) and the old model keeps
+            # serving.
+            p = Path(path)
+            from repro.checkpoint import MANIFEST_NAME, network_from_checkpoint
+
+            if (p.parent / MANIFEST_NAME).is_file():
+                return self.runner.swap(network_from_checkpoint(p))
             return self.runner.swap(load_network(path))
 
         try:

@@ -12,12 +12,20 @@ RNG state, same batch count.
 import numpy as np
 import pytest
 
+from repro import faults
 from repro.backend.distributed import DistributedTrainer
 from repro.comm import ProcessComm, TCPComm, ThreadComm
 from repro.core import BCPNNHyperParameters, StructuralPlasticityLayer
 from repro.core.layers import InputSpec
 from repro.exceptions import BackendError, DataError
 from repro.utils.rng import as_rng
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    faults.install_plan(None)
+    yield
+    faults.install_plan(None)
 
 
 def _make_layer(seed: int = 7, competition: str = "softmax") -> StructuralPlasticityLayer:
@@ -129,6 +137,72 @@ def test_injection_validation():
                 fault_tolerance=True,
                 max_restarts=-1,
             )
+
+
+class TestEdges:
+    """The corners of the recovery protocol the happy-path test skips."""
+
+    def test_crash_during_first_epoch_recovers_bitwise(self):
+        """A crash before any epoch boundary restores the *attempt-start*
+        snapshot — there is no completed boundary to roll back to."""
+        with ThreadComm(3) as comm:
+            base_layer, base_report = _train(comm)
+        comm = ProcessComm(3, timeout=60.0)
+        try:
+            ft_layer, ft_report = _train(
+                comm, inject={"rank": 1, "epoch": 0, "batch": 0}, fault_tolerance=True
+            )
+        finally:
+            comm.close()
+        assert ft_report.extra["restarts"] == 1
+        assert np.array_equal(ft_layer.weights, base_layer.weights)
+        assert np.array_equal(ft_layer.traces.p_ij, base_layer.traces.p_ij)
+        assert np.array_equal(ft_layer.plasticity.mask, base_layer.plasticity.mask)
+
+    def test_crashes_exceeding_max_restarts_raise_cleanly(self):
+        """A worker.crash rule with count=2 re-arms across restarts; with
+        max_restarts=1 the second genuine crash must surface as a clean
+        BackendError, not a hang or a silent partial result."""
+        faults.install_plan(
+            faults.FaultPlan("worker.crash@rank=1,epoch=0,batch=1,count=2")
+        )
+        comm = ProcessComm(3, timeout=60.0)
+        try:
+            layer = _make_layer()
+            trainer = DistributedTrainer(comm)
+            with pytest.raises(BackendError):
+                trainer.train_layer(
+                    layer,
+                    _make_data(),
+                    epochs=3,
+                    batch_size=64,
+                    rng=as_rng(5),
+                    shuffle=True,
+                    fault_tolerance=True,
+                    max_restarts=1,
+                )
+        finally:
+            faults.install_plan(None)
+            comm.close()
+
+    def test_crash_mid_chunked_collective_on_tcp_recovers_bitwise(self):
+        """chunk_bytes small enough that every allreduce is multi-frame: the
+        crash lands mid-chunked-collective and recovery still converges."""
+        base_comm = TCPComm(3, timeout=60.0, chunk_bytes=256)
+        try:
+            base_layer, _ = _train(base_comm)
+        finally:
+            base_comm.close()
+        comm = TCPComm(3, timeout=60.0, chunk_bytes=256)
+        try:
+            ft_layer, ft_report = _train(
+                comm, inject={"rank": 1, "epoch": 1, "batch": 2}, fault_tolerance=True
+            )
+        finally:
+            comm.close()
+        assert ft_report.extra["restarts"] == 1
+        assert np.array_equal(ft_layer.weights, base_layer.weights)
+        assert np.array_equal(ft_layer.traces.p_ij, base_layer.traces.p_ij)
 
 
 def test_uninjected_fault_tolerant_run_matches_plain_run():

@@ -1,0 +1,82 @@
+"""Atomic durable writes: a failed write never damages the previous file."""
+
+import os
+
+import pytest
+
+from repro import faults
+from repro.checkpoint import atomic_write_bytes
+from repro.exceptions import CheckpointError
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    faults.install_plan(None)
+    yield
+    faults.install_plan(None)
+
+
+class TestAtomicWrite:
+    def test_writes_new_file(self, tmp_path):
+        target = tmp_path / "out.bin"
+        result = atomic_write_bytes(target, b"hello")
+        assert result == target
+        assert target.read_bytes() == b"hello"
+
+    def test_replaces_existing_file(self, tmp_path):
+        target = tmp_path / "out.bin"
+        target.write_bytes(b"old")
+        atomic_write_bytes(target, b"new contents")
+        assert target.read_bytes() == b"new contents"
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "a" / "b" / "out.bin"
+        atomic_write_bytes(target, b"x")
+        assert target.read_bytes() == b"x"
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        atomic_write_bytes(tmp_path / "out.bin", b"x")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["out.bin"]
+
+
+class TestInjectedFailures:
+    def test_fsync_failure_keeps_old_file(self, tmp_path):
+        target = tmp_path / "out.bin"
+        target.write_bytes(b"precious")
+        faults.install_plan(faults.FaultPlan("checkpoint.fsync"))
+        with pytest.raises(CheckpointError) as excinfo:
+            atomic_write_bytes(target, b"doomed")
+        assert str(target) in str(excinfo.value)
+        assert excinfo.value.path == str(target)
+        # The failure is atomic: old contents intact, no temp litter.
+        assert target.read_bytes() == b"precious"
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["out.bin"]
+
+    def test_short_write_keeps_old_file(self, tmp_path):
+        target = tmp_path / "out.bin"
+        target.write_bytes(b"precious")
+        faults.install_plan(faults.FaultPlan("checkpoint.short_write"))
+        with pytest.raises(CheckpointError):
+            atomic_write_bytes(target, b"doomed payload")
+        assert target.read_bytes() == b"precious"
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["out.bin"]
+
+    def test_write_succeeds_after_fault_budget_spent(self, tmp_path):
+        target = tmp_path / "out.bin"
+        faults.install_plan(faults.FaultPlan("checkpoint.fsync@count=1"))
+        with pytest.raises(CheckpointError):
+            atomic_write_bytes(target, b"first")
+        atomic_write_bytes(target, b"second")
+        assert target.read_bytes() == b"second"
+
+    def test_readonly_directory_raises_pathed_error(self, tmp_path):
+        if os.geteuid() == 0:
+            pytest.skip("root ignores directory permissions")
+        ro = tmp_path / "ro"
+        ro.mkdir()
+        ro.chmod(0o500)
+        try:
+            with pytest.raises(CheckpointError):
+                atomic_write_bytes(ro / "out.bin", b"x")
+        finally:
+            ro.chmod(0o700)

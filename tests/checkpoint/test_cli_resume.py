@@ -1,0 +1,93 @@
+"""End-to-end chaos: kill the real CLI driver process, resume, compare models.
+
+Unlike the in-process resume tests, these run ``python -m repro.cli train``
+as a subprocess with the fault plan injected through the ``REPRO_FAULTS``
+environment variable — exercising the exact path an operator uses: the
+process dies with :data:`repro.faults.KILL_EXIT_CODE`, the rerun passes
+``--resume``, and the saved model matches an uninterrupted run.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.serialization import load_network
+from repro.faults import KILL_EXIT_CODE
+
+_SRC = Path(__file__).resolve().parents[2] / "src"
+
+_TRAIN_ARGS = [
+    "--mcus", "10", "--events", "1000", "--epochs", "2",
+    "--seed", "0", "--quiet",
+]
+
+
+def _run_cli(args, env_extra=None, cwd=None):
+    env = dict(os.environ)
+    env.pop("REPRO_FAULTS", None)
+    env.pop("REPRO_FAULTS_SEED", None)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in [str(_SRC), env.get("PYTHONPATH", "")] if p
+    )
+    if env_extra:
+        env.update(env_extra)
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", "train", *args],
+        env=env,
+        cwd=cwd,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_driver_kill_resume_matches_uninterrupted(tmp_path):
+    base_model = tmp_path / "base.npz"
+    resumed_model = tmp_path / "resumed.npz"
+    ckpt_dir = tmp_path / "ckpt"
+
+    baseline = _run_cli([*_TRAIN_ARGS, "--save-model", str(base_model)])
+    assert baseline.returncode == 0, baseline.stderr
+
+    killed = _run_cli(
+        [*_TRAIN_ARGS, "--checkpoint-dir", str(ckpt_dir)],
+        env_extra={"REPRO_FAULTS": "driver.kill@epoch=1"},
+    )
+    assert killed.returncode == KILL_EXIT_CODE, (killed.returncode, killed.stderr)
+    assert ckpt_dir.is_dir() and any(ckpt_dir.glob("ckpt-*.npz"))
+
+    resumed = _run_cli(
+        [
+            *_TRAIN_ARGS,
+            "--checkpoint-dir", str(ckpt_dir),
+            "--resume",
+            "--save-model", str(resumed_model),
+        ]
+    )
+    assert resumed.returncode == 0, resumed.stderr
+
+    net_a = load_network(base_model)
+    net_b = load_network(resumed_model)
+    assert np.array_equal(net_a.head.weights, net_b.head.weights)
+    la, lb = net_a.hidden_layers[0], net_b.hidden_layers[0]
+    assert np.array_equal(la.traces.p_ij, lb.traces.p_ij)
+    assert np.array_equal(la.plasticity.mask, lb.plasticity.mask)
+
+    rng = np.random.default_rng(0)
+    probe = rng.random((32, la.input_spec.n_units))
+    assert np.array_equal(net_a.predict(probe), net_b.predict(probe))
+
+
+def test_fault_env_is_inert_without_checkpointing_sites(tmp_path):
+    """A plan naming sites the run never reaches does not perturb training."""
+    model = tmp_path / "model.npz"
+    result = _run_cli(
+        [*_TRAIN_ARGS, "--save-model", str(model)],
+        env_extra={"REPRO_FAULTS": "tcp.drop@count=1"},
+    )
+    assert result.returncode == 0, result.stderr
+    assert model.is_file()

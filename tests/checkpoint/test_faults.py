@@ -1,0 +1,146 @@
+"""The deterministic fault-injection registry (:mod:`repro.faults`)."""
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.exceptions import ConfigurationError, FaultInjected
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    """Every test starts and ends with no installed plan."""
+    faults.install_plan(None)
+    yield
+    faults.install_plan(None)
+
+
+class TestSpecParsing:
+    def test_single_rule(self):
+        (rule,) = faults.parse_spec("driver.kill@epoch=2")
+        assert rule.site == "driver.kill"
+        assert rule.params == {"epoch": "2"}
+        assert rule.remaining == 1
+
+    def test_multiple_rules_and_params(self):
+        rules = faults.parse_spec("worker.crash@rank=1,epoch=0,batch=3;tcp.delay@p=0.5")
+        assert [r.site for r in rules] == ["worker.crash", "tcp.delay"]
+        assert rules[0].params == {"rank": "1", "epoch": "0", "batch": "3"}
+        # Probabilistic rules have no fire budget by default.
+        assert rules[1].remaining is None
+
+    def test_count_sets_budget(self):
+        (rule,) = faults.parse_spec("checkpoint.fsync@count=3")
+        assert rule.remaining == 3
+
+    def test_bad_specs_raise(self):
+        with pytest.raises(ConfigurationError):
+            faults.parse_spec("@epoch=2")
+        with pytest.raises(ConfigurationError):
+            faults.parse_spec("driver.kill@epoch")
+
+    def test_empty_spec_is_no_rules(self):
+        assert faults.parse_spec("") == []
+        assert faults.parse_spec(" ; ") == []
+
+
+class TestMatching:
+    def test_context_keys_compared_as_ints(self):
+        plan = faults.FaultPlan("driver.kill@epoch=2")
+        faults.install_plan(plan)
+        assert faults.fault_point("driver.kill", epoch=0) is None
+        assert faults.fault_point("driver.kill", epoch=2) is not None
+
+    def test_missing_context_key_never_matches(self):
+        faults.install_plan(faults.FaultPlan("driver.kill@epoch=2"))
+        assert faults.fault_point("driver.kill", phase="head") is None
+
+    def test_rule_consumed_after_count_fires(self):
+        faults.install_plan(faults.FaultPlan("tcp.drop@count=2"))
+        assert faults.fault_point("tcp.drop") is not None
+        assert faults.fault_point("tcp.drop") is not None
+        assert faults.fault_point("tcp.drop") is None
+
+    def test_site_mismatch(self):
+        faults.install_plan(faults.FaultPlan("tcp.drop"))
+        assert faults.fault_point("tcp.delay") is None
+
+    def test_no_plan_is_fast_noop(self):
+        assert faults.fault_point("driver.kill", epoch=0) is None
+
+    def test_fired_log_records_context(self):
+        plan = faults.FaultPlan("checkpoint.fsync")
+        faults.install_plan(plan)
+        faults.fault_point("checkpoint.fsync", path="x")
+        assert plan.fired == [{"site": "checkpoint.fsync", "path": "x"}]
+
+
+class TestDeterminism:
+    def test_probabilistic_rules_replay_with_same_seed(self):
+        outcomes = []
+        for _ in range(2):
+            plan = faults.FaultPlan("tcp.drop@p=0.5", seed=42)
+            faults.install_plan(plan)
+            outcomes.append(
+                [faults.fault_point("tcp.drop") is not None for _ in range(32)]
+            )
+        assert outcomes[0] == outcomes[1]
+        assert any(outcomes[0]) and not all(outcomes[0])
+
+    def test_corrupt_is_deterministic_and_changes_bytes(self):
+        data = bytes(range(256)) * 4
+        a = faults.FaultPlan("", seed=7).corrupt(data)
+        b = faults.FaultPlan("", seed=7).corrupt(data)
+        assert a == b
+        assert a != data
+        assert len(a) == len(data)
+
+
+class TestDriverKill:
+    def test_mode_raise(self):
+        (rule,) = faults.parse_spec("driver.kill@mode=raise")
+        with pytest.raises(FaultInjected):
+            faults.kill_driver(rule, epoch=3)
+
+    def test_exit_code_constant(self):
+        # The chaos job asserts this exact code; keep it stable.
+        assert faults.KILL_EXIT_CODE == 23
+
+
+class TestCrashInjectionBridge:
+    def test_converts_rule_to_legacy_dict(self):
+        faults.install_plan(faults.FaultPlan("worker.crash@rank=1,epoch=0,batch=3"))
+        assert faults.crash_injection_from_plan() == {"rank": 1, "epoch": 0, "batch": 3}
+        # The rule is consumed: a second draw finds nothing.
+        assert faults.crash_injection_from_plan() is None
+
+    def test_count_rearms(self):
+        faults.install_plan(faults.FaultPlan("worker.crash@rank=1,epoch=0,batch=1,count=2"))
+        assert faults.crash_injection_from_plan() is not None
+        assert faults.crash_injection_from_plan() is not None
+        assert faults.crash_injection_from_plan() is None
+
+    def test_incomplete_rule_raises(self):
+        faults.install_plan(faults.FaultPlan("worker.crash@rank=1"))
+        with pytest.raises(ConfigurationError):
+            faults.crash_injection_from_plan()
+
+    def test_no_plan_returns_none(self):
+        assert faults.crash_injection_from_plan() is None
+
+
+class TestEnvActivation:
+    def test_env_spec_installs_plan(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_SPEC, "driver.kill@epoch=1,mode=raise")
+        monkeypatch.setenv(faults.ENV_SEED, "9")
+        # Force a re-read of the environment.
+        faults._loaded = False
+        plan = faults.active_plan()
+        assert plan is not None
+        assert plan.seed == 9
+        assert plan.rules[0].site == "driver.kill"
+
+    def test_env_empty_means_no_plan(self, monkeypatch):
+        monkeypatch.delenv(faults.ENV_SPEC, raising=False)
+        faults._loaded = False
+        assert faults.active_plan() is None

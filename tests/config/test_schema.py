@@ -125,6 +125,28 @@ class TestCrossFieldValidation:
         with pytest.raises(ConfigError, match="hyperopt.space"):
             build_config({"hyperopt": {"enabled": True}})
 
+    def test_training_resume_requires_checkpoint_dir(self):
+        with pytest.raises(ConfigError, match="training.resume") as err:
+            build_config({"training": {"resume": True}})
+        assert err.value.path == "training.resume"
+        cfg = build_config(
+            {"training": {"resume": True, "checkpoint_dir": "/tmp/ckpt"}}
+        )
+        assert cfg.training.resume is True
+        assert cfg.training.checkpoint_dir == "/tmp/ckpt"
+
+    def test_checkpoint_cadence_must_be_positive(self):
+        with pytest.raises(ConfigError, match="training.checkpoint_every"):
+            build_config({"training": {"checkpoint_every": 0}})
+        with pytest.raises(ConfigError, match="training.checkpoint_keep"):
+            build_config({"training": {"checkpoint_keep": 0}})
+
+    def test_hyperopt_resume_requires_journal(self):
+        with pytest.raises(ConfigError, match="hyperopt.resume"):
+            build_config({"hyperopt": {"resume": True}})
+        cfg = build_config({"hyperopt": {"resume": True, "journal": "j.jsonl"}})
+        assert cfg.hyperopt.journal == "j.jsonl"
+
     def test_hyperopt_space_keys_must_be_config_fields(self):
         space = {"model.densty": {"type": "float", "low": 0.1, "high": 0.5}}
         with pytest.raises(ConfigError, match="hyperopt.space.model.densty"):

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro import faults
 from repro.core import (
     BCPNNClassifier,
     Network,
@@ -12,7 +13,7 @@ from repro.core import (
     load_network,
     save_network,
 )
-from repro.core.serialization import _instantiate_layer
+from repro.core.serialization import _instantiate_layer, network_from_bytes
 from repro.exceptions import SerializationError
 
 
@@ -60,3 +61,75 @@ class TestSaveLoad:
     def test_unknown_layer_kind_rejected(self):
         with pytest.raises(SerializationError):
             _instantiate_layer("MysteryLayer", {})
+
+
+def _tiny_fitted_network():
+    rng = np.random.default_rng(0)
+    blocks = [3, 4]
+    cols = []
+    for b in blocks:
+        onehot = np.zeros((64, b))
+        onehot[np.arange(64), rng.integers(0, b, 64)] = 1
+        cols.append(onehot)
+    x, y = np.hstack(cols), rng.integers(0, 2, 64)
+    net = Network(seed=1)
+    net.add(StructuralPlasticityLayer(1, 4, seed=2))
+    net.add(SGDClassifier(n_classes=2, seed=3))
+    net.fit(
+        x,
+        y,
+        input_spec=blocks,
+        schedule=TrainingSchedule(hidden_epochs=1, classifier_epochs=1, batch_size=32),
+    )
+    return net, x
+
+
+class TestTruncatedModels:
+    """A model file cut off mid-write must be rejected, never half-loaded."""
+
+    @pytest.mark.parametrize("cut", [1, 16, 128, 1024])
+    def test_truncated_file_rejected_at_every_offset(self, tmp_path, cut):
+        net, _ = _tiny_fitted_network()
+        path = save_network(net, tmp_path / "model.npz")
+        data = path.read_bytes()
+        assert len(data) > cut
+        path.write_bytes(data[:-cut])
+        with pytest.raises(SerializationError) as excinfo:
+            load_network(path)
+        assert str(path) in str(excinfo.value)
+
+    @pytest.mark.parametrize("keep", [0, 10, 200])
+    def test_truncated_prefix_rejected(self, tmp_path, keep):
+        net, _ = _tiny_fitted_network()
+        path = save_network(net, tmp_path / "model.npz")
+        path.write_bytes(path.read_bytes()[:keep])
+        with pytest.raises(SerializationError):
+            load_network(path)
+
+    def test_truncated_blob_rejected(self, tmp_path):
+        from repro.core.serialization import network_to_bytes
+
+        net, _ = _tiny_fitted_network()
+        blob = network_to_bytes(net)
+        with pytest.raises(SerializationError):
+            network_from_bytes(blob[: len(blob) // 2])
+
+
+class TestCrashSafeSave:
+    def test_failed_save_keeps_previous_model_loadable(self, tmp_path):
+        net, x = _tiny_fitted_network()
+        path = save_network(net, tmp_path / "model.npz")
+        expected = net.predict(x)
+
+        faults.install_plan(faults.FaultPlan("checkpoint.fsync@count=1"))
+        try:
+            with pytest.raises(SerializationError, match=str(tmp_path)):
+                save_network(net, path)
+        finally:
+            faults.install_plan(None)
+
+        # The interrupted overwrite left no temp litter and the original
+        # archive still loads and predicts identically.
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["model.npz"]
+        restored = load_network(path)
+        assert np.array_equal(restored.predict(x), expected)

@@ -317,3 +317,67 @@ class TestMalformedInput:
         status, doc, _ = _post(handle.port, "/predict", {"rows": rows.tolist()})
         assert status == 200
         assert doc["predictions"] == trained_network.predict(rows).tolist()
+
+
+def test_reload_from_checkpoint_validates_checksum(
+    tmp_path, trained_network, encoded_higgs
+):
+    """/reload accepts a training checkpoint — and its checksum gates the swap.
+
+    A checkpoint directory carries a manifest; reload routes through
+    :func:`repro.checkpoint.network_from_checkpoint`, so a corrupt archive
+    is rejected with a 400 while the old model keeps serving, and a pristine
+    one swaps in with predictions identical to the checkpointed network.
+    """
+    import shutil
+
+    from repro.checkpoint import CheckpointManager, network_from_checkpoint
+
+    ckpt_dir = tmp_path / "ckpt"
+    variant = Network(seed=9, name="ckpt-variant")
+    variant.add(
+        StructuralPlasticityLayer(
+            n_hypercolumns=2,
+            n_minicolumns=30,
+            hyperparams=BCPNNHyperParameters(taupdt=0.02, density=0.4),
+            seed=10,
+        )
+    )
+    variant.add(SGDClassifier(n_classes=2, learning_rate=0.1, seed=11))
+    variant.fit(
+        encoded_higgs["x_train"][:800],
+        encoded_higgs["y_train"][:800],
+        input_spec=encoded_higgs["spec"],
+        schedule=TrainingSchedule(hidden_epochs=1, classifier_epochs=2, batch_size=128),
+        checkpoint_dir=ckpt_dir,
+    )
+    latest = CheckpointManager(ckpt_dir).latest_path()
+
+    corrupt_dir = tmp_path / "corrupt"
+    shutil.copytree(ckpt_dir, corrupt_dir)
+    corrupt_latest = corrupt_dir / latest.name
+    blob = bytearray(corrupt_latest.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    corrupt_latest.write_bytes(bytes(blob))
+
+    runner = ModelRunner(trained_network, batch_size=32)
+    server = PredictionServer(runner, port=0, batch_size=32, batch_deadline=0.002)
+    rows = encoded_higgs["x_test"][:4]
+    with ServerThread(server) as handle:
+        v_before = runner.version
+        status, doc, _ = _post(
+            handle.port, "/reload", {"model": str(corrupt_latest)}
+        )
+        assert status == 400
+        assert "unchanged" in doc["error"]
+        status, doc, _ = _post(handle.port, "/predict", {"rows": rows.tolist()})
+        assert status == 200
+        assert doc["model_version"] == v_before
+
+        status, doc, _ = _post(handle.port, "/reload", {"model": str(latest)})
+        assert status == 200
+        status, doc, _ = _post(handle.port, "/predict", {"rows": rows.tolist()})
+        assert status == 200
+        assert doc["model_version"] == v_before + 1
+        expected = network_from_checkpoint(latest).predict(rows).tolist()
+        assert doc["predictions"] == expected
